@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunPlan(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-graph", "[a:1 b:2]", "-deadline", "10", "-ssp", "EQF"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"EQF-DIV-1:", "a", "b", "deadline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-graph", "[a b c]", "-deadline", "9", "-compare"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"UD-", "ED-", "EQS-", "EQF-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "missing graph", args: []string{"-deadline", "5"}},
+		{name: "bad graph", args: []string{"-graph", "[", "-deadline", "5"}},
+		{name: "zero deadline", args: []string{"-graph", "[a]", "-deadline", "0"}},
+		{name: "bad ssp", args: []string{"-graph", "[a]", "-deadline", "5", "-ssp", "zz"}},
+		{name: "bad psp", args: []string{"-graph", "[a]", "-deadline", "5", "-psp", "zz"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var b strings.Builder
+			if err := run(tt.args, &b); err == nil {
+				t.Error("run succeeded, want error")
+			}
+		})
+	}
+}

@@ -1,0 +1,142 @@
+// Command sdasim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sdasim -list
+//	sdasim -exp fig2b                       # laptop-scale defaults
+//	sdasim -exp fig2b -format chart
+//	sdasim -exp all -horizon 1e6 -reps 2    # paper scale
+//	sdasim -exp fig4 -format csv -out results/
+//
+// Experiment ids follow DESIGN.md: table1, fig2a, fig2b, fig3, fig4,
+// combined, abl-pexerr, abl-abort, abl-mlf, abl-m, abl-hetm, abl-hot,
+// ext-as, ext-adiv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sdasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sdasim", flag.ContinueOnError)
+	var (
+		list    = fs.Bool("list", false, "list experiments and exit")
+		expID   = fs.String("exp", "", "experiment id, or 'all'")
+		horizon = fs.Float64("horizon", 0, "simulated time units per replication (default 50000; paper: 1e6)")
+		reps    = fs.Int("reps", 0, "replications per data point (default 2)")
+		seed    = fs.Uint64("seed", 0, "base random seed (default 1)")
+		target  = fs.Float64("targetci", 0, "add replications (up to -maxreps) until every 95% half-width is at or below this many percentage points (paper protocol: 0.35); 0 disables")
+		maxReps = fs.Int("maxreps", 0, "replication cap for -targetci (default 10)")
+		format  = fs.String("format", "table", "output format: table, chart, csv, json, or all")
+		outDir  = fs.String("out", "", "write per-experiment files to this directory instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiment.All() {
+			fmt.Fprintf(out, "%-12s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	if *expID == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -exp (or -list)")
+	}
+	switch *format {
+	case "table", "chart", "csv", "json", "all":
+	default:
+		return fmt.Errorf("unknown -format %q", *format)
+	}
+
+	var exps []experiment.Experiment
+	if *expID == "all" {
+		exps = experiment.All()
+	} else {
+		for _, id := range strings.Split(*expID, ",") {
+			e, err := experiment.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	opts := experiment.Options{
+		Horizon:  *horizon,
+		Reps:     *reps,
+		Seed:     *seed,
+		TargetCI: *target,
+		MaxReps:  *maxReps,
+	}
+	for _, e := range exps {
+		started := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		body, err := render(res, *format)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		header := fmt.Sprintf("== %s: %s (%.1fs)\n-- paper: %s\n", e.ID, e.Title,
+			time.Since(started).Seconds(), e.Paper)
+		if *outDir == "" {
+			fmt.Fprint(out, header, body, "\n")
+			continue
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(*outDir, e.ID+".txt")
+		if err := os.WriteFile(path, []byte(header+body), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", path)
+	}
+	return nil
+}
+
+func render(res *experiment.Result, format string) (string, error) {
+	var b strings.Builder
+	if res.Notes != "" {
+		b.WriteString(res.Notes)
+	}
+	hasData := res.Figure != nil && len(res.Figure.Curves) > 0
+	if !hasData {
+		return b.String(), nil
+	}
+	if format == "table" || format == "all" {
+		b.WriteString(experiment.RenderTable(res.Figure))
+	}
+	if format == "chart" || format == "all" {
+		b.WriteString(experiment.RenderChart(res.Figure, 64, 18))
+	}
+	if format == "csv" || format == "all" {
+		b.WriteString(experiment.RenderCSV(res.Figure))
+	}
+	if format == "json" || format == "all" {
+		s, err := experiment.RenderJSON(res.Figure)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(s)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"table1", "fig2a", "fig2b", "fig3", "fig4", "combined"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-exp", "abl-m", "-horizon", "1500", "-reps", "1", "-format", "all"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"== abl-m", "paper:", "UD", "EQF", "csv" /* never */} {
+		if want == "csv" {
+			continue
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// "all" format includes the CSV header line.
+	if !strings.Contains(out, "UD,UD ci95") {
+		t.Error("format=all missing CSV section")
+	}
+}
+
+func TestRunMultipleIDs(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-exp", "table1,abl-m", "-horizon", "1200", "-reps", "1"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "== table1") || !strings.Contains(out, "== abl-m") {
+		t.Errorf("multi-experiment output incomplete:\n%s", out)
+	}
+}
+
+func TestRunWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	err := run([]string{"-exp", "table1", "-out", dir}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Earliest Deadline First") {
+		t.Error("written file incomplete")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "no exp", args: []string{}},
+		{name: "unknown exp", args: []string{"-exp", "nope"}},
+		{name: "bad format", args: []string{"-exp", "table1", "-format", "xml"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var b strings.Builder
+			if err := run(tt.args, &b); err == nil {
+				t.Error("run succeeded, want error")
+			}
+		})
+	}
+}

@@ -1,0 +1,38 @@
+// Papersweep: regenerate Fig. 2b (SSP strategies vs load) at laptop
+// scale through the public experiment API, print the table and an ASCII
+// chart, and check the paper's headline numbers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	opts := repro.ExperimentOptions{
+		Horizon: 40000, // paper: 1,000,000; the shape is stable far below that
+		Reps:    2,
+		Seed:    1,
+	}
+	res, err := repro.RunExperiment("fig2b", opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(repro.RenderTable(res.Figure))
+	fmt.Println()
+	fmt.Print(repro.RenderChart(res.Figure, 60, 16))
+
+	udAt05, _ := res.Figure.YAt("UD", 0.5)
+	eqfAt05, _ := res.Figure.YAt("EQF", 0.5)
+	fmt.Printf("\npaper point A: MDglobal(UD, load 0.5) ~ 40%%  -> measured %.1f%%\n", udAt05)
+	fmt.Printf("paper:         EQF well below UD at load 0.5 -> measured %.1f%%\n", eqfAt05)
+	return nil
+}

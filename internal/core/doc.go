@@ -1,0 +1,28 @@
+// Package core implements the paper's primary contribution: strategies
+// for the Subtask Deadline Assignment (SDA) problem — translating the
+// end-to-end deadline of a distributed global task into virtual deadlines
+// for its subtasks (Kao & Garcia-Molina, ICDCS 1993 / TPDS 1997).
+//
+// The SDA problem splits into two subproblems:
+//
+//   - SSP, the Serial Subtask Problem (paper section 4): for
+//     T = [T1 T2 ... Tm], assign dl(Ti) when Ti is submitted.
+//     Strategies: Ultimate Deadline (UD), Effective Deadline (ED),
+//     Equal Slack (EQS) and Equal Flexibility (EQF).
+//
+//   - PSP, the Parallel Subtask Problem (paper section 5): for
+//     T = [T1 || T2 || ... || Tn], assign dl(Ti) at submission.
+//     Strategies: Ultimate Deadline (UD), DIV-x, and Globals First (GF —
+//     a scheduling-class policy rather than a deadline formula).
+//
+// For general serial-parallel tasks the two compose recursively
+// (section 6): Assigner walks the task graph, applying the SSP strategy
+// to serial groups and the PSP strategy to parallel groups; the virtual
+// deadline given to a complex subtask becomes the end-to-end deadline of
+// its own decomposition.
+//
+// The package also implements the paper's proposed extensions:
+// ArtificialStages (section 7 future work — damping slack variability by
+// pretending a serial task has extra stages) and AdaptiveDiv (reference
+// [7] — choosing the DIV-x divisor from the branch count).
+package core

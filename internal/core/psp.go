@@ -1,0 +1,124 @@
+package core
+
+import "strconv"
+
+// ParallelStrategy assigns virtual deadlines to the branches of a
+// parallel group T = [T1 || T2 || ... || Tn]. All branches are submitted
+// together at the group's arrival time, so the strategy sees the group
+// arrival, the group deadline and the predicted execution times of every
+// branch, and returns the deadline for branch i.
+type ParallelStrategy interface {
+	// BranchDeadline returns dl(Ti) for branch i (0-based) of n branches.
+	BranchDeadline(arrival, groupDeadline float64, pexBranches []float64, i int) float64
+	// Name returns the short name used in reports ("UD", "DIV-1", ...).
+	Name() string
+}
+
+// ParallelUltimate is the PSP base strategy UD: every branch inherits the
+// group deadline, dl(Ti) = dl(T), and competes with local tasks on equal
+// terms. Because the group misses if any branch misses, global tasks fare
+// far worse than locals under UD (paper section 5.3).
+type ParallelUltimate struct{}
+
+// BranchDeadline implements ParallelStrategy.
+func (ParallelUltimate) BranchDeadline(_, groupDeadline float64, _ []float64, _ int) float64 {
+	return groupDeadline
+}
+
+// Name implements ParallelStrategy.
+func (ParallelUltimate) Name() string { return "UD" }
+
+// Div is the paper's DIV-x strategy (equation 1):
+//
+//	dl(Ti) = ar(T) + [dl(T) − ar(T)]/(n·x)
+//
+// The group's total allowance is divided by x times the branch count, so
+// the priority boost grows automatically with the number of branches.
+// Larger x values push virtual deadlines earlier and priorities higher;
+// the paper finds x = 1 sufficient at its baseline, with x > 1 mattering
+// only at very high load.
+type Div struct {
+	// X is the divisor multiplier; must be positive. The canonical
+	// instances are Div{X: 1} (DIV-1) and Div{X: 2} (DIV-2).
+	X float64
+}
+
+// BranchDeadline implements ParallelStrategy.
+func (d Div) BranchDeadline(arrival, groupDeadline float64, pexBranches []float64, _ int) float64 {
+	x := d.X
+	if x <= 0 {
+		x = 1
+	}
+	n := float64(len(pexBranches))
+	if n == 0 {
+		n = 1
+	}
+	return arrival + (groupDeadline-arrival)/(n*x)
+}
+
+// Name implements ParallelStrategy.
+func (d Div) Name() string {
+	switch d.X {
+	case 1:
+		return "DIV-1"
+	case 2:
+		return "DIV-2"
+	default:
+		return "DIV-" + trimFloat(d.X)
+	}
+}
+
+// GlobalsFirst is the paper's GF strategy: branches keep the group
+// deadline (like UD), but global subtasks are always scheduled before
+// local tasks at every node, with earliest-deadline-first preserved
+// within each class. GF is therefore a *scheduling-class* policy; the
+// simulation configures class-priority queues at the nodes whenever the
+// PSP strategy is GlobalsFirst. GF is the most aggressive promotion
+// possible, and the paper notes it is inapplicable to components that
+// discard tasks whose (virtual) deadline has passed.
+type GlobalsFirst struct{}
+
+// BranchDeadline implements ParallelStrategy.
+func (GlobalsFirst) BranchDeadline(_, groupDeadline float64, _ []float64, _ int) float64 {
+	return groupDeadline
+}
+
+// Name implements ParallelStrategy.
+func (GlobalsFirst) Name() string { return "GF" }
+
+// NeedsClassPriority reports whether a parallel strategy requires the
+// globals-first class-priority queue at the nodes (true only for
+// GlobalsFirst).
+func NeedsClassPriority(p ParallelStrategy) bool {
+	_, ok := p.(GlobalsFirst)
+	return ok
+}
+
+// AdaptiveDiv chooses the DIV-x divisor from the branch count, following
+// the direction of reference [7] ("how to set the value of x"): wide
+// fan-outs already receive a large automatic boost from the 1/n factor,
+// so x shrinks toward 1 as n grows, while narrow groups get a stronger
+// push. dl(Ti) = ar + (dl−ar)/(n·x(n)) with x(n) = 1 + Boost/n.
+type AdaptiveDiv struct {
+	// Boost controls how much extra division narrow groups receive.
+	// Boost = 0 degenerates to DIV-1.
+	Boost float64
+}
+
+// BranchDeadline implements ParallelStrategy.
+func (a AdaptiveDiv) BranchDeadline(arrival, groupDeadline float64, pexBranches []float64, i int) float64 {
+	n := len(pexBranches)
+	if n == 0 {
+		n = 1
+	}
+	x := 1 + a.Boost/float64(n)
+	return Div{X: x}.BranchDeadline(arrival, groupDeadline, pexBranches, i)
+}
+
+// Name implements ParallelStrategy.
+func (a AdaptiveDiv) Name() string { return "ADIV" }
+
+// trimFloat formats a float compactly for strategy names.
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+var fourBranches = []float64{1, 2, 3, 4}
+
+func TestParallelUltimate(t *testing.T) {
+	for i := range fourBranches {
+		got := ParallelUltimate{}.BranchDeadline(10, 30, fourBranches, i)
+		if got != 30 {
+			t.Errorf("branch %d: UD = %v, want 30", i, got)
+		}
+	}
+}
+
+func TestDivFormula(t *testing.T) {
+	tests := []struct {
+		name string
+		x    float64
+		want float64
+	}{
+		// dl(Ti) = ar + (dl−ar)/(n·x); ar=10, dl=30, n=4.
+		{name: "DIV-1", x: 1, want: 10 + 20.0/4},
+		{name: "DIV-2", x: 2, want: 10 + 20.0/8},
+		{name: "DIV-0.5", x: 0.5, want: 10 + 20.0/2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Div{X: tt.x}.BranchDeadline(10, 30, fourBranches, 0)
+			if !almostEqual(got, tt.want) {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDivSameDeadlineForAllBranches(t *testing.T) {
+	d := Div{X: 1}
+	first := d.BranchDeadline(5, 25, fourBranches, 0)
+	for i := 1; i < len(fourBranches); i++ {
+		if got := d.BranchDeadline(5, 25, fourBranches, i); got != first {
+			t.Errorf("branch %d deadline %v differs from branch 0's %v", i, got, first)
+		}
+	}
+}
+
+func TestDivDefensiveDefaults(t *testing.T) {
+	// Non-positive x falls back to 1; empty branch list behaves as n=1.
+	if got, want := (Div{X: 0}).BranchDeadline(0, 8, fourBranches, 0), 0+8.0/4; !almostEqual(got, want) {
+		t.Errorf("x=0: got %v, want %v", got, want)
+	}
+	if got, want := (Div{X: 1}).BranchDeadline(0, 8, nil, 0), 8.0; !almostEqual(got, want) {
+		t.Errorf("empty branches: got %v, want %v", got, want)
+	}
+}
+
+func TestDivMonotoneProperties(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 2000; trial++ {
+		ar := r.Uniform(0, 100)
+		dl := ar + r.Uniform(0.1, 50)
+		n := 1 + r.IntN(8)
+		branches := make([]float64, n)
+		for i := range branches {
+			branches[i] = r.Uniform(0.1, 4)
+		}
+		x1 := r.Uniform(0.5, 4)
+		x2 := x1 + r.Uniform(0.1, 4)
+		d1 := Div{X: x1}.BranchDeadline(ar, dl, branches, 0)
+		d2 := Div{X: x2}.BranchDeadline(ar, dl, branches, 0)
+		// Larger x -> earlier virtual deadline (higher priority).
+		if d2 > d1+1e-9 {
+			t.Fatalf("DIV deadline not monotone in x: x=%v->%v, x=%v->%v", x1, d1, x2, d2)
+		}
+		// Deadlines stay strictly after arrival always, and inside
+		// (ar, dl] whenever the effective divisor n·x is at least 1
+		// (x < 1/n would stretch the allowance past dl(T)).
+		if d1 <= ar {
+			t.Fatalf("DIV deadline %v not after arrival %v", d1, ar)
+		}
+		if float64(n)*x1 >= 1 && d1 > dl+1e-9 {
+			t.Fatalf("DIV deadline %v beyond group deadline %v (n=%d x=%v)", d1, dl, n, x1)
+		}
+		// More branches -> earlier deadline (automatic promotion).
+		wider := append([]float64{r.Uniform(0.1, 4)}, branches...)
+		dWide := Div{X: x1}.BranchDeadline(ar, dl, wider, 0)
+		if dWide > d1+1e-9 {
+			t.Fatalf("DIV deadline not monotone in branch count: n=%d->%v, n=%d->%v",
+				n, d1, n+1, dWide)
+		}
+	}
+}
+
+func TestGlobalsFirst(t *testing.T) {
+	got := GlobalsFirst{}.BranchDeadline(10, 30, fourBranches, 2)
+	if got != 30 {
+		t.Errorf("GF deadline = %v, want 30 (GF promotes by class, not deadline)", got)
+	}
+	if !NeedsClassPriority(GlobalsFirst{}) {
+		t.Error("NeedsClassPriority(GF) = false, want true")
+	}
+	if NeedsClassPriority(ParallelUltimate{}) || NeedsClassPriority(Div{X: 1}) {
+		t.Error("NeedsClassPriority should be false for UD and DIV-x")
+	}
+}
+
+func TestAdaptiveDiv(t *testing.T) {
+	// Boost 0 degenerates to DIV-1.
+	a := AdaptiveDiv{Boost: 0}
+	d := Div{X: 1}
+	if got, want := a.BranchDeadline(10, 30, fourBranches, 0), d.BranchDeadline(10, 30, fourBranches, 0); !almostEqual(got, want) {
+		t.Errorf("ADIV(0) = %v, want DIV-1 %v", got, want)
+	}
+	// Positive boost pushes narrow groups earlier than wide ones in
+	// relative terms: x(n) = 1 + boost/n decreases with n.
+	wide := make([]float64, 8)
+	narrow := make([]float64, 2)
+	for i := range wide {
+		wide[i] = 1
+	}
+	for i := range narrow {
+		narrow[i] = 1
+	}
+	b := AdaptiveDiv{Boost: 4}
+	// Effective divisor n·x(n) = n + boost: narrow = 6, wide = 12.
+	gotNarrow := b.BranchDeadline(0, 12, narrow, 0)
+	gotWide := b.BranchDeadline(0, 12, wide, 0)
+	if !almostEqual(gotNarrow, 12.0/6) {
+		t.Errorf("ADIV narrow = %v, want 2", gotNarrow)
+	}
+	if !almostEqual(gotWide, 12.0/12) {
+		t.Errorf("ADIV wide = %v, want 1", gotWide)
+	}
+	if math.IsNaN(b.BranchDeadline(0, 12, nil, 0)) {
+		t.Error("ADIV with empty branches returned NaN")
+	}
+}
+
+func TestParallelNamesMethods(t *testing.T) {
+	tests := []struct {
+		give ParallelStrategy
+		want string
+	}{
+		{ParallelUltimate{}, "UD"},
+		{Div{X: 1}, "DIV-1"},
+		{Div{X: 2}, "DIV-2"},
+		{Div{X: 1.5}, "DIV-1.5"},
+		{GlobalsFirst{}, "GF"},
+		{AdaptiveDiv{Boost: 2}, "ADIV"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.Name(); got != tt.want {
+			t.Errorf("Name() = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestSerialByName(t *testing.T) {
+	tests := []struct {
+		give     string
+		wantName string
+		wantErr  bool
+	}{
+		{give: "UD", wantName: "UD"},
+		{give: "ud", wantName: "UD"},
+		{give: " ED ", wantName: "ED"},
+		{give: "EQS", wantName: "EQS"},
+		{give: "EQF", wantName: "EQF"},
+		{give: "EQF-AS2", wantName: "EQF-AS"},
+		{give: "eqf-as0", wantName: "EQF-AS"},
+		{give: "EQF-ASx", wantErr: true},
+		{give: "EQF-AS-1", wantErr: true},
+		{give: "bogus", wantErr: true},
+		{give: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			got, err := SerialByName(tt.give)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("error = %v, wantErr = %v", err, tt.wantErr)
+			}
+			if err == nil && got.Name() != tt.wantName {
+				t.Errorf("Name = %q, want %q", got.Name(), tt.wantName)
+			}
+		})
+	}
+}
+
+func TestSerialByNameArtificialStageCount(t *testing.T) {
+	got, err := SerialByName("EQF-AS3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, ok := got.(ArtificialStages)
+	if !ok {
+		t.Fatalf("got %T, want ArtificialStages", got)
+	}
+	if as.Extra != 3 {
+		t.Errorf("Extra = %d, want 3", as.Extra)
+	}
+}
+
+func TestParallelByName(t *testing.T) {
+	tests := []struct {
+		give     string
+		wantName string
+		wantErr  bool
+	}{
+		{give: "UD", wantName: "UD"},
+		{give: "GF", wantName: "GF"},
+		{give: "gf", wantName: "GF"},
+		{give: "DIV-1", wantName: "DIV-1"},
+		{give: "DIV1", wantName: "DIV-1"},
+		{give: "div-2", wantName: "DIV-2"},
+		{give: "DIV-1.5", wantName: "DIV-1.5"},
+		{give: "ADIV", wantName: "ADIV"},
+		{give: "ADIV4", wantName: "ADIV"},
+		{give: "DIV-0", wantErr: true},
+		{give: "DIV--3", wantErr: true},
+		{give: "ADIV-1", wantErr: true},
+		{give: "nope", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			got, err := ParallelByName(tt.give)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("error = %v, wantErr = %v", err, tt.wantErr)
+			}
+			if err == nil && got.Name() != tt.wantName {
+				t.Errorf("Name = %q, want %q", got.Name(), tt.wantName)
+			}
+		})
+	}
+}
+
+func TestBuiltinNameLists(t *testing.T) {
+	for _, name := range SerialNames() {
+		if _, err := SerialByName(name); err != nil {
+			t.Errorf("SerialByName(%q) from SerialNames failed: %v", name, err)
+		}
+	}
+	for _, name := range ParallelNames() {
+		if _, err := ParallelByName(name); err != nil {
+			t.Errorf("ParallelByName(%q) from ParallelNames failed: %v", name, err)
+		}
+	}
+}

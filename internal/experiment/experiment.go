@@ -1,0 +1,228 @@
+// Package experiment defines one runnable experiment per table and figure
+// of the paper's evaluation (and per DESIGN.md ablation), sweeps the
+// relevant parameter with replications, and returns figures ready for the
+// render functions. The experiment ids match DESIGN.md's experiment
+// index: table1, fig2a, fig2b, fig3, fig4, combined, abl-*, ext-*.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/system"
+)
+
+// Options scales an experiment run. Zero fields take the defaults of
+// DefaultOptions (a laptop-friendly setting; the paper scale is
+// Horizon 1e6 with 2 replications).
+type Options struct {
+	// Horizon is the simulated duration per replication.
+	Horizon float64
+	// Reps is the number of independent replications per data point.
+	Reps int
+	// Seed seeds the first replication; later ones use Seed+1, ...
+	Seed uint64
+	// TargetCI, when positive, keeps adding replications (beyond Reps,
+	// up to MaxReps) until every curve's 95% half-width at a data point
+	// is at or below this many percentage points — the paper's protocol
+	// of reporting ±0.35 pp intervals. Zero disables adaptation.
+	TargetCI float64
+	// MaxReps caps adaptive replication; zero defaults to 10.
+	MaxReps int
+}
+
+// DefaultOptions returns the default experiment scale.
+func DefaultOptions() Options {
+	return Options{Horizon: 50000, Reps: 2, Seed: 1, MaxReps: 10}
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	def := DefaultOptions()
+	if o.Horizon <= 0 {
+		o.Horizon = def.Horizon
+	}
+	if o.Reps <= 0 {
+		o.Reps = def.Reps
+	}
+	if o.Seed == 0 {
+		o.Seed = def.Seed
+	}
+	if o.MaxReps <= 0 {
+		o.MaxReps = 10
+	}
+	if o.MaxReps < o.Reps {
+		o.MaxReps = o.Reps
+	}
+	return o
+}
+
+// Result is an experiment outcome: a figure (possibly empty for textual
+// artifacts like Table 1) plus free-form notes shown above the rendering.
+type Result struct {
+	Figure *stats.Figure
+	Notes  string
+}
+
+// Experiment is a registered, runnable paper artifact.
+type Experiment struct {
+	// ID is the DESIGN.md experiment id ("fig2b").
+	ID string
+	// Title describes the artifact ("Fig. 2b — SSP baseline, global").
+	Title string
+	// Paper summarizes what the paper reports, for EXPERIMENTS.md.
+	Paper string
+	// Run executes the experiment.
+	Run func(Options) (*Result, error)
+}
+
+// metric selects which class's miss ratio a curve reports.
+type metric func(*system.Metrics) float64
+
+func mdLocal(m *system.Metrics) float64  { return m.MDLocal() }
+func mdGlobal(m *system.Metrics) float64 { return m.MDGlobal() }
+
+// curveOut is one curve extracted from a variant's runs.
+type curveOut struct {
+	label  string
+	metric metric
+}
+
+// variant is one configuration mutation of a sweep. All of its curves
+// share the same simulation runs, so reporting both class metrics costs
+// no extra simulation time.
+type variant struct {
+	configure func(*system.Config)
+	curves    []curveOut
+}
+
+// globalOnly builds a variant reporting only the global miss ratio.
+func globalOnly(label string, configure func(*system.Config)) variant {
+	return variant{configure: configure, curves: []curveOut{{label: label, metric: mdGlobal}}}
+}
+
+// localOnly builds a variant reporting only the local miss ratio.
+func localOnly(label string, configure func(*system.Config)) variant {
+	return variant{configure: configure, curves: []curveOut{{label: label, metric: mdLocal}}}
+}
+
+// bothClasses builds a variant reporting "<name> local" and
+// "<name> global" curves.
+func bothClasses(name string, configure func(*system.Config)) variant {
+	return variant{configure: configure, curves: []curveOut{
+		{label: name + " local", metric: mdLocal},
+		{label: name + " global", metric: mdGlobal},
+	}}
+}
+
+// sweep runs every (x, variant) combination with o.Reps replications and
+// assembles the figure's curves.
+func sweep(o Options, fig *stats.Figure, base func() system.Config,
+	xs []float64, setX func(*system.Config, float64), variants []variant) (*stats.Figure, error) {
+	o = o.withDefaults()
+
+	for _, v := range variants {
+		for _, c := range v.curves {
+			fig.Curves = append(fig.Curves, stats.Curve{Label: c.label})
+		}
+	}
+	for _, x := range xs {
+		curveIdx := 0
+		for _, v := range variants {
+			var runs []*system.Metrics
+			runOne := func(rep int) error {
+				cfg := base()
+				cfg.Horizon = o.Horizon
+				cfg.Seed = o.Seed + uint64(rep)
+				setX(&cfg, x)
+				if v.configure != nil {
+					v.configure(&cfg)
+				}
+				m, err := system.Run(cfg)
+				if err != nil {
+					return fmt.Errorf("experiment %s: x=%v: %w", fig.ID, x, err)
+				}
+				runs = append(runs, m)
+				return nil
+			}
+			for rep := 0; rep < o.Reps; rep++ {
+				if err := runOne(rep); err != nil {
+					return nil, err
+				}
+			}
+			// Adaptive replication: keep adding seeds until every curve
+			// of this variant meets the target half-width (the paper
+			// reports ±0.35 pp intervals). Needs at least two runs for
+			// a t-interval, hence the o.Reps floor above.
+			for o.TargetCI > 0 && len(runs) < o.MaxReps {
+				worst := 0.0
+				for _, c := range v.curves {
+					if hw := halfCI(runs, c.metric); hw > worst {
+						worst = hw
+					}
+				}
+				if worst <= o.TargetCI {
+					break
+				}
+				if err := runOne(len(runs)); err != nil {
+					return nil, err
+				}
+			}
+			for _, c := range v.curves {
+				vals := make([]float64, len(runs))
+				for i, m := range runs {
+					vals[i] = c.metric(m)
+				}
+				est := stats.MeanCI(vals)
+				fig.Curves[curveIdx].Points = append(fig.Curves[curveIdx].Points, stats.Point{
+					X: x, Y: est.Mean, HalfCI: est.HalfCI,
+				})
+				curveIdx++
+			}
+		}
+	}
+	return fig, nil
+}
+
+// halfCI computes the 95% half-width of a metric across runs.
+func halfCI(runs []*system.Metrics, m metric) float64 {
+	vals := make([]float64, len(runs))
+	for i, r := range runs {
+		vals[i] = m(r)
+	}
+	return stats.MeanCI(vals).HalfCI
+}
+
+// loadGrid is the x-axis of the load sweeps (paper Figs. 2 and 4).
+func loadGrid() []float64 { return []float64{0.1, 0.2, 0.3, 0.4, 0.5} }
+
+// setLoad is the most common x setter.
+func setLoad(c *system.Config, x float64) { c.Load = x }
+
+// All returns every registered experiment sorted by id.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiment: unknown id %q (try one of %v)", id, IDs())
+}
+
+// IDs lists registered experiment ids.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}

@@ -1,0 +1,310 @@
+// Package live is a small concurrent runtime that applies the paper's
+// deadline-assignment strategies to real work: every node is a goroutine
+// with a deadline-ordered mailbox (non-preemptive, earliest deadline
+// first — exactly the simulated node model), and a Runtime walks a
+// serial-parallel task graph, assigns virtual deadlines with a
+// core.Assigner at release time, and dispatches the subtasks. It is the
+// bridge between the reproduction and a downstream application: the same
+// strategies drive both the simulator and live goroutines.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/task"
+)
+
+// Job is one unit of work queued at a node.
+type Job struct {
+	// Name labels the job in reports.
+	Name string
+	// Deadline orders the node's queue (earliest first).
+	Deadline time.Time
+	// Run performs the work; it is executed on the node's goroutine.
+	Run func()
+
+	seq  uint64
+	done chan struct{}
+}
+
+// Node is a single-worker execution resource with an EDF mailbox.
+type Node struct {
+	name string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*Job // deadline min-heap
+	seq     uint64
+	stopped bool
+
+	done chan struct{}
+}
+
+// NewNode starts a node's worker goroutine. Call Shutdown to stop it and
+// wait for exit.
+func NewNode(name string) *Node {
+	n := &Node{name: name, done: make(chan struct{})}
+	n.cond = sync.NewCond(&n.mu)
+	go n.work()
+	return n
+}
+
+// Name returns the node's label.
+func (n *Node) Name() string { return n.name }
+
+// Submit queues a job. It returns an error after Shutdown.
+func (n *Node) Submit(j *Job) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopped {
+		return fmt.Errorf("live: node %s is shut down", n.name)
+	}
+	n.seq++
+	j.seq = n.seq
+	j.done = make(chan struct{})
+	n.push(j)
+	n.cond.Signal()
+	return nil
+}
+
+// Shutdown stops the worker after the current job and waits for it to
+// exit. Queued but unstarted jobs are abandoned (their done channels are
+// closed so waiters unblock).
+func (n *Node) Shutdown() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		<-n.done
+		return
+	}
+	n.stopped = true
+	for _, j := range n.queue {
+		close(j.done)
+	}
+	n.queue = nil
+	n.cond.Signal()
+	n.mu.Unlock()
+	<-n.done
+}
+
+// work is the node's single-server loop: earliest-deadline-first,
+// non-preemptive.
+func (n *Node) work() {
+	defer close(n.done)
+	for {
+		n.mu.Lock()
+		for len(n.queue) == 0 && !n.stopped {
+			n.cond.Wait()
+		}
+		if n.stopped {
+			n.mu.Unlock()
+			return
+		}
+		j := n.pop()
+		n.mu.Unlock()
+
+		j.Run()
+		close(j.done)
+	}
+}
+
+// push/pop maintain the deadline min-heap (FIFO on ties via seq).
+func (n *Node) less(i, j int) bool {
+	a, b := n.queue[i], n.queue[j]
+	if !a.Deadline.Equal(b.Deadline) {
+		return a.Deadline.Before(b.Deadline)
+	}
+	return a.seq < b.seq
+}
+
+func (n *Node) push(j *Job) {
+	n.queue = append(n.queue, j)
+	i := len(n.queue) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !n.less(i, parent) {
+			break
+		}
+		n.queue[i], n.queue[parent] = n.queue[parent], n.queue[i]
+		i = parent
+	}
+}
+
+func (n *Node) pop() *Job {
+	last := len(n.queue) - 1
+	top := n.queue[0]
+	n.queue[0] = n.queue[last]
+	n.queue[last] = nil
+	n.queue = n.queue[:last]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= len(n.queue) {
+			break
+		}
+		least := left
+		if right := left + 1; right < len(n.queue) && n.less(right, left) {
+			least = right
+		}
+		if !n.less(least, i) {
+			break
+		}
+		n.queue[i], n.queue[least] = n.queue[least], n.queue[i]
+		i = least
+	}
+	return top
+}
+
+// SubtaskReport records one executed leaf.
+type SubtaskReport struct {
+	Name     string
+	Node     string
+	Released time.Time
+	Deadline time.Time
+	Finished time.Time
+	Missed   bool
+}
+
+// Report is the outcome of one Runtime.Execute call.
+type Report struct {
+	Deadline time.Time
+	Finished time.Time
+	Missed   bool
+	Subtasks []SubtaskReport
+}
+
+// Runtime executes serial-parallel task graphs on live nodes.
+type Runtime struct {
+	nodes    []*Node
+	assigner core.Assigner
+	// Work performs a leaf's work; nil defaults to sleeping
+	// leaf.Exec seconds scaled by TimeScale.
+	Work func(leaf *task.Graph)
+	// TimeScale converts the graph's abstract execution times into wall
+	// time for the default Work (seconds per time unit). Zero defaults
+	// to 1.
+	TimeScale time.Duration
+}
+
+// NewRuntime returns a runtime over the given nodes. Leaf NodeID values
+// index into nodes.
+func NewRuntime(nodes []*Node, assigner core.Assigner) (*Runtime, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("live: no nodes")
+	}
+	return &Runtime{nodes: nodes, assigner: assigner, TimeScale: time.Second}, nil
+}
+
+// Execute runs the graph with the given relative end-to-end deadline and
+// blocks until it finishes (tardy subtasks are not aborted — the paper's
+// soft real-time model). Multiple Execute calls may run concurrently;
+// their subtasks compete at the nodes by virtual deadline.
+func (r *Runtime) Execute(g *task.Graph, deadline time.Duration) (*Report, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
+	for _, leaf := range g.Flatten() {
+		if leaf.NodeID < 0 || leaf.NodeID >= len(r.nodes) {
+			return nil, fmt.Errorf("live: leaf %q placed at node %d of %d", leaf.Name, leaf.NodeID, len(r.nodes))
+		}
+	}
+	start := time.Now()
+	rep := &Report{Deadline: start.Add(deadline)}
+	var mu sync.Mutex // guards rep.Subtasks
+
+	// Strategies work in float seconds relative to start.
+	rel := func(t time.Time) float64 { return t.Sub(start).Seconds() }
+	abs := func(x float64) time.Time {
+		return start.Add(time.Duration(x * float64(time.Second)))
+	}
+
+	if err := r.run(g, rel(rep.Deadline), rel, abs, rep, &mu); err != nil {
+		return nil, err
+	}
+	rep.Finished = time.Now()
+	rep.Missed = rep.Finished.After(rep.Deadline)
+	return rep, nil
+}
+
+// run executes graph node g with virtual deadline dl (relative seconds),
+// blocking until done.
+func (r *Runtime) run(g *task.Graph, dl float64,
+	rel func(time.Time) float64, abs func(float64) time.Time,
+	rep *Report, mu *sync.Mutex) error {
+	switch g.Kind {
+	case task.KindSimple:
+		released := time.Now()
+		j := &Job{
+			Name:     g.Name,
+			Deadline: abs(dl),
+			Run: func() {
+				if r.Work != nil {
+					r.Work(g)
+					return
+				}
+				scale := r.TimeScale
+				if scale == 0 {
+					scale = time.Second
+				}
+				time.Sleep(time.Duration(g.Exec * float64(scale)))
+			},
+		}
+		if err := r.nodes[g.NodeID].Submit(j); err != nil {
+			return err
+		}
+		<-j.done
+		finished := time.Now()
+		mu.Lock()
+		rep.Subtasks = append(rep.Subtasks, SubtaskReport{
+			Name:     g.Name,
+			Node:     r.nodes[g.NodeID].Name(),
+			Released: released,
+			Deadline: j.Deadline,
+			Finished: finished,
+			Missed:   finished.After(j.Deadline),
+		})
+		mu.Unlock()
+		return nil
+
+	case task.KindSerial:
+		for i := range g.Children {
+			stageDL := r.assigner.SerialStage(rel(time.Now()), dl, g.Children[i:])
+			if err := r.run(g.Children[i], stageDL, rel, abs, rep, mu); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case task.KindParallel:
+		arrival := rel(time.Now())
+		var (
+			wg       sync.WaitGroup
+			errMu    sync.Mutex
+			firstErr error
+		)
+		for i := range g.Children {
+			branchDL := r.assigner.ParallelBranch(arrival, dl, g.Children, i)
+			child := g.Children[i]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := r.run(child, branchDL, rel, abs, rep, mu); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		return firstErr
+
+	default:
+		return fmt.Errorf("live: unknown graph kind %v", g.Kind)
+	}
+}

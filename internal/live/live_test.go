@@ -1,0 +1,255 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/task"
+)
+
+func TestNodeRunsJobsInDeadlineOrder(t *testing.T) {
+	n := NewNode("n0")
+	defer n.Shutdown()
+
+	var (
+		mu    sync.Mutex
+		order []string
+	)
+	record := func(name string) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+		}
+	}
+	// A long first job lets the rest queue up; they must then run by
+	// deadline, not submission, order.
+	started := make(chan struct{})
+	blocker := &Job{Name: "blocker", Deadline: time.Now().Add(time.Hour), Run: func() {
+		close(started)
+		time.Sleep(30 * time.Millisecond)
+		record("blocker")()
+	}}
+	if err := n.Submit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	<-started // guarantee the blocker occupies the server first
+	now := time.Now()
+	late := &Job{Name: "late", Deadline: now.Add(3 * time.Hour), Run: record("late")}
+	urgent := &Job{Name: "urgent", Deadline: now.Add(time.Minute), Run: record("urgent")}
+	mid := &Job{Name: "mid", Deadline: now.Add(2 * time.Hour), Run: record("mid")}
+	for _, j := range []*Job{late, urgent, mid} {
+		if err := n.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, j := range []*Job{blocker, late, urgent, mid} {
+		<-j.done
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"blocker", "urgent", "mid", "late"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestNodeShutdownUnblocksQueuedJobs(t *testing.T) {
+	n := NewNode("n0")
+	slow := &Job{Name: "slow", Deadline: time.Now(), Run: func() { time.Sleep(20 * time.Millisecond) }}
+	if err := n.Submit(slow); err != nil {
+		t.Fatal(err)
+	}
+	queued := &Job{Name: "queued", Deadline: time.Now(), Run: func() { t.Error("abandoned job ran") }}
+	if err := n.Submit(queued); err != nil {
+		t.Fatal(err)
+	}
+	n.Shutdown()
+	select {
+	case <-queued.done:
+	case <-time.After(time.Second):
+		t.Fatal("abandoned job's done channel not closed")
+	}
+	if err := n.Submit(&Job{Name: "afterwards", Deadline: time.Now(), Run: func() {}}); err == nil {
+		t.Error("Submit after Shutdown should fail")
+	}
+	// Second shutdown is a no-op.
+	n.Shutdown()
+}
+
+func testRuntime(t *testing.T, k int, assigner core.Assigner) (*Runtime, func()) {
+	t.Helper()
+	nodes := make([]*Node, k)
+	for i := range nodes {
+		nodes[i] = NewNode(string(rune('A' + i)))
+	}
+	rt, err := NewRuntime(nodes, assigner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.TimeScale = time.Millisecond // graph time unit = 1ms
+	return rt, func() {
+		for _, n := range nodes {
+			n.Shutdown()
+		}
+	}
+}
+
+func TestRuntimeSerialGraph(t *testing.T) {
+	rt, stop := testRuntime(t, 2, core.NewAssigner(core.EqualFlexibility{}, core.Div{X: 1}))
+	defer stop()
+
+	g := task.MustParse("[a:5 b:5 c:5]")
+	leaves := g.Flatten()
+	leaves[0].NodeID, leaves[1].NodeID, leaves[2].NodeID = 0, 1, 0
+
+	rep, err := rt.Execute(g, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Missed {
+		t.Errorf("relaxed deadline missed: finished %v after %v", rep.Finished, rep.Deadline)
+	}
+	if len(rep.Subtasks) != 3 {
+		t.Fatalf("%d subtask reports, want 3", len(rep.Subtasks))
+	}
+	// Serial order preserved.
+	for i, want := range []string{"a", "b", "c"} {
+		if rep.Subtasks[i].Name != want {
+			t.Errorf("subtask %d = %q, want %q", i, rep.Subtasks[i].Name, want)
+		}
+	}
+	// Precedence: b released after a finished.
+	if rep.Subtasks[1].Released.Before(rep.Subtasks[0].Finished) {
+		t.Error("stage b released before stage a finished")
+	}
+	// Virtual deadlines never exceed the end-to-end deadline.
+	for _, s := range rep.Subtasks {
+		if s.Deadline.After(rep.Deadline.Add(time.Millisecond)) {
+			t.Errorf("subtask %s deadline %v beyond task deadline %v", s.Name, s.Deadline, rep.Deadline)
+		}
+	}
+}
+
+func TestRuntimeParallelGraph(t *testing.T) {
+	rt, stop := testRuntime(t, 3, core.NewAssigner(core.UltimateDeadline{}, core.Div{X: 1}))
+	defer stop()
+
+	g := task.MustParse("[a:20 || b:20 || c:20]")
+	for i, leaf := range g.Flatten() {
+		leaf.NodeID = i
+	}
+	startAt := time.Now()
+	rep, err := rt.Execute(g, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(startAt)
+	// Three 20ms branches on three nodes run concurrently: well under
+	// the 60ms serial time.
+	if elapsed > 55*time.Millisecond {
+		t.Errorf("parallel execution took %v, want well under 60ms", elapsed)
+	}
+	if rep.Missed || len(rep.Subtasks) != 3 {
+		t.Errorf("report: missed=%v subtasks=%d", rep.Missed, len(rep.Subtasks))
+	}
+}
+
+func TestRuntimeTightDeadlineReportsMiss(t *testing.T) {
+	rt, stop := testRuntime(t, 1, core.NewAssigner(core.EqualFlexibility{}, core.Div{X: 1}))
+	defer stop()
+
+	g := task.MustParse("[a:30 b:30]")
+	for _, leaf := range g.Flatten() {
+		leaf.NodeID = 0
+	}
+	rep, err := rt.Execute(g, 5*time.Millisecond) // impossible
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Missed {
+		t.Error("impossible deadline not reported as missed")
+	}
+	missedStages := 0
+	for _, s := range rep.Subtasks {
+		if s.Missed {
+			missedStages++
+		}
+	}
+	if missedStages == 0 {
+		t.Error("no subtask reported a virtual-deadline miss")
+	}
+}
+
+func TestRuntimeCustomWork(t *testing.T) {
+	rt, stop := testRuntime(t, 1, core.NewAssigner(core.EqualFlexibility{}, core.Div{X: 1}))
+	defer stop()
+
+	var (
+		mu   sync.Mutex
+		runs []string
+	)
+	rt.Work = func(leaf *task.Graph) {
+		mu.Lock()
+		runs = append(runs, leaf.Name)
+		mu.Unlock()
+	}
+	g := task.MustParse("[x:1 y:1]")
+	for _, leaf := range g.Flatten() {
+		leaf.NodeID = 0
+	}
+	if _, err := rt.Execute(g, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(runs) != 2 || runs[0] != "x" || runs[1] != "y" {
+		t.Errorf("custom work ran %v, want [x y]", runs)
+	}
+}
+
+func TestRuntimeValidation(t *testing.T) {
+	if _, err := NewRuntime(nil, core.NewAssigner(nil, nil)); err == nil {
+		t.Error("NewRuntime with no nodes should fail")
+	}
+	rt, stop := testRuntime(t, 1, core.NewAssigner(nil, nil))
+	defer stop()
+	if _, err := rt.Execute(task.Serial(), time.Second); err == nil {
+		t.Error("invalid graph accepted")
+	}
+	g := task.Simple("a", 1)
+	g.NodeID = 5 // out of range
+	if _, err := rt.Execute(g, time.Second); err == nil {
+		t.Error("out-of-range placement accepted")
+	}
+}
+
+func TestRuntimeConcurrentExecutes(t *testing.T) {
+	rt, stop := testRuntime(t, 2, core.NewAssigner(core.EqualFlexibility{}, core.Div{X: 1}))
+	defer stop()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		g := task.MustParse("[a:5 b:5]")
+		for j, leaf := range g.Flatten() {
+			leaf.NodeID = j % 2
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = rt.Execute(g, time.Second)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("execute %d: %v", i, err)
+		}
+	}
+}

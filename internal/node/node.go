@@ -1,0 +1,268 @@
+// Package node implements the processing nodes of the system model
+// (paper section 3.2): each node manages one resource with a single
+// non-preemptive server, an independent real-time ready queue, and a
+// tardy-task policy. Nodes know nothing about global tasks — they see
+// only the real-time attributes attached to each submitted task, which is
+// precisely the premise of the SDA problem.
+package node
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// TardyPolicy selects what a node does with a task whose deadline has
+// already passed when the server would start it.
+type TardyPolicy int
+
+const (
+	// NoAbort executes tardy tasks to completion (the paper's baseline
+	// overload management policy, Table 1).
+	NoAbort TardyPolicy = iota + 1
+	// AbortAtDispatch discards a task if its (virtual) deadline has
+	// passed when it reaches the head of the queue — the paper's
+	// "components that discard tasks with a past deadline (virtual or
+	// not)" (section 5.3). The task is reported through the abort
+	// callback and consumes no service time.
+	AbortAtDispatch
+	// AbortFirm discards a task only when its FirmDeadline (the
+	// end-to-end deadline for subtasks) has passed at dispatch: the
+	// component understands which deadline makes the work worthless.
+	// Under this semantics DIV-x keeps its promotion benefit without
+	// being killed by its deliberately early virtual deadlines.
+	AbortFirm
+)
+
+// String returns the policy name.
+func (p TardyPolicy) String() string {
+	switch p {
+	case NoAbort:
+		return "no-abort"
+	case AbortAtDispatch:
+		return "abort"
+	case AbortFirm:
+		return "abort-firm"
+	default:
+		return fmt.Sprintf("TardyPolicy(%d)", int(p))
+	}
+}
+
+// ObserverEvent is a lifecycle step reported to an Observer.
+type ObserverEvent int
+
+// Observer lifecycle steps.
+const (
+	// ObserveSubmit fires when a task enters the queue.
+	ObserveSubmit ObserverEvent = iota + 1
+	// ObserveDispatch fires when a task starts or resumes service.
+	ObserveDispatch
+	// ObservePreempt fires when a running task is suspended.
+	ObservePreempt
+	// ObserveComplete fires when a task finishes service.
+	ObserveComplete
+	// ObserveAbort fires when a tardy policy discards a task.
+	ObserveAbort
+)
+
+// Observer receives per-task lifecycle callbacks with the current
+// simulation time. Observers must not mutate the task.
+type Observer func(ev ObserverEvent, now float64, t *task.Task)
+
+// Node is one simulated processing component.
+type Node struct {
+	id         int
+	eng        *sim.Engine
+	queue      sched.Queue
+	policy     TardyPolicy
+	preemptive bool
+	observer   Observer
+
+	onDone  func(*task.Task)
+	onAbort func(*task.Task)
+
+	busy         bool
+	running      *task.Task
+	completion   *sim.Event
+	segmentStart float64
+	busyTime     float64 // accumulated service time, for utilization
+	served       int64
+	aborted      int64
+	preemptions  int64
+}
+
+// Config carries the node's construction parameters.
+type Config struct {
+	// ID is the node's index in the system.
+	ID int
+	// Engine is the simulation engine driving the node.
+	Engine *sim.Engine
+	// Queue is the node's ready queue (policy chosen by the system).
+	Queue sched.Queue
+	// Policy is the tardy-task policy; zero value defaults to NoAbort.
+	Policy TardyPolicy
+	// Preemptive enables deadline-based preemption: a newly submitted
+	// task with an earlier deadline suspends the task in service, which
+	// re-queues with its remaining demand. The paper's model is
+	// non-preemptive (Table 1); this is an extension for the
+	// ext-preempt ablation.
+	Preemptive bool
+	// OnDone is called when a task completes service; required.
+	OnDone func(*task.Task)
+	// OnAbort is called when AbortAtDispatch discards a task; may be nil
+	// if the policy is NoAbort.
+	OnAbort func(*task.Task)
+	// Observer optionally receives every lifecycle event (for tracing).
+	Observer Observer
+}
+
+// New returns a node ready to accept submissions.
+func New(cfg Config) (*Node, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("node %d: nil engine", cfg.ID)
+	}
+	if cfg.Queue == nil {
+		return nil, fmt.Errorf("node %d: nil queue", cfg.ID)
+	}
+	if cfg.OnDone == nil {
+		return nil, fmt.Errorf("node %d: nil OnDone", cfg.ID)
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = NoAbort
+	}
+	if (cfg.Policy == AbortAtDispatch || cfg.Policy == AbortFirm) && cfg.OnAbort == nil {
+		return nil, fmt.Errorf("node %d: abort policy requires OnAbort", cfg.ID)
+	}
+	return &Node{
+		id:         cfg.ID,
+		eng:        cfg.Engine,
+		queue:      cfg.Queue,
+		policy:     cfg.Policy,
+		preemptive: cfg.Preemptive,
+		observer:   cfg.Observer,
+		onDone:     cfg.OnDone,
+		onAbort:    cfg.OnAbort,
+	}, nil
+}
+
+// ID returns the node's index.
+func (n *Node) ID() int { return n.id }
+
+// QueueLen returns the number of tasks waiting (not in service).
+func (n *Node) QueueLen() int { return n.queue.Len() }
+
+// Busy reports whether the server is occupied.
+func (n *Node) Busy() bool { return n.busy }
+
+// Served returns the number of tasks that completed service.
+func (n *Node) Served() int64 { return n.served }
+
+// Aborted returns the number of tasks discarded by the tardy policy.
+func (n *Node) Aborted() int64 { return n.aborted }
+
+// BusyTime returns accumulated service time (for utilization =
+// BusyTime/horizon). Time of a task currently in service counts only
+// once it finishes.
+func (n *Node) BusyTime() float64 { return n.busyTime }
+
+// Preemptions returns the number of times a running task was suspended
+// (always zero for non-preemptive nodes).
+func (n *Node) Preemptions() int64 { return n.preemptions }
+
+// Submit enqueues a task at the current simulation time and starts the
+// server if it is idle. The task's Arrival must already be set by the
+// caller (generator or process manager). On a preemptive node a
+// newcomer with an earlier deadline suspends the task in service.
+func (n *Node) Submit(t *task.Task) {
+	t.NodeID = n.id
+	n.observe(ObserveSubmit, t)
+	n.queue.Push(t)
+	if n.preemptive && n.busy && t.Deadline < n.running.Deadline {
+		n.preempt()
+	}
+	n.dispatch()
+}
+
+// observe reports a lifecycle event if an observer is attached.
+func (n *Node) observe(ev ObserverEvent, t *task.Task) {
+	if n.observer != nil {
+		n.observer(ev, n.eng.Now(), t)
+	}
+}
+
+// preempt suspends the running task and re-queues it with its remaining
+// demand.
+func (n *Node) preempt() {
+	now := n.eng.Now()
+	n.eng.Cancel(n.completion)
+	cur := n.running
+	cur.Remaining -= now - n.segmentStart
+	n.busyTime += now - n.segmentStart
+	n.preemptions++
+	n.busy = false
+	n.running = nil
+	n.observe(ObservePreempt, cur)
+	n.queue.Push(cur)
+}
+
+// dispatch starts the next task if the server is idle. The paper's model
+// is non-preemptive ("no preemption", section 4.1): once started, a
+// task runs to completion unless the node is explicitly preemptive.
+func (n *Node) dispatch() {
+	if n.busy {
+		return
+	}
+	for {
+		now := n.eng.Now()
+		t := n.queue.Pop(now)
+		if t == nil {
+			return
+		}
+		if n.shouldAbort(t, now) {
+			n.aborted++
+			t.Finish = now
+			n.observe(ObserveAbort, t)
+			n.onAbort(t)
+			continue
+		}
+		if t.Remaining == 0 {
+			// First dispatch.
+			t.Remaining = t.Exec
+			t.Start = now
+		}
+		n.busy = true
+		n.running = t
+		n.segmentStart = now
+		n.observe(ObserveDispatch, t)
+		n.completion = n.eng.MustSchedule(t.Remaining, func() { n.complete(t) })
+		return
+	}
+}
+
+// shouldAbort applies the tardy policy at dispatch time.
+func (n *Node) shouldAbort(t *task.Task, now float64) bool {
+	switch n.policy {
+	case AbortAtDispatch:
+		return now > t.Deadline
+	case AbortFirm:
+		return now > t.FirmDeadline
+	default:
+		return false
+	}
+}
+
+// complete finishes the task in service and redispatches.
+func (n *Node) complete(t *task.Task) {
+	now := n.eng.Now()
+	t.Finish = now
+	t.Remaining = 0
+	n.busy = false
+	n.running = nil
+	n.busyTime += now - n.segmentStart
+	n.served++
+	n.observe(ObserveComplete, t)
+	n.onDone(t)
+	n.dispatch()
+}

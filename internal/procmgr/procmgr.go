@@ -1,0 +1,247 @@
+// Package procmgr implements the process manager of the system model
+// (paper section 3.2). The process manager receives newly created global
+// tasks together with their control information (the serial-parallel
+// precedence graph and the end-to-end deadline), assigns virtual
+// deadlines to simple subtasks using an SDA strategy, submits them to
+// their execution nodes, and enforces the precedence constraints: a
+// serial stage is released only when its predecessor finishes, a parallel
+// group completes only when all branches finish.
+//
+// Deadline assignment is dynamic: the deadline of serial stage i is
+// computed at the instant stage i is released, so ar(Ti) reflects the
+// actual completion time of stage i−1. This is what makes slack
+// inheritance ("the rich get richer") and slack robbery ("the poor get
+// poorer", section 4.2.2) observable.
+package procmgr
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// Instance is one in-flight (or finished) global task.
+type Instance struct {
+	// ID is the global task's unique id.
+	ID uint64
+	// Graph is the instance's serial-parallel structure with sampled
+	// execution times and placements on the leaves.
+	Graph *task.Graph
+	// Arrival and Deadline are the end-to-end attributes ar(T), dl(T).
+	Arrival  float64
+	Deadline float64
+	// Finish is the completion time of the last subtask; zero while in
+	// flight or if aborted.
+	Finish float64
+	// Aborted reports that a subtask was discarded by a node's tardy
+	// policy, killing the whole instance.
+	Aborted bool
+	// StageMisses counts subtasks that finished after their assigned
+	// virtual deadline.
+	StageMisses int
+	// StageCount counts subtasks that completed service.
+	StageCount int
+	// InheritedSlack accumulates, over serial releases, the amount by
+	// which each stage finished before its virtual deadline (leftover
+	// slack passed to the successor). Diagnostic for section 4.2.2.
+	InheritedSlack float64
+}
+
+// Missed reports whether the completed instance missed its end-to-end
+// deadline. Aborted instances count as missed.
+func (in *Instance) Missed() bool {
+	return in.Aborted || in.Finish > in.Deadline
+}
+
+// Manager routes global tasks through the system.
+type Manager struct {
+	eng      *sim.Engine
+	nodes    []*node.Node
+	assigner core.Assigner
+
+	// onDone is called exactly once per instance, when it completes or
+	// when it is killed by an abort.
+	onDone func(*Instance)
+	// nextSeq allocates scheduler FIFO sequence numbers shared with the
+	// local-task generators.
+	nextSeq func() uint64
+	// nextTaskID allocates task ids.
+	nextTaskID func() uint64
+
+	// waiting maps an in-flight subtask id to its continuation.
+	waiting map[uint64]pending
+
+	inflight int
+}
+
+type pending struct {
+	inst *Instance
+	cont func(*task.Task)
+}
+
+// Config carries the manager's construction parameters.
+type Config struct {
+	Engine   *sim.Engine
+	Nodes    []*node.Node
+	Assigner core.Assigner
+	// OnDone receives every instance exactly once, after completion or
+	// abort. Required.
+	OnDone func(*Instance)
+	// NextSeq and NextTaskID are shared allocators (required) so that
+	// subtasks and local tasks draw from one deterministic sequence.
+	NextSeq    func() uint64
+	NextTaskID func() uint64
+}
+
+// New returns a manager.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("procmgr: nil engine")
+	}
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("procmgr: no nodes")
+	}
+	if cfg.OnDone == nil {
+		return nil, fmt.Errorf("procmgr: nil OnDone")
+	}
+	if cfg.NextSeq == nil || cfg.NextTaskID == nil {
+		return nil, fmt.Errorf("procmgr: nil allocators")
+	}
+	return &Manager{
+		eng:        cfg.Engine,
+		nodes:      cfg.Nodes,
+		assigner:   cfg.Assigner,
+		onDone:     cfg.OnDone,
+		nextSeq:    cfg.NextSeq,
+		nextTaskID: cfg.NextTaskID,
+		waiting:    make(map[uint64]pending),
+	}, nil
+}
+
+// InFlight returns the number of instances started but not yet finished
+// or aborted.
+func (m *Manager) InFlight() int { return m.inflight }
+
+// Start admits a global task at the current simulation time. The
+// instance's Graph must be validated, flattened, and carry sampled Exec,
+// Pex and NodeID values on every leaf.
+func (m *Manager) Start(inst *Instance) {
+	m.inflight++
+	m.activate(inst, inst.Graph, inst.Deadline, func() {
+		if inst.Aborted {
+			return
+		}
+		inst.Finish = m.eng.Now()
+		m.inflight--
+		m.onDone(inst)
+	})
+}
+
+// activate submits graph node g with virtual deadline dl, calling done
+// when g (and everything under it) finishes. Continuations check
+// inst.Aborted so that an aborted instance never reports completion.
+func (m *Manager) activate(inst *Instance, g *task.Graph, dl float64, done func()) {
+	switch g.Kind {
+	case task.KindSimple:
+		m.submitLeaf(inst, g, dl, done)
+
+	case task.KindSerial:
+		children := g.Children
+		var step func(i int)
+		step = func(i int) {
+			if inst.Aborted {
+				return
+			}
+			if i == len(children) {
+				done()
+				return
+			}
+			stageDL := m.assigner.SerialStage(m.eng.Now(), dl, children[i:])
+			m.activate(inst, children[i], stageDL, func() { step(i + 1) })
+		}
+		step(0)
+
+	case task.KindParallel:
+		remaining := len(g.Children)
+		arrival := m.eng.Now()
+		for i, child := range g.Children {
+			branchDL := m.assigner.ParallelBranch(arrival, dl, g.Children, i)
+			m.activate(inst, child, branchDL, func() {
+				remaining--
+				if remaining == 0 && !inst.Aborted {
+					done()
+				}
+			})
+		}
+
+	default:
+		// Graphs are validated before Start; this cannot happen in a
+		// correct program.
+		panic(fmt.Sprintf("procmgr: unknown graph kind %v", g.Kind))
+	}
+}
+
+// submitLeaf creates the schedulable subtask for a leaf and sends it to
+// its node.
+func (m *Manager) submitLeaf(inst *Instance, leaf *task.Graph, dl float64, done func()) {
+	t := &task.Task{
+		ID:           m.nextTaskID(),
+		Class:        task.Global,
+		GlobalID:     inst.ID,
+		Stage:        leaf.LeafIndex,
+		Arrival:      m.eng.Now(),
+		Deadline:     dl,
+		FirmDeadline: inst.Deadline,
+		Exec:         leaf.Exec,
+		Pex:          leaf.Pex,
+		Seq:          m.nextSeq(),
+	}
+	m.waiting[t.ID] = pending{inst: inst, cont: func(ct *task.Task) {
+		inst.StageCount++
+		if ct.Missed() {
+			inst.StageMisses++
+		} else {
+			inst.InheritedSlack += ct.Deadline - ct.Finish
+		}
+		done()
+	}}
+	m.nodes[leaf.NodeID].Submit(t)
+}
+
+// Complete must be called by the system when a node finishes a Global
+// subtask. Completions for aborted instances are swallowed (their
+// already-queued siblings still occupy servers, which is realistic — the
+// manager cannot retract work from an independent component).
+func (m *Manager) Complete(t *task.Task) error {
+	p, ok := m.waiting[t.ID]
+	if !ok {
+		return fmt.Errorf("procmgr: completion for unknown subtask %d", t.ID)
+	}
+	delete(m.waiting, t.ID)
+	if p.inst.Aborted {
+		return nil
+	}
+	p.cont(t)
+	return nil
+}
+
+// Abort must be called by the system when a node's tardy policy discards
+// a Global subtask. The first abort kills the whole instance: a global
+// task whose subtask was dropped can never meet its end-to-end deadline.
+func (m *Manager) Abort(t *task.Task) error {
+	p, ok := m.waiting[t.ID]
+	if !ok {
+		return fmt.Errorf("procmgr: abort for unknown subtask %d", t.ID)
+	}
+	delete(m.waiting, t.ID)
+	if p.inst.Aborted {
+		return nil
+	}
+	p.inst.Aborted = true
+	m.inflight--
+	m.onDone(p.inst)
+	return nil
+}

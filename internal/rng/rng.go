@@ -1,0 +1,128 @@
+// Package rng provides a small, deterministic pseudo-random number
+// generator with named substreams and the variate distributions needed by
+// the simulation model of Kao & Garcia-Molina (exponential service times,
+// uniform slack, Poisson arrival processes).
+//
+// The generator is xoshiro256** seeded through SplitMix64, which gives
+// high-quality 64-bit outputs with a tiny, allocation-free state. Every
+// simulation run is a pure function of (seed, stream labels), so varying
+// one model parameter never perturbs the draws of an unrelated source.
+package rng
+
+import "math/bits"
+
+// Source is a deterministic pseudo-random source. It is not safe for
+// concurrent use; derive one Source per goroutine or per model entity
+// with NewStream.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from seed via SplitMix64. Any seed value,
+// including zero, yields a well-mixed state.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm, src.s[i] = splitMix64(sm)
+	}
+	return &src
+}
+
+// NewStream derives an independent substream from the source's seed and a
+// label. Streams with different labels are statistically independent for
+// all practical purposes; the same (seed, label) pair always produces the
+// same stream.
+func NewStream(seed uint64, label string) *Source {
+	h := fnv64a(label)
+	// Mix the label hash into the seed before expanding the state so that
+	// streams do not share any prefix of the SplitMix64 sequence.
+	mixed, _ := splitMix64(seed ^ h)
+	return New(mixed ^ h)
+}
+
+// Uint64 returns the next 64-bit value from the xoshiro256** sequence.
+func (r *Source) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s[1]*5, 7) * 9
+
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
+
+	return result
+}
+
+// Float64 returns a uniformly distributed value in [0, 1) with 53 bits of
+// precision.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// IntN returns a uniformly distributed integer in [0, n). It panics if
+// n <= 0. The implementation uses Lemire's multiply-shift rejection method
+// to avoid modulo bias.
+func (r *Source) IntN(n int) int {
+	if n <= 0 {
+		panic("rng: IntN called with n <= 0")
+	}
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
+}
+
+// SampleDistinct returns count distinct integers drawn uniformly from
+// [0, n), in random order. It panics if count > n or n <= 0. It is used to
+// place parallel subtasks at distinct nodes (paper section 5.2).
+func (r *Source) SampleDistinct(count, n int) []int {
+	if count > n {
+		panic("rng: SampleDistinct called with count > n")
+	}
+	if count <= 0 {
+		return nil
+	}
+	// Partial Fisher-Yates over a fresh index slice. n is the node count
+	// of the simulated system (single digits in the paper), so the O(n)
+	// allocation is negligible.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < count; i++ {
+		j := i + r.IntN(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:count]
+}
+
+// splitMix64 advances a SplitMix64 state and returns (nextState, output).
+func splitMix64(state uint64) (uint64, uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+// fnv64a hashes s with the FNV-1a 64-bit hash.
+func fnv64a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

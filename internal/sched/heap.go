@@ -1,0 +1,67 @@
+package sched
+
+import "repro/internal/task"
+
+// taskHeap is a binary min-heap of tasks ordered by a key function, with
+// deterministic FIFO tie-breaking on Task.Seq. It backs the EDF and FCFS
+// queues (static keys); MLF keeps its own slice because its key depends
+// on the current time.
+type taskHeap struct {
+	items []*task.Task
+	key   func(*task.Task) float64
+}
+
+func (h *taskHeap) len() int { return len(h.items) }
+
+func (h *taskHeap) less(i, j int) bool {
+	ki, kj := h.key(h.items[i]), h.key(h.items[j])
+	if ki != kj {
+		return ki < kj
+	}
+	return h.items[i].Seq < h.items[j].Seq
+}
+
+func (h *taskHeap) push(t *task.Task) {
+	h.items = append(h.items, t)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *taskHeap) pop() *task.Task {
+	n := len(h.items)
+	if n == 0 {
+		return nil
+	}
+	top := h.items[0]
+	h.items[0] = h.items[n-1]
+	h.items[n-1] = nil
+	h.items = h.items[:n-1]
+	h.down(0)
+	return top
+}
+
+func (h *taskHeap) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			return
+		}
+		h.items[i], h.items[least] = h.items[least], h.items[i]
+		i = least
+	}
+}

@@ -1,0 +1,113 @@
+package sched
+
+import "repro/internal/task"
+
+// edfQueue orders tasks by deadline (earliest first). Deadlines are fixed
+// at submission, so a heap with a static key suffices.
+type edfQueue struct {
+	h taskHeap
+}
+
+// NewEDF returns an earliest-deadline-first queue.
+func NewEDF() Queue {
+	return &edfQueue{h: taskHeap{key: func(t *task.Task) float64 { return t.Deadline }}}
+}
+
+// Push implements Queue.
+func (q *edfQueue) Push(t *task.Task) { q.h.push(t) }
+
+// Pop implements Queue.
+func (q *edfQueue) Pop(float64) *task.Task { return q.h.pop() }
+
+// Len implements Queue.
+func (q *edfQueue) Len() int { return q.h.len() }
+
+// Name implements Queue.
+func (q *edfQueue) Name() string { return "EDF" }
+
+// fcfsQueue orders tasks by submission sequence.
+type fcfsQueue struct {
+	h taskHeap
+}
+
+// NewFCFS returns a first-come-first-served queue.
+func NewFCFS() Queue {
+	// The key is constant; the heap's Seq tie-break supplies the FIFO
+	// order.
+	return &fcfsQueue{h: taskHeap{key: func(*task.Task) float64 { return 0 }}}
+}
+
+// Push implements Queue.
+func (q *fcfsQueue) Push(t *task.Task) { q.h.push(t) }
+
+// Pop implements Queue.
+func (q *fcfsQueue) Pop(float64) *task.Task { return q.h.pop() }
+
+// Len implements Queue.
+func (q *fcfsQueue) Len() int { return q.h.len() }
+
+// Name implements Queue.
+func (q *fcfsQueue) Name() string { return "FCFS" }
+
+// mlfQueue implements non-preemptive minimum-laxity-first. Laxity
+// dl − now − pex depends on the dispatch time, but `now` is identical for
+// all queued tasks at any given Pop, so the ordering is the same as
+// ordering by dl − pex, which is static. We still compute it explicitly
+// through Task.Laxity to keep the policy's definition visible.
+type mlfQueue struct {
+	h taskHeap
+}
+
+// NewMLF returns a minimum-laxity-first queue.
+func NewMLF() Queue {
+	return &mlfQueue{h: taskHeap{key: func(t *task.Task) float64 { return t.Deadline - t.Pex }}}
+}
+
+// Push implements Queue.
+func (q *mlfQueue) Push(t *task.Task) { q.h.push(t) }
+
+// Pop implements Queue.
+func (q *mlfQueue) Pop(float64) *task.Task { return q.h.pop() }
+
+// Len implements Queue.
+func (q *mlfQueue) Len() int { return q.h.len() }
+
+// Name implements Queue.
+func (q *mlfQueue) Name() string { return "MLF" }
+
+// classPriority is the two-level queue of the GF strategy: global
+// subtasks are always served before local tasks; within each class the
+// wrapped policy's order applies.
+type classPriority struct {
+	globals Queue
+	locals  Queue
+}
+
+// NewClassPriority returns a globals-first wrapper. Both arguments must
+// be fresh queues of the same policy.
+func NewClassPriority(globals, locals Queue) Queue {
+	return &classPriority{globals: globals, locals: locals}
+}
+
+// Push implements Queue.
+func (q *classPriority) Push(t *task.Task) {
+	if t.Class == task.Global {
+		q.globals.Push(t)
+		return
+	}
+	q.locals.Push(t)
+}
+
+// Pop implements Queue.
+func (q *classPriority) Pop(now float64) *task.Task {
+	if t := q.globals.Pop(now); t != nil {
+		return t
+	}
+	return q.locals.Pop(now)
+}
+
+// Len implements Queue.
+func (q *classPriority) Len() int { return q.globals.Len() + q.locals.Len() }
+
+// Name implements Queue.
+func (q *classPriority) Name() string { return "GF(" + q.globals.Name() + ")" }

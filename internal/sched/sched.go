@@ -1,0 +1,77 @@
+// Package sched implements the per-node ready queues of the system model
+// (paper section 3.2): every node services tasks with its own real-time
+// scheduling policy, non-preemptively and independently of all other
+// nodes. The default policy is earliest-deadline-first; the paper's
+// variations (minimum-laxity-first, and the globals-first class priority
+// required by the GF strategy) are provided as well, plus FCFS as a
+// non-real-time baseline.
+//
+// All queues break ties deterministically by submission sequence number,
+// so simulation runs are reproducible bit-for-bit.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/task"
+)
+
+// Queue is a ready queue for one node. Pop receives the current time
+// because laxity-based policies order by dl − now − pex at dispatch time;
+// deadline- and arrival-ordered policies ignore it. Implementations are
+// not safe for concurrent use — the discrete-event simulator is
+// single-threaded, and the live runtime wraps queues in its own locking.
+type Queue interface {
+	// Push adds a task to the queue.
+	Push(t *task.Task)
+	// Pop removes and returns the highest-priority task, or nil when
+	// empty.
+	Pop(now float64) *task.Task
+	// Len returns the number of queued tasks.
+	Len() int
+	// Name identifies the policy ("EDF", "MLF", ...).
+	Name() string
+}
+
+// Policy selects a queue implementation by name.
+type Policy string
+
+// Supported scheduling policies.
+const (
+	// EDF is non-preemptive earliest-deadline-first (the paper's
+	// default local scheduling algorithm, Table 1).
+	EDF Policy = "EDF"
+	// MLF is non-preemptive minimum-laxity-first (a section 4.3
+	// variation): priority by dl − now − pex at dispatch.
+	MLF Policy = "MLF"
+	// FCFS is first-come-first-served, a non-real-time baseline.
+	FCFS Policy = "FCFS"
+)
+
+// New returns a fresh queue for the policy. If globalsFirst is true the
+// queue is wrapped in a two-level class-priority queue that always serves
+// Global subtasks before Local tasks (the GF strategy, section 5.1),
+// preserving the policy's order within each class.
+func New(p Policy, globalsFirst bool) (Queue, error) {
+	mk := func() (Queue, error) {
+		switch p {
+		case EDF:
+			return NewEDF(), nil
+		case MLF:
+			return NewMLF(), nil
+		case FCFS:
+			return NewFCFS(), nil
+		default:
+			return nil, fmt.Errorf("sched: unknown policy %q", p)
+		}
+	}
+	inner, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	if !globalsFirst {
+		return inner, nil
+	}
+	second, _ := mk()
+	return NewClassPriority(inner, second), nil
+}

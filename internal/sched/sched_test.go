@@ -1,0 +1,227 @@
+package sched
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+func mkTask(seq uint64, class task.Class, deadline, pex float64) *task.Task {
+	return &task.Task{Seq: seq, Class: class, Deadline: deadline, Pex: pex}
+}
+
+func drain(q Queue, now float64) []*task.Task {
+	var out []*task.Task
+	for q.Len() > 0 {
+		out = append(out, q.Pop(now))
+	}
+	return out
+}
+
+func TestEDFOrder(t *testing.T) {
+	q := NewEDF()
+	q.Push(mkTask(1, task.Local, 30, 1))
+	q.Push(mkTask(2, task.Local, 10, 1))
+	q.Push(mkTask(3, task.Local, 20, 1))
+	got := drain(q, 0)
+	want := []float64{10, 20, 30}
+	for i, tk := range got {
+		if tk.Deadline != want[i] {
+			t.Fatalf("pop %d deadline = %v, want %v", i, tk.Deadline, want[i])
+		}
+	}
+}
+
+func TestEDFFIFOTieBreak(t *testing.T) {
+	q := NewEDF()
+	for seq := uint64(1); seq <= 5; seq++ {
+		q.Push(mkTask(seq, task.Local, 10, 1))
+	}
+	got := drain(q, 0)
+	for i, tk := range got {
+		if tk.Seq != uint64(i+1) {
+			t.Fatalf("equal deadlines not FIFO: pop %d has seq %d", i, tk.Seq)
+		}
+	}
+}
+
+func TestPopEmptyReturnsNil(t *testing.T) {
+	for _, q := range []Queue{NewEDF(), NewMLF(), NewFCFS(), NewClassPriority(NewEDF(), NewEDF())} {
+		if got := q.Pop(0); got != nil {
+			t.Errorf("%s: Pop on empty = %v, want nil", q.Name(), got)
+		}
+		if q.Len() != 0 {
+			t.Errorf("%s: Len on empty = %d", q.Name(), q.Len())
+		}
+	}
+}
+
+func TestMLFOrdersByLaxity(t *testing.T) {
+	q := NewMLF()
+	// Laxity at dispatch = dl − now − pex. Task A: dl=20 pex=8 -> key 12.
+	// Task B: dl=15 pex=1 -> key 14. EDF would pick B first; MLF picks A.
+	a := mkTask(1, task.Local, 20, 8)
+	b := mkTask(2, task.Local, 15, 1)
+	q.Push(b)
+	q.Push(a)
+	if got := q.Pop(5); got != a {
+		t.Fatalf("MLF popped seq %d, want the lower-laxity task", got.Seq)
+	}
+	if got := q.Pop(5); got != b {
+		t.Fatalf("MLF second pop = seq %d, want b", got.Seq)
+	}
+}
+
+func TestFCFSOrder(t *testing.T) {
+	q := NewFCFS()
+	q.Push(mkTask(3, task.Local, 1, 1)) // earliest deadline, latest arrival
+	q.Push(mkTask(1, task.Local, 99, 1))
+	q.Push(mkTask(2, task.Local, 50, 1))
+	got := drain(q, 0)
+	for i, tk := range got {
+		if tk.Seq != uint64(i+1) {
+			t.Fatalf("FCFS out of arrival order: pop %d has seq %d", i, tk.Seq)
+		}
+	}
+}
+
+func TestClassPriorityGlobalsFirst(t *testing.T) {
+	q := NewClassPriority(NewEDF(), NewEDF())
+	// A local with a very early deadline must still wait for globals.
+	early := mkTask(1, task.Local, 1, 1)
+	g1 := mkTask(2, task.Global, 100, 1)
+	g2 := mkTask(3, task.Global, 50, 1)
+	q.Push(early)
+	q.Push(g1)
+	q.Push(g2)
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	if got := q.Pop(0); got != g2 {
+		t.Fatalf("first pop seq %d, want the earliest-deadline global", got.Seq)
+	}
+	if got := q.Pop(0); got != g1 {
+		t.Fatalf("second pop seq %d, want the remaining global", got.Seq)
+	}
+	if got := q.Pop(0); got != early {
+		t.Fatalf("third pop seq %d, want the local", got.Seq)
+	}
+}
+
+func TestNewFactory(t *testing.T) {
+	tests := []struct {
+		policy       Policy
+		globalsFirst bool
+		wantName     string
+		wantErr      bool
+	}{
+		{policy: EDF, wantName: "EDF"},
+		{policy: MLF, wantName: "MLF"},
+		{policy: FCFS, wantName: "FCFS"},
+		{policy: EDF, globalsFirst: true, wantName: "GF(EDF)"},
+		{policy: MLF, globalsFirst: true, wantName: "GF(MLF)"},
+		{policy: Policy("??"), wantErr: true},
+		{policy: Policy("??"), globalsFirst: true, wantErr: true},
+	}
+	for _, tt := range tests {
+		q, err := New(tt.policy, tt.globalsFirst)
+		if (err != nil) != tt.wantErr {
+			t.Fatalf("New(%q,%v) error = %v, wantErr %v", tt.policy, tt.globalsFirst, err, tt.wantErr)
+		}
+		if err == nil && q.Name() != tt.wantName {
+			t.Errorf("New(%q,%v).Name() = %q, want %q", tt.policy, tt.globalsFirst, q.Name(), tt.wantName)
+		}
+	}
+}
+
+func TestEDFRandomizedAgainstSort(t *testing.T) {
+	r := rng.New(321)
+	for trial := 0; trial < 200; trial++ {
+		q := NewEDF()
+		n := 1 + r.IntN(50)
+		deadlines := make([]float64, n)
+		for i := 0; i < n; i++ {
+			deadlines[i] = r.Uniform(0, 100)
+			q.Push(mkTask(uint64(i), task.Local, deadlines[i], 1))
+		}
+		sort.Float64s(deadlines)
+		for i, want := range deadlines {
+			got := q.Pop(0)
+			if got == nil || got.Deadline != want {
+				t.Fatalf("trial %d pop %d: got %v, want deadline %v", trial, i, got, want)
+			}
+		}
+	}
+}
+
+func TestMLFRandomizedAgainstSort(t *testing.T) {
+	r := rng.New(654)
+	for trial := 0; trial < 200; trial++ {
+		q := NewMLF()
+		n := 1 + r.IntN(50)
+		keys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			dl := r.Uniform(0, 100)
+			pex := r.Uniform(0.1, 10)
+			keys[i] = dl - pex
+			q.Push(mkTask(uint64(i), task.Local, dl, pex))
+		}
+		sort.Float64s(keys)
+		now := r.Uniform(0, 50)
+		for i, want := range keys {
+			got := q.Pop(now)
+			if got == nil || got.Deadline-got.Pex != want {
+				t.Fatalf("trial %d pop %d: laxity key mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestClassPriorityRandomizedInvariant(t *testing.T) {
+	// No local is ever popped while a global remains queued.
+	r := rng.New(987)
+	for trial := 0; trial < 100; trial++ {
+		q, err := New(EDF, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		globals := 0
+		n := 1 + r.IntN(60)
+		for i := 0; i < n; i++ {
+			class := task.Local
+			if r.IntN(2) == 0 {
+				class = task.Global
+				globals++
+			}
+			q.Push(mkTask(uint64(i), class, r.Uniform(0, 100), 1))
+		}
+		for q.Len() > 0 {
+			tk := q.Pop(0)
+			if tk.Class == task.Global {
+				globals--
+			} else if globals > 0 {
+				t.Fatalf("local popped while %d globals queued", globals)
+			}
+		}
+	}
+}
+
+func BenchmarkEDFPushPop(b *testing.B) {
+	q := NewEDF()
+	r := rng.New(1)
+	tasks := make([]*task.Task, 1024)
+	for i := range tasks {
+		tasks[i] = mkTask(uint64(i), task.Local, r.Uniform(0, 1000), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(tasks[i%1024])
+		if i%8 == 7 {
+			for q.Len() > 0 {
+				q.Pop(0)
+			}
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package sim implements a deterministic discrete-event simulation engine:
+// a simulation clock and a time-ordered event list with FIFO tie-breaking.
+// It stands in for the DeNet simulation language the paper's simulator was
+// written in (see DESIGN.md section 5): the paper's results depend only on
+// the queueing model, which this engine reproduces exactly.
+//
+// The engine is single-threaded and callback-based. Determinism matters
+// more than raw parallelism here: every experiment must be a pure function
+// of (configuration, seed) so that results are reproducible and tests can
+// assert exact task counts. Events scheduled for the same instant fire in
+// scheduling order.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrEventInPast is returned when scheduling an event before the current
+// simulation time.
+var ErrEventInPast = errors.New("sim: event scheduled in the past")
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so callers can cancel it before it fires.
+type Event struct {
+	time float64
+	seq  uint64 // tie-break: FIFO among equal times
+	fn   func()
+	pos  int // index in the heap, -1 once removed
+}
+
+// Time returns the simulation time the event will fire at.
+func (e *Event) Time() float64 { return e.time }
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// create one with New.
+type Engine struct {
+	now    float64
+	seq    uint64
+	heap   []*Event
+	fired  uint64
+	stoped bool
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns the number of events executed so far. Useful for
+// instrumentation and tests.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Schedule registers fn to run after delay time units. A negative or NaN
+// delay returns ErrEventInPast.
+func (e *Engine) Schedule(delay float64, fn func()) (*Event, error) {
+	return e.At(e.now+delay, fn)
+}
+
+// MustSchedule is Schedule for delays the caller has already validated;
+// it panics on a negative or NaN delay, which indicates a model bug.
+func (e *Engine) MustSchedule(delay float64, fn func()) *Event {
+	ev, err := e.Schedule(delay, fn)
+	if err != nil {
+		panic(fmt.Sprintf("sim: MustSchedule(%v): %v", delay, err))
+	}
+	return ev
+}
+
+// At registers fn to run at absolute simulation time t. Scheduling in the
+// past (or NaN) returns ErrEventInPast.
+func (e *Engine) At(t float64, fn func()) (*Event, error) {
+	if math.IsNaN(t) || t < e.now {
+		return nil, fmt.Errorf("%w: at %v, now %v", ErrEventInPast, t, e.now)
+	}
+	ev := &Event{time: t, seq: e.seq, fn: fn}
+	e.seq++
+	e.push(ev)
+	return ev, nil
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op and reports false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.pos < 0 || ev.pos >= len(e.heap) || e.heap[ev.pos] != ev {
+		return false
+	}
+	e.remove(ev.pos)
+	ev.pos = -1
+	return true
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := e.pop()
+	e.now = ev.time
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events in time order until the event list is empty or the
+// next event lies strictly beyond horizon. The clock finishes at the time
+// of the last executed event, clamped up to horizon if the list drained
+// early, so Now() == horizon after a bounded run.
+func (e *Engine) Run(horizon float64) {
+	e.stoped = false
+	for len(e.heap) > 0 && !e.stoped {
+		if e.heap[0].time > horizon {
+			break
+		}
+		e.Step()
+	}
+	if e.now < horizon && !e.stoped {
+		e.now = horizon
+	}
+}
+
+// RunAll executes events until none remain or Stop is called.
+func (e *Engine) RunAll() {
+	e.stoped = false
+	for len(e.heap) > 0 && !e.stoped {
+		e.Step()
+	}
+}
+
+// Stop makes the innermost Run/RunAll return after the current event's
+// callback completes. It is intended to be called from within a callback.
+func (e *Engine) Stop() { e.stoped = true }
+
+// before reports whether event a fires before event b: earlier time, or
+// FIFO order at equal times.
+func before(a, b *Event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+// push inserts an event into the binary heap.
+func (e *Engine) push(ev *Event) {
+	ev.pos = len(e.heap)
+	e.heap = append(e.heap, ev)
+	e.up(ev.pos)
+}
+
+// pop removes and returns the earliest event.
+func (e *Engine) pop() *Event {
+	ev := e.heap[0]
+	e.remove(0)
+	ev.pos = -1
+	return ev
+}
+
+// remove deletes the heap element at index i.
+func (e *Engine) remove(i int) {
+	last := len(e.heap) - 1
+	if i != last {
+		e.heap[i] = e.heap[last]
+		e.heap[i].pos = i
+	}
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	if i < len(e.heap) {
+		if !e.up(i) {
+			e.down(i)
+		}
+	}
+}
+
+// up restores the heap property moving index i toward the root; reports
+// whether the element moved.
+func (e *Engine) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !before(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+// down restores the heap property moving index i toward the leaves.
+func (e *Engine) down(i int) {
+	n := len(e.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && before(e.heap[right], e.heap[left]) {
+			least = right
+		}
+		if !before(e.heap[least], e.heap[i]) {
+			return
+		}
+		e.swap(i, least)
+		i = least
+	}
+}
+
+func (e *Engine) swap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.heap[i].pos = i
+	e.heap[j].pos = j
+}

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var got []float64
+	for _, d := range []float64{5, 1, 3, 2, 4} {
+		tm := d
+		e.MustSchedule(d, func() { got = append(got, tm) })
+	}
+	e.RunAll()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now = %v, want 5", e.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.MustSchedule(1, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestScheduleFromCallback(t *testing.T) {
+	e := New()
+	var times []float64
+	e.MustSchedule(1, func() {
+		e.MustSchedule(1, func() { times = append(times, e.Now()) })
+	})
+	e.RunAll()
+	if len(times) != 1 || times[0] != 2 {
+		t.Fatalf("nested schedule fired at %v, want [2]", times)
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	e := New()
+	fired := 0
+	e.MustSchedule(1, func() { fired++ })
+	e.MustSchedule(10, func() { fired++ })
+	e.Run(5)
+	if fired != 1 {
+		t.Fatalf("fired %d events before horizon, want 1", fired)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now = %v, want clamped to horizon 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	// A later Run picks up where the first stopped.
+	e.Run(20)
+	if fired != 2 {
+		t.Fatalf("fired %d events after second run, want 2", fired)
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	e := New()
+	e.MustSchedule(5, func() {})
+	e.RunAll()
+	if _, err := e.At(1, func() {}); !errors.Is(err, ErrEventInPast) {
+		t.Fatalf("At(past) error = %v, want ErrEventInPast", err)
+	}
+	if _, err := e.Schedule(-1, func() {}); !errors.Is(err, ErrEventInPast) {
+		t.Fatalf("Schedule(-1) error = %v, want ErrEventInPast", err)
+	}
+	if _, err := e.Schedule(math.NaN(), func() {}); !errors.Is(err, ErrEventInPast) {
+		t.Fatalf("Schedule(NaN) error = %v, want ErrEventInPast", err)
+	}
+}
+
+func TestMustSchedulePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchedule(-1) did not panic")
+		}
+	}()
+	New().MustSchedule(-1, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.MustSchedule(1, func() { fired = true })
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("second Cancel returned true")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Cancel(nil) {
+		t.Fatal("Cancel(nil) returned true")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := New()
+	var got []float64
+	var evs []*Event
+	for _, d := range []float64{4, 2, 6, 1, 5, 3} {
+		tm := d
+		ev := e.MustSchedule(d, func() { got = append(got, tm) })
+		evs = append(evs, ev)
+	}
+	e.Cancel(evs[0]) // cancel t=4
+	e.Cancel(evs[2]) // cancel t=6
+	e.RunAll()
+	want := []float64{1, 2, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStopFromCallback(t *testing.T) {
+	e := New()
+	fired := 0
+	e.MustSchedule(1, func() { fired++; e.Stop() })
+	e.MustSchedule(2, func() { fired++ })
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1 (Stop should halt the loop)", fired)
+	}
+	// Stop is not sticky across runs.
+	e.RunAll()
+	if fired != 2 {
+		t.Fatalf("fired %d after resuming, want 2", fired)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 17; i++ {
+		e.MustSchedule(float64(i), func() {})
+	}
+	e.RunAll()
+	if e.Fired() != 17 {
+		t.Fatalf("Fired = %d, want 17", e.Fired())
+	}
+}
+
+func TestHeapPropertyRandomized(t *testing.T) {
+	f := func(delays []uint16, cancelMask []bool) bool {
+		e := New()
+		var fired []float64
+		var evs []*Event
+		for _, d := range delays {
+			tm := float64(d % 1000)
+			evs = append(evs, e.MustSchedule(tm, func() { fired = append(fired, tm) }))
+		}
+		cancelled := 0
+		for i, ev := range evs {
+			if i < len(cancelMask) && cancelMask[i] {
+				if e.Cancel(ev) {
+					cancelled++
+				}
+			}
+		}
+		e.RunAll()
+		if len(fired) != len(delays)-cancelled {
+			return false
+		}
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	e := New()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.MustSchedule(float64(i%64), fn)
+		if i%64 == 63 {
+			e.RunAll()
+		}
+	}
+	e.RunAll()
+}

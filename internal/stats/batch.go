@@ -1,0 +1,39 @@
+package stats
+
+// BatchMeans estimates a confidence interval from a single long run by
+// splitting the observation stream into fixed-size contiguous batches and
+// treating batch averages as approximately independent replications. The
+// paper runs two replications of one million time units each; batch means
+// lets the harness report a CI even from a single run.
+type BatchMeans struct {
+	batchSize int64
+	cur       Welford
+	batches   []float64
+}
+
+// NewBatchMeans returns an estimator with the given batch size (number of
+// observations per batch). It panics if batchSize <= 0.
+func NewBatchMeans(batchSize int64) *BatchMeans {
+	if batchSize <= 0 {
+		panic("stats: NewBatchMeans with batchSize <= 0")
+	}
+	return &BatchMeans{batchSize: batchSize}
+}
+
+// Add records one observation.
+func (b *BatchMeans) Add(x float64) {
+	b.cur.Add(x)
+	if b.cur.N() >= b.batchSize {
+		b.batches = append(b.batches, b.cur.Mean())
+		b.cur = Welford{}
+	}
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int { return len(b.batches) }
+
+// Estimate returns the grand mean and 95% half-width computed across
+// completed batches. A trailing partial batch is ignored.
+func (b *BatchMeans) Estimate() Estimate {
+	return MeanCI(b.batches)
+}

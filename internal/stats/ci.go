@@ -1,0 +1,55 @@
+package stats
+
+import "math"
+
+// tTable95 holds two-sided 95% Student-t critical values indexed by
+// degrees of freedom (1-based; index 0 unused). Beyond the table the
+// normal quantile 1.96 is used.
+var tTable95 = [...]float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+	2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+	2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom. Non-positive df returns 0 (no interval can be
+// formed from fewer than two observations).
+func TCritical95(df int) float64 {
+	if df <= 0 {
+		return 0
+	}
+	if df < len(tTable95) {
+		return tTable95[df]
+	}
+	return 1.96
+}
+
+// Estimate is a point estimate with a symmetric 95% confidence half-width.
+type Estimate struct {
+	Mean     float64
+	HalfCI   float64
+	N        int // number of replications behind the estimate
+	StdError float64
+}
+
+// Lo returns the lower bound of the 95% interval.
+func (e Estimate) Lo() float64 { return e.Mean - e.HalfCI }
+
+// Hi returns the upper bound of the 95% interval.
+func (e Estimate) Hi() float64 { return e.Mean + e.HalfCI }
+
+// MeanCI returns the mean of xs with a 95% Student-t confidence half-width
+// across replications. With fewer than two values the half-width is zero.
+func MeanCI(xs []float64) Estimate {
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	est := Estimate{Mean: w.Mean(), N: int(w.N())}
+	if w.N() >= 2 {
+		est.StdError = w.StdDev() / math.Sqrt(float64(w.N()))
+		est.HalfCI = TCritical95(int(w.N())-1) * est.StdError
+	}
+	return est
+}

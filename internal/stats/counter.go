@@ -1,0 +1,39 @@
+package stats
+
+// Ratio counts binary outcomes (hit/total) and reports the hit fraction.
+// It is the primary performance measure of the paper: the fraction of
+// missed deadlines (miss ratio) conditional on task class. The zero value
+// is ready to use.
+type Ratio struct {
+	hits  int64
+	total int64
+}
+
+// Observe records one outcome; hit marks the event of interest (a missed
+// deadline).
+func (c *Ratio) Observe(hit bool) {
+	c.total++
+	if hit {
+		c.hits++
+	}
+}
+
+// Hits returns the number of recorded events of interest.
+func (c *Ratio) Hits() int64 { return c.hits }
+
+// Total returns the number of recorded outcomes.
+func (c *Ratio) Total() int64 { return c.total }
+
+// Value returns hits/total, or 0 when nothing was observed.
+func (c *Ratio) Value() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.total)
+}
+
+// Merge adds another counter's observations into c.
+func (c *Ratio) Merge(o *Ratio) {
+	c.hits += o.hits
+	c.total += o.total
+}

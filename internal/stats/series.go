@@ -1,0 +1,70 @@
+package stats
+
+// Point is one measured (x, y) value on a curve, with a 95% confidence
+// half-width on y computed across replications. Field tags fix the JSON
+// contract used by the experiment harness's machine-readable output.
+type Point struct {
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	HalfCI float64 `json:"ci95"`
+}
+
+// Curve is a named series of points, e.g. "EQF global" on Fig. 2b.
+type Curve struct {
+	Label  string  `json:"label"`
+	Points []Point `json:"points"`
+}
+
+// Figure is a complete reproduced figure or table: a set of curves over a
+// shared x-axis. The experiment harness fills one Figure per paper
+// artifact and the render package formats it as an ASCII table, an ASCII
+// chart, CSV, or JSON.
+type Figure struct {
+	ID     string  `json:"id"` // experiment id, e.g. "fig2b"
+	Title  string  `json:"title"`
+	XLabel string  `json:"xLabel"`
+	YLabel string  `json:"yLabel"`
+	Curves []Curve `json:"curves"`
+}
+
+// Curve returns the curve with the given label, or nil if absent.
+func (f *Figure) Curve(label string) *Curve {
+	for i := range f.Curves {
+		if f.Curves[i].Label == label {
+			return &f.Curves[i]
+		}
+	}
+	return nil
+}
+
+// YAt returns the y value of the labelled curve at the given x, and
+// whether such a point exists. X values are matched exactly; the harness
+// always constructs curves from a shared grid, so this is reliable.
+func (f *Figure) YAt(label string, x float64) (float64, bool) {
+	c := f.Curve(label)
+	if c == nil {
+		return 0, false
+	}
+	for _, p := range c.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// XValues returns the sorted union of x values across all curves,
+// preserving first-seen order (curves share a grid in practice).
+func (f *Figure) XValues() []float64 {
+	var xs []float64
+	seen := make(map[float64]bool)
+	for _, c := range f.Curves {
+		for _, p := range c.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	return xs
+}

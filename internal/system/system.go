@@ -1,0 +1,265 @@
+package system
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/procmgr"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Run executes one simulation replication and returns its metrics. It is
+// deterministic: equal configs (including Seed) produce identical
+// metrics.
+func Run(cfg Config) (*Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rates, err := cfg.DeriveRates()
+	if err != nil {
+		return nil, err
+	}
+	serial, err := core.SerialByName(cfg.SSP)
+	if err != nil {
+		return nil, err
+	}
+	parallel, err := core.ParallelByName(cfg.PSP)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		eng     = sim.New()
+		metrics = &Metrics{}
+		warmup  = cfg.warmup()
+		seq     uint64
+		taskID  uint64
+		nextSeq = func() uint64 { seq++; return seq }
+		nextID  = func() uint64 { taskID++; return taskID }
+	)
+
+	// The manager is created after the nodes but node callbacks need
+	// it; declare first and close over the variable.
+	var mgr *procmgr.Manager
+
+	onTaskDone := func(t *task.Task) {
+		if t.Class == task.Global {
+			if t.Arrival >= warmup {
+				// Stage metrics use the subtask's own release time.
+				metrics.StageMiss.Observe(t.Missed())
+				metrics.observeStage(t.Stage, t.Missed(), t.Deadline-t.Arrival-t.Pex)
+			}
+			if err := mgr.Complete(t); err != nil {
+				panic(fmt.Sprintf("system: %v", err))
+			}
+			return
+		}
+		metrics.LocalDone++
+		if t.Arrival >= warmup {
+			metrics.LocalMiss.Observe(t.Missed())
+			metrics.LocalResponse.Add(t.Finish - t.Arrival)
+		}
+	}
+	onTaskAbort := func(t *task.Task) {
+		if t.Class == task.Global {
+			if err := mgr.Abort(t); err != nil {
+				panic(fmt.Sprintf("system: %v", err))
+			}
+			return
+		}
+		// An aborted local task is a missed deadline by definition.
+		metrics.LocalAborted++
+		metrics.LocalDone++
+		if t.Arrival >= warmup {
+			metrics.LocalMiss.Observe(true)
+		}
+	}
+
+	var observer node.Observer
+	if cfg.Trace != nil {
+		rec := cfg.Trace
+		kinds := map[node.ObserverEvent]trace.Kind{
+			node.ObserveSubmit:   trace.Submit,
+			node.ObserveDispatch: trace.Dispatch,
+			node.ObservePreempt:  trace.Preempt,
+			node.ObserveComplete: trace.Complete,
+			node.ObserveAbort:    trace.Abort,
+		}
+		observer = func(ev node.ObserverEvent, now float64, t *task.Task) {
+			rec.Record(trace.FromTask(kinds[ev], now, t))
+		}
+	}
+
+	globalsFirst := core.NeedsClassPriority(parallel)
+	nodes := make([]*node.Node, cfg.Nodes)
+	for i := range nodes {
+		q, err := sched.New(cfg.Scheduler, globalsFirst)
+		if err != nil {
+			return nil, err
+		}
+		n, err := node.New(node.Config{
+			ID:         i,
+			Engine:     eng,
+			Queue:      q,
+			Policy:     cfg.tardyPolicy(),
+			Preemptive: cfg.Preemptive,
+			OnDone:     onTaskDone,
+			OnAbort:    onTaskAbort,
+			Observer:   observer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = n
+	}
+
+	mgr, err = procmgr.New(procmgr.Config{
+		Engine:   eng,
+		Nodes:    nodes,
+		Assigner: core.NewAssigner(serial, parallel),
+		OnDone: func(inst *procmgr.Instance) {
+			metrics.GlobalDone++
+			if inst.Aborted {
+				metrics.GlobalAborted++
+			}
+			if inst.Arrival < warmup {
+				return
+			}
+			metrics.GlobalMiss.Observe(inst.Missed())
+			if !inst.Aborted {
+				metrics.GlobalResponse.Add(inst.Finish - inst.Arrival)
+				if inst.Missed() {
+					metrics.GlobalTardiness.Add(inst.Finish - inst.Deadline)
+				}
+				metrics.InheritedSlack.Add(inst.InheritedSlack)
+			}
+		},
+		NextSeq:    nextSeq,
+		NextTaskID: nextID,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Local streams: one per node, each with its own substream. Rate
+	// multipliers skew per-node load while preserving the total.
+	multipliers := cfg.LocalRateMultipliers
+	var multSum float64
+	if multipliers != nil {
+		for _, m := range multipliers {
+			multSum += m
+		}
+	}
+	for i, n := range nodes {
+		rate := rates.LocalPerNode
+		if multipliers != nil {
+			rate = rates.LocalPerNode * multipliers[i] * float64(cfg.Nodes) / multSum
+		}
+		nodeRef := n
+		src, err := workload.NewLocalSource(
+			eng,
+			rng.NewStream(cfg.Seed, fmt.Sprintf("local-%d", i)),
+			workload.LocalParams{
+				Rate:     rate,
+				MeanExec: 1 / cfg.MuLocal,
+				SlackMin: cfg.SlackMin,
+				SlackMax: cfg.SlackMax,
+				Pex:      workload.PexModel{RelErr: cfg.PexRelErr},
+			},
+			nextID, nextSeq,
+			func(t *task.Task) {
+				metrics.LocalGenerated++
+				nodeRef.Submit(t)
+			},
+		)
+		if err != nil {
+			return nil, err
+		}
+		src.Start()
+	}
+
+	// Global stream.
+	if rates.Global > 0 {
+		var instID uint64
+		src, err := workload.NewGlobalSource(
+			eng,
+			rng.NewStream(cfg.Seed, "global"),
+			cfg.Nodes,
+			workload.GlobalParams{
+				Rate:          rates.Global,
+				Shape:         cfg.shape(),
+				SlackMin:      cfg.SlackMin,
+				SlackMax:      cfg.SlackMax,
+				RelFlex:       cfg.RelFlex,
+				MeanLocalExec: 1 / cfg.MuLocal,
+			},
+			func(sp workload.Spec) {
+				instID++
+				metrics.GlobalGenerated++
+				mgr.Start(&procmgr.Instance{
+					ID:       instID,
+					Graph:    sp.Graph,
+					Arrival:  sp.Arrival,
+					Deadline: sp.Deadline,
+				})
+			},
+		)
+		if err != nil {
+			return nil, err
+		}
+		src.Start()
+	}
+
+	eng.Run(cfg.Horizon)
+
+	metrics.Utilization = make([]float64, cfg.Nodes)
+	for i, n := range nodes {
+		metrics.Utilization[i] = n.BusyTime() / cfg.Horizon
+	}
+	metrics.LocalInFlight = metrics.LocalGenerated - metrics.LocalDone
+	metrics.GlobalInFlight = int64(mgr.InFlight())
+	return metrics, nil
+}
+
+// Replication aggregates one miss-ratio series across seeds.
+type Replication struct {
+	// Runs holds the per-replication metrics in seed order.
+	Runs []*Metrics
+	// LocalMD and GlobalMD are replication-level estimates of the miss
+	// percentages.
+	LocalMD  stats.Estimate
+	GlobalMD stats.Estimate
+}
+
+// RunReplications executes reps independent runs with seeds Seed,
+// Seed+1, ... and aggregates the class miss percentages with Student-t
+// confidence intervals (the paper runs two replications per data point).
+func RunReplications(cfg Config, reps int) (*Replication, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("system: reps = %d, want > 0", reps)
+	}
+	out := &Replication{Runs: make([]*Metrics, 0, reps)}
+	local := make([]float64, 0, reps)
+	global := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)
+		m, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		out.Runs = append(out.Runs, m)
+		local = append(local, m.MDLocal())
+		global = append(global, m.MDGlobal())
+	}
+	out.LocalMD = stats.MeanCI(local)
+	out.GlobalMD = stats.MeanCI(global)
+	return out, nil
+}

@@ -1,0 +1,58 @@
+package task
+
+import "testing"
+
+// FuzzParse checks that the notation parser never panics and that every
+// accepted graph survives a String/Parse round trip with identical
+// structure. `go test` runs the seed corpus; `go test -fuzz=FuzzParse`
+// explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"a",
+		"a:1.5",
+		"a:2.5e-1",
+		"[a b c]",
+		"[a || b || c]",
+		"[a [b || c] d]",
+		"[[a b] || [c d e] || f]",
+		"[a:0 b]",
+		"[a:- b]",
+		"[a:1e309]", // overflows to +Inf
+		"[a||b]",
+		"[ a   ||  b ]",
+		"[a | b]",
+		"[a |||| b]",
+		"][",
+		"[[[[[[a]]]]]]",
+		"[a:1:2]",
+		"a:.5",
+		"[a b || c]",
+		"[x:0.0001 y:10000]",
+		"[\x00]",
+		"[ñ:1 ü:2]",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Parse(input)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Parse(%q) accepted an invalid graph: %v", input, err)
+		}
+		rendered := g.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("round trip of %q failed: rendered %q, error %v", input, rendered, err)
+		}
+		if again.LeafCount() != g.LeafCount() || again.Depth() != g.Depth() {
+			t.Fatalf("round trip of %q changed structure (%q)", input, rendered)
+		}
+		if again.String() != rendered {
+			t.Fatalf("second render of %q differs: %q vs %q", input, again.String(), rendered)
+		}
+	})
+}

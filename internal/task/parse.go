@@ -1,0 +1,163 @@
+package task
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads the compact serial-parallel notation used throughout the
+// paper and returns the task graph:
+//
+//	leaf       := name [":" pex]         (pex defaults to 1)
+//	serial     := "[" item {" " item} "]"
+//	parallel   := "[" item {"||" item} "]"
+//	item       := leaf | serial | parallel
+//
+// Examples:
+//
+//	[fetch:1 filter:0.5 trade:2]          three serial stages
+//	[a || b || c]                         three parallel branches
+//	[gather [f1:1 || f2:1.5] decide:2]    serial with a parallel stage
+//
+// A bracket group must be homogeneous: either all separators are "||"
+// (parallel) or none are (serial). A single-child group is serial.
+func Parse(input string) (*Graph, error) {
+	p := &parser{src: input}
+	p.skipSpace()
+	g, err := p.parseItem()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("task: trailing input at offset %d: %q", p.pos, p.src[p.pos:])
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustParse is Parse for statically known notation; it panics on error.
+func MustParse(input string) *Graph {
+	g, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("task: parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) parseItem() (*Graph, error) {
+	switch c := p.peek(); {
+	case c == '[':
+		return p.parseGroup()
+	case c == 0:
+		return nil, p.errf("unexpected end of input")
+	default:
+		return p.parseLeaf()
+	}
+}
+
+func (p *parser) parseGroup() (*Graph, error) {
+	p.pos++ // consume '['
+	var (
+		children []*Graph
+		parallel bool
+		first    = true
+	)
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case 0:
+			return nil, p.errf("unterminated group")
+		case ']':
+			p.pos++
+			if len(children) == 0 {
+				return nil, p.errf("empty group")
+			}
+			if parallel {
+				return Parallel(children...), nil
+			}
+			return Serial(children...), nil
+		}
+		if !first {
+			// After the first item a "||" separator marks (and must
+			// consistently mark) a parallel group.
+			if strings.HasPrefix(p.src[p.pos:], "||") {
+				if len(children) == 1 {
+					parallel = true
+				} else if !parallel {
+					return nil, p.errf("mixed serial and parallel separators in one group")
+				}
+				p.pos += 2
+				p.skipSpace()
+			} else if parallel {
+				return nil, p.errf("mixed serial and parallel separators in one group")
+			}
+		}
+		child, err := p.parseItem()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, child)
+		first = false
+	}
+}
+
+func (p *parser) parseLeaf() (*Graph, error) {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ':' || c == ']' || c == '[' || unicode.IsSpace(rune(c)) || strings.HasPrefix(p.src[p.pos:], "||") {
+			break
+		}
+		p.pos++
+	}
+	name := p.src[start:p.pos]
+	if name == "" {
+		return nil, p.errf("expected subtask name")
+	}
+	pex := 1.0
+	if p.peek() == ':' {
+		p.pos++
+		numStart := p.pos
+		for p.pos < len(p.src) {
+			c := p.src[p.pos]
+			if (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		v, err := strconv.ParseFloat(p.src[numStart:p.pos], 64)
+		if err != nil {
+			return nil, p.errf("bad pex for %q: %v", name, err)
+		}
+		pex = v
+	}
+	return Simple(name, pex), nil
+}

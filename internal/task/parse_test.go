@@ -1,0 +1,146 @@
+package task
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseLeaf(t *testing.T) {
+	g, err := Parse("fetch:1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Kind != KindSimple || g.Name != "fetch" || math.Abs(g.Pex-1.5) > 1e-12 {
+		t.Errorf("got %+v", g)
+	}
+}
+
+func TestParseLeafDefaultPex(t *testing.T) {
+	g, err := Parse("step")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Pex != 1 {
+		t.Errorf("default pex = %v, want 1", g.Pex)
+	}
+}
+
+func TestParseSerial(t *testing.T) {
+	g, err := Parse("[a:1 b:2 c:3]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Kind != KindSerial || len(g.Children) != 3 {
+		t.Fatalf("got %v", g)
+	}
+	if g.AggregatePex() != 6 {
+		t.Errorf("AggregatePex = %v, want 6", g.AggregatePex())
+	}
+}
+
+func TestParseParallel(t *testing.T) {
+	g, err := Parse("[a:1 || b:2 || c:3]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Kind != KindParallel || len(g.Children) != 3 {
+		t.Fatalf("got %v", g)
+	}
+	if g.AggregatePex() != 3 {
+		t.Errorf("AggregatePex = %v, want 3", g.AggregatePex())
+	}
+}
+
+func TestParseNested(t *testing.T) {
+	g, err := Parse("[gather:1 [f1:1 || f2:1.5] decide:2]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Kind != KindSerial || len(g.Children) != 3 {
+		t.Fatalf("top level: got %v", g)
+	}
+	if g.Children[1].Kind != KindParallel {
+		t.Fatalf("middle stage should be parallel: %v", g.Children[1])
+	}
+	if got := g.AggregatePex(); math.Abs(got-4.5) > 1e-12 {
+		t.Errorf("AggregatePex = %v, want 4.5", got)
+	}
+	if got := g.Depth(); got != 3 {
+		t.Errorf("Depth = %d, want 3", got)
+	}
+}
+
+func TestParseSingleChildGroupIsSerial(t *testing.T) {
+	g, err := Parse("[only:2]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Kind != KindSerial || len(g.Children) != 1 {
+		t.Fatalf("got %v", g)
+	}
+}
+
+func TestParseWhitespaceTolerant(t *testing.T) {
+	g, err := Parse("  [ a:1   ||   b:2 ]  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Kind != KindParallel || len(g.Children) != 2 {
+		t.Fatalf("got %v", g)
+	}
+}
+
+func TestParseScientificPex(t *testing.T) {
+	g, err := Parse("x:2.5e-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.Pex-0.25) > 1e-12 {
+		t.Errorf("pex = %v, want 0.25", g.Pex)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+		want string // substring of the error
+	}{
+		{name: "empty", give: "", want: "unexpected end"},
+		{name: "empty group", give: "[]", want: "empty group"},
+		{name: "unterminated", give: "[a:1 b:2", want: "unterminated"},
+		{name: "mixed separators parallel first", give: "[a || b c]", want: "mixed"},
+		{name: "mixed separators serial first", give: "[a b || c]", want: "mixed"},
+		{name: "bad pex", give: "a:zz", want: "bad pex"},
+		{name: "trailing", give: "[a b] extra", want: "trailing"},
+		{name: "zero pex rejected by validate", give: "a:0", want: "non-positive"},
+		{name: "lone colon", give: ":3", want: "expected subtask name"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.give)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error containing %q", tt.give, tt.want)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("Parse(%q) error = %v, want substring %q", tt.give, err, tt.want)
+			}
+		})
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse of invalid input did not panic")
+		}
+	}()
+	MustParse("[")
+}
+
+func TestMustParseOK(t *testing.T) {
+	if g := MustParse("[a b]"); g.LeafCount() != 2 {
+		t.Fatalf("MustParse returned %v", g)
+	}
+}

@@ -1,0 +1,59 @@
+package task
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClassString(t *testing.T) {
+	tests := []struct {
+		give Class
+		want string
+	}{
+		{Local, "local"},
+		{Global, "global"},
+		{Class(99), "Class(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Class(%d).String() = %q, want %q", int(tt.give), got, tt.want)
+		}
+	}
+}
+
+func TestAttributeRelation(t *testing.T) {
+	// dl = ar + ex + sl  =>  Slack() recovers sl.
+	tk := Task{Arrival: 10, Exec: 2, Deadline: 10 + 2 + 3.5}
+	if got := tk.Slack(); math.Abs(got-3.5) > 1e-12 {
+		t.Errorf("Slack = %v, want 3.5", got)
+	}
+	if got := tk.Flexibility(); math.Abs(got-1.75) > 1e-12 {
+		t.Errorf("Flexibility = %v, want 1.75", got)
+	}
+}
+
+func TestLaxity(t *testing.T) {
+	tk := Task{Deadline: 20, Pex: 3}
+	if got := tk.Laxity(12); got != 5 {
+		t.Errorf("Laxity(12) = %v, want 5", got)
+	}
+	if got := tk.Laxity(18); got != -1 {
+		t.Errorf("Laxity(18) = %v, want -1", got)
+	}
+}
+
+func TestMissed(t *testing.T) {
+	tk := Task{Deadline: 10}
+	tk.Finish = 9.999
+	if tk.Missed() {
+		t.Error("task finishing before deadline reported missed")
+	}
+	tk.Finish = 10
+	if tk.Missed() {
+		t.Error("task finishing exactly at deadline reported missed")
+	}
+	tk.Finish = 10.001
+	if !tk.Missed() {
+		t.Error("task finishing after deadline not reported missed")
+	}
+}

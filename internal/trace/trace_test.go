@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/task"
+)
+
+func sampleEvent(id uint64, kind Kind, t float64) Event {
+	return Event{T: t, Kind: kind, TaskID: id, Class: task.Local, Node: 2, Deadline: t + 5}
+}
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(0) // unbounded
+	r.Record(sampleEvent(1, Submit, 0))
+	r.Record(sampleEvent(1, Dispatch, 1))
+	r.Record(sampleEvent(1, Complete, 2))
+	if r.Len() != 3 || r.Dropped() != 0 {
+		t.Fatalf("Len=%d Dropped=%d", r.Len(), r.Dropped())
+	}
+	events := r.Events()
+	if len(events) != 3 || events[0].Kind != Submit || events[2].Kind != Complete {
+		t.Fatalf("events = %v", events)
+	}
+	// Events() returns a copy.
+	events[0].TaskID = 999
+	if r.Events()[0].TaskID == 999 {
+		t.Error("Events() exposed internal storage")
+	}
+}
+
+func TestRecorderCapacity(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Record(sampleEvent(uint64(i), Submit, float64(i)))
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (capacity)", r.Len())
+	}
+	if r.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", r.Dropped())
+	}
+	// Head of the run retained, not the tail.
+	if r.Events()[0].TaskID != 0 || r.Events()[1].TaskID != 1 {
+		t.Errorf("retained wrong events: %v", r.Events())
+	}
+}
+
+func TestCountByKindAndHistory(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(sampleEvent(1, Submit, 0))
+	r.Record(sampleEvent(2, Submit, 0))
+	r.Record(sampleEvent(1, Dispatch, 1))
+	r.Record(sampleEvent(1, Preempt, 2))
+	r.Record(sampleEvent(1, Dispatch, 3))
+	r.Record(sampleEvent(1, Complete, 4))
+	r.Record(sampleEvent(2, Abort, 5))
+
+	counts := r.CountByKind()
+	if counts[Submit] != 2 || counts[Dispatch] != 2 || counts[Preempt] != 1 ||
+		counts[Complete] != 1 || counts[Abort] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	hist := r.TaskHistory(1)
+	if len(hist) != 5 {
+		t.Fatalf("task 1 history has %d events, want 5", len(hist))
+	}
+	wantKinds := []Kind{Submit, Dispatch, Preempt, Dispatch, Complete}
+	for i, k := range wantKinds {
+		if hist[i].Kind != k {
+			t.Errorf("history[%d] = %v, want %v", i, hist[i].Kind, k)
+		}
+	}
+	if got := r.TaskHistory(42); got != nil {
+		t.Errorf("unknown task history = %v, want nil", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Event{T: 1.5, Kind: Dispatch, TaskID: 7, GlobalID: 3, Stage: 1,
+		Class: task.Global, Node: 4, Deadline: 9.25})
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d, want 2", len(lines))
+	}
+	if lines[0] != "t,kind,task,global,stage,class,node,deadline" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1.5,dispatch,7,3,1,global,4,9.25" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		give Kind
+		want string
+	}{
+		{Submit, "submit"}, {Dispatch, "dispatch"}, {Preempt, "preempt"},
+		{Complete, "complete"}, {Abort, "abort"}, {Kind(99), "Kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestFromTask(t *testing.T) {
+	tk := &task.Task{ID: 5, GlobalID: 2, Stage: 3, Class: task.Global, NodeID: 1, Deadline: 8}
+	e := FromTask(Complete, 7.5, tk)
+	if e.T != 7.5 || e.Kind != Complete || e.TaskID != 5 || e.GlobalID != 2 ||
+		e.Stage != 3 || e.Class != task.Global || e.Node != 1 || e.Deadline != 8 {
+		t.Errorf("FromTask = %+v", e)
+	}
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// GlobalParams describes the single global-task stream.
+type GlobalParams struct {
+	// Rate is the Poisson arrival rate λ_global of whole global tasks.
+	Rate float64
+	// Shape builds each instance's structure.
+	Shape Shape
+	// SlackMin, SlackMax bound the uniform slack draw (shared with
+	// locals per Table 1; the PSP baseline widens it to [1.25, 5.0]).
+	SlackMin, SlackMax float64
+	// RelFlex is the relative flexibility of global tasks with respect
+	// to local tasks (Table 1: 1.0). The end-to-end slack is
+	// RelFlex · Shape.SlackScale(meanLocalExec) · U[SlackMin, SlackMax].
+	RelFlex float64
+	// MeanLocalExec is 1/µ_local, the normalizer for SlackScale.
+	MeanLocalExec float64
+}
+
+// Spec is one sampled global task handed to the start callback: the
+// instance graph plus its end-to-end attributes. The system package
+// wraps it into a procmgr.Instance.
+type Spec struct {
+	Graph    *task.Graph
+	Arrival  float64
+	Deadline float64
+	Slack    float64
+}
+
+// GlobalSource generates the global-task stream.
+type GlobalSource struct {
+	eng    *sim.Engine
+	r      *rng.Source
+	params GlobalParams
+	k      int
+	start  func(Spec)
+}
+
+// NewGlobalSource returns a generator; call Start to schedule the first
+// arrival. k is the node count (needed for placement).
+func NewGlobalSource(eng *sim.Engine, r *rng.Source, k int, params GlobalParams,
+	start func(Spec)) (*GlobalSource, error) {
+	if eng == nil || r == nil || start == nil {
+		return nil, fmt.Errorf("workload: global source: nil dependency")
+	}
+	if params.Rate < 0 || params.Shape == nil || params.SlackMax < params.SlackMin ||
+		params.RelFlex < 0 || params.MeanLocalExec <= 0 || k <= 0 {
+		return nil, fmt.Errorf("workload: global source: bad params")
+	}
+	// Fail fast on impossible shapes (e.g. parallel m > k) rather than
+	// mid-run.
+	if _, err := params.Shape.Build(rng.New(0), k); err != nil {
+		return nil, fmt.Errorf("workload: global source: %w", err)
+	}
+	return &GlobalSource{eng: eng, r: r, params: params, k: k, start: start}, nil
+}
+
+// Start schedules the first arrival. A zero rate generates nothing.
+func (s *GlobalSource) Start() {
+	if s.params.Rate == 0 {
+		return
+	}
+	s.eng.MustSchedule(s.r.Exponential(1/s.params.Rate), s.arrive)
+}
+
+func (s *GlobalSource) arrive() {
+	now := s.eng.Now()
+	g, err := s.params.Shape.Build(s.r, s.k)
+	if err != nil {
+		// Construction was validated in NewGlobalSource; a failure here
+		// is a programming error in the shape.
+		panic(fmt.Sprintf("workload: shape build failed mid-run: %v", err))
+	}
+	scale := s.params.RelFlex * s.params.Shape.SlackScale(s.params.MeanLocalExec)
+	sl := scale * s.r.Uniform(s.params.SlackMin, s.params.SlackMax)
+	// dl(T) = ar + ex + sl with ex the critical-path execution time:
+	// the serial sum for serial tasks, max_i ex(Ti) for parallel tasks
+	// (the paper's PSP formula 2), and the serial-parallel critical
+	// path for mixed shapes.
+	dl := now + g.CriticalPathExec() + sl
+	s.start(Spec{Graph: g, Arrival: now, Deadline: dl, Slack: sl})
+	s.eng.MustSchedule(s.r.Exponential(1/s.params.Rate), s.arrive)
+}

@@ -1,0 +1,106 @@
+// Package workload generates the task populations of the simulation model
+// (paper sections 4.1, 5.2): per-node Poisson streams of local tasks with
+// exponential demands and uniform slack, and a single Poisson stream of
+// global tasks whose serial-parallel structure, placements, execution
+// times and end-to-end deadlines follow the paper's baseline and its
+// variations (heterogeneous subtask counts, unbalanced node loads,
+// imperfect execution-time predictions).
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// PexModel turns an actual execution time into the prediction pex(X)
+// visible to strategies and laxity schedulers. RelErr introduces a
+// multiplicative uniform error (section 4.3 "error in the execution time
+// predictions"): pex = ex·(1 + U(−RelErr, +RelErr)), floored at a small
+// positive value. RelErr = 0 reproduces Table 1's perfect predictions
+// (pex(X)/ex(X) = 1) without consuming random numbers.
+type PexModel struct {
+	RelErr float64
+}
+
+// Sample returns the prediction for an actual demand ex.
+func (m PexModel) Sample(r *rng.Source, ex float64) float64 {
+	if m.RelErr == 0 {
+		return ex
+	}
+	pex := ex * (1 + r.Uniform(-m.RelErr, m.RelErr))
+	const floor = 1e-9
+	if pex < floor {
+		pex = floor
+	}
+	return pex
+}
+
+// LocalParams describes one node's local-task stream.
+type LocalParams struct {
+	// Rate is the Poisson arrival rate λ_local at this node.
+	Rate float64
+	// MeanExec is 1/µ_local.
+	MeanExec float64
+	// SlackMin, SlackMax bound the uniform slack distribution.
+	SlackMin, SlackMax float64
+	// Pex is the prediction model.
+	Pex PexModel
+}
+
+// LocalSource generates local tasks at one node. Arrivals self-schedule
+// on the engine, so running the engine to a horizon bounds generation
+// naturally.
+type LocalSource struct {
+	eng    *sim.Engine
+	r      *rng.Source
+	params LocalParams
+	submit func(*task.Task)
+	nextID func() uint64
+	nextSq func() uint64
+}
+
+// NewLocalSource returns a generator; call Start to schedule the first
+// arrival.
+func NewLocalSource(eng *sim.Engine, r *rng.Source, params LocalParams,
+	nextID, nextSeq func() uint64, submit func(*task.Task)) (*LocalSource, error) {
+	if eng == nil || r == nil || submit == nil || nextID == nil || nextSeq == nil {
+		return nil, fmt.Errorf("workload: local source: nil dependency")
+	}
+	if params.Rate < 0 || params.MeanExec <= 0 || params.SlackMax < params.SlackMin {
+		return nil, fmt.Errorf("workload: local source: bad params %+v", params)
+	}
+	return &LocalSource{
+		eng: eng, r: r, params: params,
+		submit: submit, nextID: nextID, nextSq: nextSeq,
+	}, nil
+}
+
+// Start schedules the first arrival. A zero rate generates nothing.
+func (s *LocalSource) Start() {
+	if s.params.Rate == 0 {
+		return
+	}
+	s.eng.MustSchedule(s.r.Exponential(1/s.params.Rate), s.arrive)
+}
+
+func (s *LocalSource) arrive() {
+	now := s.eng.Now()
+	ex := s.r.Exponential(s.params.MeanExec)
+	sl := s.r.Uniform(s.params.SlackMin, s.params.SlackMax)
+	t := &task.Task{
+		ID:           s.nextID(),
+		Class:        task.Local,
+		Stage:        -1,
+		Arrival:      now,
+		Deadline:     now + ex + sl, // dl = ar + ex + sl
+		FirmDeadline: now + ex + sl,
+		Exec:         ex,
+		Pex:          s.params.Pex.Sample(s.r, ex),
+		Seq:          s.nextSq(),
+	}
+	s.submit(t)
+	s.eng.MustSchedule(s.r.Exponential(1/s.params.Rate), s.arrive)
+}

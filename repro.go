@@ -1,0 +1,273 @@
+// Package repro is the public API of this reproduction of Kao &
+// Garcia-Molina, "Deadline Assignment in a Distributed Soft Real-Time
+// System" (ICDCS 1993 / IEEE TPDS 1997).
+//
+// The library has three layers:
+//
+//   - Deadline assignment (the paper's contribution): serial-parallel
+//     task graphs (Graph, ParseGraph) and the SDA strategies — SSP: UD,
+//     ED, EQS, EQF; PSP: UD, DIV-x, GF — composed recursively by
+//     Assigner. Use NewAssigner and Assigner.Plan for static planning,
+//     or plug the strategies into the simulator or the live runtime for
+//     dynamic assignment at release time.
+//
+//   - Reproduction harness: Simulate runs the paper's discrete-event
+//     model (Table 1 baseline via BaselineConfig / PSPBaselineConfig);
+//     Experiments/RunExperiment regenerate every table and figure of the
+//     evaluation (fig2a, fig2b, fig3, fig4, combined, ablations,
+//     extensions) with confidence intervals; RenderTable, RenderChart
+//     and RenderCSV format the results.
+//
+//   - Live runtime: NewLiveNode/NewLiveRuntime execute task graphs on
+//     real goroutines with deadline-ordered mailboxes, applying the same
+//     strategies to real work.
+//
+// Quick start:
+//
+//	g := repro.MustParseGraph("[gather:1 [f1:1 || f2:1.5] decide:2]")
+//	a := repro.NewAssigner(repro.EQF, repro.DIV(1))
+//	plan, _ := a.Plan(g, 0, 12)
+//	for _, p := range plan {
+//	    fmt.Printf("%-8s release %.2f deadline %.2f\n", p.Leaf.Name, p.Release, p.Deadline)
+//	}
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/live"
+	"repro/internal/stats"
+	"repro/internal/system"
+	"repro/internal/task"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Task model -----------------------------------------------------------
+
+// Graph is a node of a serial-parallel task graph (see task.Graph).
+type Graph = task.Graph
+
+// Task is the schedulable unit local schedulers see.
+type Task = task.Task
+
+// Class distinguishes local tasks from global subtasks.
+type Class = task.Class
+
+// Task classes.
+const (
+	Local  = task.Local
+	Global = task.Global
+)
+
+// Simple returns a leaf subtask with a predicted execution time.
+func Simple(name string, pex float64) *Graph { return task.Simple(name, pex) }
+
+// Serial composes subtasks to execute in order: [T1 T2 ... Tn].
+func Serial(children ...*Graph) *Graph { return task.Serial(children...) }
+
+// Parallel composes subtasks to execute concurrently: [T1 || ... || Tn].
+func Parallel(children ...*Graph) *Graph { return task.Parallel(children...) }
+
+// ParseGraph parses the compact notation "[a:1 [b:2 || c:3] d:1]".
+func ParseGraph(input string) (*Graph, error) { return task.Parse(input) }
+
+// MustParseGraph is ParseGraph that panics on error, for statically
+// known notation.
+func MustParseGraph(input string) *Graph { return task.MustParse(input) }
+
+// Strategies ------------------------------------------------------------
+
+// SerialStrategy assigns virtual deadlines to serial stages (SSP).
+type SerialStrategy = core.SerialStrategy
+
+// ParallelStrategy assigns virtual deadlines to parallel branches (PSP).
+type ParallelStrategy = core.ParallelStrategy
+
+// Assigner composes an SSP and a PSP strategy over serial-parallel
+// graphs (paper section 6).
+type Assigner = core.Assigner
+
+// Assignment is one leaf's planned (release, deadline) pair.
+type Assignment = core.Assignment
+
+// The paper's SSP strategies (section 4).
+var (
+	// UD is Ultimate Deadline: dl(Ti) = dl(T).
+	UD core.UltimateDeadline
+	// ED is Effective Deadline: dl(T) minus remaining predicted work.
+	ED core.EffectiveDeadline
+	// EQS is Equal Slack: remaining slack divided evenly.
+	EQS core.EqualSlack
+	// EQF is Equal Flexibility: remaining slack divided in proportion
+	// to predicted execution times.
+	EQF core.EqualFlexibility
+)
+
+// PSP strategy values (section 5).
+var (
+	// PUD is the parallel Ultimate Deadline strategy.
+	PUD core.ParallelUltimate
+	// GF is Globals First: subtasks keep dl(T) but are always scheduled
+	// before local tasks.
+	GF core.GlobalsFirst
+)
+
+// DIV returns the DIV-x strategy: dl(Ti) = ar + (dl−ar)/(n·x).
+func DIV(x float64) ParallelStrategy { return core.Div{X: x} }
+
+// ArtificialStages wraps a serial strategy with n phantom trailing
+// stages (the paper's section 7 future-work proposal).
+func ArtificialStages(base SerialStrategy, n int) SerialStrategy {
+	return core.ArtificialStages{Base: base, Extra: n}
+}
+
+// AdaptiveDIV returns the DIV variant whose divisor shrinks toward 1 as
+// the fan-out grows (reference [7] direction).
+func AdaptiveDIV(boost float64) ParallelStrategy { return core.AdaptiveDiv{Boost: boost} }
+
+// NewAssigner composes the strategies; nil arguments default to UD.
+func NewAssigner(s SerialStrategy, p ParallelStrategy) Assigner {
+	return core.NewAssigner(s, p)
+}
+
+// SerialStrategyByName resolves "UD", "ED", "EQS", "EQF", "EQF-AS<n>".
+func SerialStrategyByName(name string) (SerialStrategy, error) {
+	return core.SerialByName(name)
+}
+
+// ParallelStrategyByName resolves "UD", "DIV-<x>", "GF", "ADIV<boost>".
+func ParallelStrategyByName(name string) (ParallelStrategy, error) {
+	return core.ParallelByName(name)
+}
+
+// Simulation ------------------------------------------------------------
+
+// SimConfig is the full parameter set of the simulation model (Table 1
+// plus variations).
+type SimConfig = system.Config
+
+// SimMetrics is the outcome of one simulation run.
+type SimMetrics = system.Metrics
+
+// SimReplication aggregates runs across seeds.
+type SimReplication = system.Replication
+
+// Shape describes the structure of generated global tasks.
+type Shape = workload.Shape
+
+// Workload shapes for SimConfig.Shape.
+type (
+	// SerialShape is the SSP workload [T1 ... Tm].
+	SerialShape = workload.SerialShape
+	// ParallelShape is the PSP workload [T1 || ... || Tm] at distinct
+	// nodes.
+	ParallelShape = workload.ParallelShape
+	// MixedShape is a serial chain with parallel stages (section 6).
+	MixedShape = workload.MixedShape
+	// HeteroSerialShape draws the subtask count uniformly per task.
+	HeteroSerialShape = workload.HeteroSerialShape
+)
+
+// BaselineConfig returns Table 1's baseline setting.
+func BaselineConfig() SimConfig { return system.Baseline() }
+
+// PSPBaselineConfig returns the section 5.2 parallel-subtask setting.
+func PSPBaselineConfig() SimConfig { return system.PSPBaseline() }
+
+// Simulate runs one replication of the simulation model.
+func Simulate(cfg SimConfig) (*SimMetrics, error) { return system.Run(cfg) }
+
+// SimulateReplications runs reps independent replications and aggregates
+// miss percentages with 95% confidence intervals.
+func SimulateReplications(cfg SimConfig, reps int) (*SimReplication, error) {
+	return system.RunReplications(cfg, reps)
+}
+
+// Experiments -----------------------------------------------------------
+
+// Experiment is a runnable paper artifact (table or figure).
+type Experiment = experiment.Experiment
+
+// ExperimentOptions scales an experiment (horizon, replications, seed).
+type ExperimentOptions = experiment.Options
+
+// ExperimentResult is a figure plus notes.
+type ExperimentResult = experiment.Result
+
+// Figure is a set of measured curves (see stats.Figure).
+type Figure = stats.Figure
+
+// Experiments lists every registered experiment sorted by id.
+func Experiments() []Experiment { return experiment.All() }
+
+// ExperimentByID looks up one experiment ("fig2b", "combined", ...).
+func ExperimentByID(id string) (Experiment, error) { return experiment.ByID(id) }
+
+// RunExperiment runs the experiment with the given id.
+func RunExperiment(id string, o ExperimentOptions) (*ExperimentResult, error) {
+	e, err := experiment.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(o)
+}
+
+// RenderTable formats a figure as a fixed-width text table.
+func RenderTable(f *Figure) string { return experiment.RenderTable(f) }
+
+// RenderChart draws a figure as an ASCII chart.
+func RenderChart(f *Figure, width, height int) string {
+	return experiment.RenderChart(f, width, height)
+}
+
+// RenderCSV formats a figure as CSV.
+func RenderCSV(f *Figure) string { return experiment.RenderCSV(f) }
+
+// Tracing ----------------------------------------------------------------
+
+// TraceRecorder captures per-task lifecycle events (submit, dispatch,
+// preempt, complete, abort) from a simulation run. Attach one via
+// SimConfig.Trace and export with WriteCSV, or inspect TaskHistory.
+type TraceRecorder = trace.Recorder
+
+// TraceEvent is one recorded lifecycle step.
+type TraceEvent = trace.Event
+
+// TraceKind is a lifecycle event type.
+type TraceKind = trace.Kind
+
+// Trace lifecycle kinds.
+const (
+	TraceSubmit   = trace.Submit
+	TraceDispatch = trace.Dispatch
+	TracePreempt  = trace.Preempt
+	TraceComplete = trace.Complete
+	TraceAbort    = trace.Abort
+)
+
+// NewTraceRecorder returns a recorder retaining up to capacity events
+// (<= 0 means unbounded).
+func NewTraceRecorder(capacity int) *TraceRecorder { return trace.NewRecorder(capacity) }
+
+// Live runtime ----------------------------------------------------------
+
+// LiveNode is a goroutine-backed execution resource with an EDF mailbox.
+type LiveNode = live.Node
+
+// LiveJob is one unit of work queued at a live node.
+type LiveJob = live.Job
+
+// LiveRuntime executes task graphs on live nodes.
+type LiveRuntime = live.Runtime
+
+// LiveReport is the outcome of one live execution.
+type LiveReport = live.Report
+
+// NewLiveNode starts a node goroutine; call Shutdown to stop it.
+func NewLiveNode(name string) *LiveNode { return live.NewNode(name) }
+
+// NewLiveRuntime builds a runtime over nodes with the given assigner.
+func NewLiveRuntime(nodes []*LiveNode, a Assigner) (*LiveRuntime, error) {
+	return live.NewRuntime(nodes, a)
+}
