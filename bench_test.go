@@ -10,9 +10,30 @@ package repro
 // Paper-scale regeneration is `sdasim -exp <id> -horizon 1e6 -reps 2`.
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
+
+// BenchmarkRunReplications measures the replicated-run fan-out at
+// several worker counts. Replication results are bit-identical across
+// the sub-benchmarks (see internal/system's determinism tests); only the
+// wall clock should move. On a machine with >= 4 cores the parallel=4
+// case is expected to run >= 2x faster than parallel=1.
+func BenchmarkRunReplications(b *testing.B) {
+	cfg := BaselineConfig()
+	cfg.Horizon = 2000
+	const reps = 8
+	for _, parallel := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel=%d", parallel), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := SimulateReplicationsParallel(cfg, reps, parallel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // benchOptions keeps one iteration around tens of milliseconds.
 func benchOptions() ExperimentOptions {

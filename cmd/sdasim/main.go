@@ -7,6 +7,12 @@
 //	sdasim -exp fig2b -format chart
 //	sdasim -exp all -horizon 1e6 -reps 2    # paper scale
 //	sdasim -exp fig4 -format csv -out results/
+//	sdasim -exp all -parallel 8 -progress   # bound the worker pool
+//
+// Sweeps fan their (curve, data-point) cells out across cores; -parallel
+// bounds the worker pool (0 = GOMAXPROCS, 1 = sequential). Results are
+// bit-identical regardless of parallelism: each replication derives its
+// own RNG substreams from its seed.
 //
 // Experiment ids follow DESIGN.md: table1, fig2a, fig2b, fig3, fig4,
 // combined, abl-pexerr, abl-abort, abl-mlf, abl-m, abl-hetm, abl-hot,
@@ -35,15 +41,17 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sdasim", flag.ContinueOnError)
 	var (
-		list    = fs.Bool("list", false, "list experiments and exit")
-		expID   = fs.String("exp", "", "experiment id, or 'all'")
-		horizon = fs.Float64("horizon", 0, "simulated time units per replication (default 50000; paper: 1e6)")
-		reps    = fs.Int("reps", 0, "replications per data point (default 2)")
-		seed    = fs.Uint64("seed", 0, "base random seed (default 1)")
-		target  = fs.Float64("targetci", 0, "add replications (up to -maxreps) until every 95% half-width is at or below this many percentage points (paper protocol: 0.35); 0 disables")
-		maxReps = fs.Int("maxreps", 0, "replication cap for -targetci (default 10)")
-		format  = fs.String("format", "table", "output format: table, chart, csv, json, or all")
-		outDir  = fs.String("out", "", "write per-experiment files to this directory instead of stdout")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		expID    = fs.String("exp", "", "experiment id, or 'all'")
+		horizon  = fs.Float64("horizon", 0, "simulated time units per replication (default 50000; paper: 1e6)")
+		reps     = fs.Int("reps", 0, "replications per data point (default 2)")
+		seed     = fs.Uint64("seed", 0, "base random seed (default 1)")
+		target   = fs.Float64("targetci", 0, "add replications (up to -maxreps) until every 95% half-width is at or below this many percentage points (paper protocol: 0.35); 0 disables")
+		maxReps  = fs.Int("maxreps", 0, "replication cap for -targetci (default 10)")
+		parallel = fs.Int("parallel", 0, "worker-pool size for sweep cells: 0 = all cores, 1 = sequential (results are identical either way)")
+		progress = fs.Bool("progress", false, "print a per-experiment progress meter to stderr")
+		format   = fs.String("format", "table", "output format: table, chart, csv, json, or all")
+		outDir   = fs.String("out", "", "write per-experiment files to this directory instead of stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,13 +87,17 @@ func run(args []string, out io.Writer) error {
 	}
 
 	opts := experiment.Options{
-		Horizon:  *horizon,
-		Reps:     *reps,
-		Seed:     *seed,
-		TargetCI: *target,
-		MaxReps:  *maxReps,
+		Horizon:     *horizon,
+		Reps:        *reps,
+		Seed:        *seed,
+		TargetCI:    *target,
+		MaxReps:     *maxReps,
+		Parallelism: *parallel,
 	}
 	for _, e := range exps {
+		if *progress {
+			opts.Progress = experiment.ProgressPrinter(os.Stderr, e.ID)
+		}
 		started := time.Now()
 		res, err := e.Run(opts)
 		if err != nil {

@@ -41,6 +41,39 @@ func TestRunSingleExperiment(t *testing.T) {
 	}
 }
 
+// TestRunParallelFlagIsDeterministic compares full CSV output across
+// -parallel settings; only the timing header may differ.
+func TestRunParallelFlagIsDeterministic(t *testing.T) {
+	render := func(parallel string) string {
+		t.Helper()
+		var b strings.Builder
+		err := run([]string{"-exp", "fig2b", "-horizon", "900", "-reps", "2",
+			"-format", "csv", "-parallel", parallel}, &b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drop the "== id: title (elapsed)" header; elapsed time is the
+		// one legitimately nondeterministic byte range.
+		lines := strings.Split(b.String(), "\n")
+		kept := lines[:0]
+		for _, l := range lines {
+			if !strings.HasPrefix(l, "== ") {
+				kept = append(kept, l)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	seq := render("1")
+	if !strings.Contains(seq, "UD,UD ci95") {
+		t.Fatalf("csv output missing data:\n%s", seq)
+	}
+	for _, p := range []string{"0", "8"} {
+		if got := render(p); got != seq {
+			t.Errorf("-parallel %s output diverges from -parallel 1:\n%s\nvs:\n%s", p, got, seq)
+		}
+	}
+}
+
 func TestRunMultipleIDs(t *testing.T) {
 	var b strings.Builder
 	err := run([]string{"-exp", "table1,abl-m", "-horizon", "1200", "-reps", "1"}, &b)

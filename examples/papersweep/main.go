@@ -6,6 +6,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"repro"
 )
@@ -18,9 +19,11 @@ func main() {
 
 func run() error {
 	opts := repro.ExperimentOptions{
-		Horizon: 40000, // paper: 1,000,000; the shape is stable far below that
-		Reps:    2,
-		Seed:    1,
+		Horizon:     40000, // paper: 1,000,000; the shape is stable far below that
+		Reps:        2,
+		Seed:        1,
+		Parallelism: 0, // all cores; the result is identical at any setting
+		Progress:    repro.ProgressPrinter(os.Stderr, "fig2b"),
 	}
 	res, err := repro.RunExperiment("fig2b", opts)
 	if err != nil {

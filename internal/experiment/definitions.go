@@ -3,7 +3,9 @@ package experiment
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/system"
@@ -71,27 +73,48 @@ func diagStagesExp() Experiment {
 		Title: "Diagnostic — per-stage slack and virtual-deadline misses (section 4.2.2)",
 		Paper: "Explains Fig. 2: under UD early stages hoard the whole slack while later stages inherit whatever survives the queues; EQS/EQF spread slack evenly, and inheritance makes later stages richer ('the rich get richer').",
 		Run: func(o Options) (*Result, error) {
-			o = Options{Horizon: o.Horizon, Reps: o.Reps, Seed: o.Seed}.withDefaults()
+			o = o.withDefaults() // TargetCI/MaxReps are ignored: no adaptive loop here
 			fig := &stats.Figure{
 				ID: "diag-stages", Title: "Per-stage virtual-deadline misses (load 0.5, m=4)",
 				XLabel: "stage (1-based)", YLabel: "virtual-deadline misses (%)",
 			}
+			// Fan the (ssp, rep) runs out like sweep does, then merge in
+			// rep order so the aggregates stay bit-identical to the
+			// sequential path.
+			ssps := []string{"UD", "ED", "EQF"}
+			runs := make([][]*system.Metrics, len(ssps))
+			for i := range runs {
+				runs[i] = make([]*system.Metrics, o.Reps)
+			}
+			total := len(ssps) * o.Reps
+			var done atomic.Int64
+			err := runner.New(o.Parallelism).Run(total, func(u int) error {
+				si, rep := u/o.Reps, u%o.Reps
+				cfg := system.Baseline()
+				cfg.Horizon = o.Horizon
+				cfg.Seed = o.Seed + uint64(rep)
+				cfg.SSP = ssps[si]
+				m, err := system.Run(cfg)
+				if err != nil {
+					return err
+				}
+				runs[si][rep] = m
+				if o.Progress != nil {
+					o.Progress(int(done.Add(1)), total)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
 			var notes strings.Builder
 			notes.WriteString("mean slack at release (dl_i − ar_i − pex_i), by stage:\n")
-			for _, ssp := range []string{"UD", "ED", "EQF"} {
+			for si, ssp := range ssps {
 				var (
 					miss  []stats.Ratio
 					slack []stats.Welford
 				)
-				for rep := 0; rep < o.Reps; rep++ {
-					cfg := system.Baseline()
-					cfg.Horizon = o.Horizon
-					cfg.Seed = o.Seed + uint64(rep)
-					cfg.SSP = ssp
-					m, err := system.Run(cfg)
-					if err != nil {
-						return nil, err
-					}
+				for _, m := range runs[si] {
 					for len(miss) < len(m.StageMissByIndex) {
 						miss = append(miss, stats.Ratio{})
 						slack = append(slack, stats.Welford{})

@@ -8,7 +8,9 @@ package experiment
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/system"
 )
@@ -30,6 +32,16 @@ type Options struct {
 	TargetCI float64
 	// MaxReps caps adaptive replication; zero defaults to 10.
 	MaxReps int
+	// Parallelism bounds the worker pool fanning (curve, data-point)
+	// cells of a sweep out across cores: 0 uses GOMAXPROCS, 1 forces
+	// the sequential path. Every cell owns its seed substreams, so
+	// results are bit-identical across parallelism levels.
+	Parallelism int
+	// Progress, when non-nil, is called after each completed sweep cell
+	// with the number of finished cells and the total. It may be called
+	// concurrently from worker goroutines and must be safe for that;
+	// ProgressPrinter returns a suitable implementation.
+	Progress func(done, total int)
 }
 
 // DefaultOptions returns the default experiment scale.
@@ -117,7 +129,11 @@ func bothClasses(name string, configure func(*system.Config)) variant {
 }
 
 // sweep runs every (x, variant) combination with o.Reps replications and
-// assembles the figure's curves.
+// assembles the figure's curves. The (x, variant) cells are independent —
+// each derives its own seed substreams and owns its run slice — so they
+// fan out across o.Parallelism workers; the figure is assembled from the
+// per-cell results in sweep order afterwards, which keeps the output
+// bit-identical to the sequential path.
 func sweep(o Options, fig *stats.Figure, base func() system.Config,
 	xs []float64, setX func(*system.Config, float64), variants []variant) (*stats.Figure, error) {
 	o = o.withDefaults()
@@ -127,62 +143,104 @@ func sweep(o Options, fig *stats.Figure, base func() system.Config,
 			fig.Curves = append(fig.Curves, stats.Curve{Label: c.label})
 		}
 	}
+
+	// One cell per (x, variant) pair, in x-major sweep order.
+	type cell struct {
+		x float64
+		v variant
+	}
+	cells := make([]cell, 0, len(xs)*len(variants))
 	for _, x := range xs {
-		curveIdx := 0
 		for _, v := range variants {
-			var runs []*system.Metrics
-			runOne := func(rep int) error {
-				cfg := base()
-				cfg.Horizon = o.Horizon
-				cfg.Seed = o.Seed + uint64(rep)
-				setX(&cfg, x)
-				if v.configure != nil {
-					v.configure(&cfg)
-				}
-				m, err := system.Run(cfg)
-				if err != nil {
-					return fmt.Errorf("experiment %s: x=%v: %w", fig.ID, x, err)
-				}
-				runs = append(runs, m)
-				return nil
+			cells = append(cells, cell{x: x, v: v})
+		}
+	}
+	results := make([][]*system.Metrics, len(cells))
+	var done atomic.Int64
+	err := runner.New(o.Parallelism).Run(len(cells), func(ci int) error {
+		runs, err := runCell(o, fig.ID, base, cells[ci].x, setX, cells[ci].v)
+		if err != nil {
+			return err
+		}
+		results[ci] = runs
+		if o.Progress != nil {
+			o.Progress(int(done.Add(1)), len(cells))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for ci := range cells {
+		// Cells are x-major, so cells for one x are contiguous and in
+		// variant order; recover the curve offset from the variant index.
+		vi := ci % len(variants)
+		curveIdx := 0
+		for _, v := range variants[:vi] {
+			curveIdx += len(v.curves)
+		}
+		runs := results[ci]
+		for _, c := range cells[ci].v.curves {
+			vals := make([]float64, len(runs))
+			for i, m := range runs {
+				vals[i] = c.metric(m)
 			}
-			for rep := 0; rep < o.Reps; rep++ {
-				if err := runOne(rep); err != nil {
-					return nil, err
-				}
-			}
-			// Adaptive replication: keep adding seeds until every curve
-			// of this variant meets the target half-width (the paper
-			// reports ±0.35 pp intervals). Needs at least two runs for
-			// a t-interval, hence the o.Reps floor above.
-			for o.TargetCI > 0 && len(runs) < o.MaxReps {
-				worst := 0.0
-				for _, c := range v.curves {
-					if hw := halfCI(runs, c.metric); hw > worst {
-						worst = hw
-					}
-				}
-				if worst <= o.TargetCI {
-					break
-				}
-				if err := runOne(len(runs)); err != nil {
-					return nil, err
-				}
-			}
-			for _, c := range v.curves {
-				vals := make([]float64, len(runs))
-				for i, m := range runs {
-					vals[i] = c.metric(m)
-				}
-				est := stats.MeanCI(vals)
-				fig.Curves[curveIdx].Points = append(fig.Curves[curveIdx].Points, stats.Point{
-					X: x, Y: est.Mean, HalfCI: est.HalfCI,
-				})
-				curveIdx++
-			}
+			est := stats.MeanCI(vals)
+			fig.Curves[curveIdx].Points = append(fig.Curves[curveIdx].Points, stats.Point{
+				X: cells[ci].x, Y: est.Mean, HalfCI: est.HalfCI,
+			})
+			curveIdx++
 		}
 	}
 	return fig, nil
+}
+
+// runCell executes one (x, variant) cell: the initial o.Reps replications
+// plus the adaptive TargetCI loop. It touches no state outside its own
+// run slice, so distinct cells may execute concurrently.
+func runCell(o Options, figID string, base func() system.Config,
+	x float64, setX func(*system.Config, float64), v variant) ([]*system.Metrics, error) {
+	var runs []*system.Metrics
+	runOne := func(rep int) error {
+		cfg := base()
+		cfg.Horizon = o.Horizon
+		cfg.Seed = o.Seed + uint64(rep)
+		setX(&cfg, x)
+		if v.configure != nil {
+			v.configure(&cfg)
+		}
+		m, err := system.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("experiment %s: x=%v: %w", figID, x, err)
+		}
+		runs = append(runs, m)
+		return nil
+	}
+	for rep := 0; rep < o.Reps; rep++ {
+		if err := runOne(rep); err != nil {
+			return nil, err
+		}
+	}
+	// Adaptive replication: keep adding seeds until every curve of this
+	// variant meets the target half-width (the paper reports ±0.35 pp
+	// intervals). Needs at least two runs for a t-interval, hence the
+	// o.Reps floor above.
+	for o.TargetCI > 0 && len(runs) < o.MaxReps {
+		worst := 0.0
+		for _, c := range v.curves {
+			if hw := halfCI(runs, c.metric); hw > worst {
+				worst = hw
+			}
+		}
+		if worst <= o.TargetCI {
+			break
+		}
+		if err := runOne(len(runs)); err != nil {
+			return nil, err
+		}
+	}
+	return runs, nil
 }
 
 // halfCI computes the 95% half-width of a metric across runs.

@@ -45,7 +45,8 @@ func TestIDsSorted(t *testing.T) {
 func TestOptionsDefaults(t *testing.T) {
 	o := Options{}.withDefaults()
 	def := DefaultOptions()
-	if o != def {
+	if o.Horizon != def.Horizon || o.Reps != def.Reps || o.Seed != def.Seed ||
+		o.TargetCI != def.TargetCI || o.MaxReps != def.MaxReps || o.Parallelism != def.Parallelism {
 		t.Errorf("withDefaults() = %+v, want %+v", o, def)
 	}
 	o = Options{Horizon: 123, Reps: 4, Seed: 9}.withDefaults()

@@ -1,0 +1,108 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/task"
+)
+
+// TestRuntimeConcurrentExecuteHammer drives many Execute calls through a
+// small node set at once so `go test -race ./internal/live` exercises
+// the mailbox heaps, shutdown paths and report assembly under real
+// contention. Instances compete at the nodes by virtual deadline —
+// exactly the situation the simulator models.
+func TestRuntimeConcurrentExecuteHammer(t *testing.T) {
+	instances := 200
+	if testing.Short() {
+		instances = 40
+	}
+
+	nodes := []*Node{NewNode("n0"), NewNode("n1"), NewNode("n2")}
+	defer func() {
+		for _, n := range nodes {
+			n.Shutdown()
+		}
+	}()
+	rt, err := NewRuntime(nodes, core.NewAssigner(core.EqualFlexibility{}, core.Div{X: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var work atomic.Int64
+	rt.Work = func(*task.Graph) { work.Add(1) }
+
+	graph := func(i int) *task.Graph {
+		a := task.Simple(fmt.Sprintf("a%d", i), 1)
+		b := task.Simple(fmt.Sprintf("b%d", i), 2)
+		c := task.Simple(fmt.Sprintf("c%d", i), 1)
+		d := task.Simple(fmt.Sprintf("d%d", i), 1)
+		a.NodeID, d.NodeID = 0, 0
+		b.NodeID, c.NodeID = 1, 2
+		return task.Serial(a, task.Parallel(b, c), d)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, instances)
+	wg.Add(instances)
+	for i := 0; i < instances; i++ {
+		go func(i int) {
+			defer wg.Done()
+			rep, err := rt.Execute(graph(i), time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(rep.Subtasks) != 4 {
+				errs <- fmt.Errorf("instance %d: %d subtask reports, want 4", i, len(rep.Subtasks))
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got, want := work.Load(), int64(instances*4); got != want {
+		t.Errorf("work ran %d times, want %d", got, want)
+	}
+}
+
+// TestNodeSubmitShutdownHammer races submissions against shutdown; every
+// job's done channel must be closed exactly once, whether it ran or was
+// abandoned.
+func TestNodeSubmitShutdownHammer(t *testing.T) {
+	rounds := 50
+	if testing.Short() {
+		rounds = 10
+	}
+	for round := 0; round < rounds; round++ {
+		n := NewNode("n")
+		const jobs = 20
+		var wg sync.WaitGroup
+		wg.Add(jobs)
+		submitted := make(chan *Job, jobs)
+		for i := 0; i < jobs; i++ {
+			go func(i int) {
+				defer wg.Done()
+				j := &Job{Name: fmt.Sprintf("j%d", i), Deadline: time.Now(), Run: func() {}}
+				if err := n.Submit(j); err == nil {
+					submitted <- j
+				}
+			}(i)
+		}
+		n.Shutdown()
+		wg.Wait()
+		close(submitted)
+		for j := range submitted {
+			select {
+			case <-j.done:
+			case <-time.After(time.Second):
+				t.Fatalf("round %d: job %s neither ran nor was abandoned", round, j.Name)
+			}
+		}
+	}
+}

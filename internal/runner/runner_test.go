@@ -1,0 +1,141 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewResolvesParallelism(t *testing.T) {
+	if got := New(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(0).Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := New(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(-3).Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, p := range []int{1, 2, 7} {
+		if got := New(p).Workers(); got != p {
+			t.Errorf("New(%d).Workers() = %d", p, got)
+		}
+	}
+}
+
+func TestRunExecutesEveryIndexOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("parallel=%d", p), func(t *testing.T) {
+			const n = 100
+			counts := make([]atomic.Int32, n)
+			if err := New(p).Run(n, func(i int) error {
+				counts[i].Add(1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Errorf("unit %d executed %d times, want 1", i, c)
+				}
+			}
+		})
+	}
+}
+
+func TestRunZeroAndNegativeUnits(t *testing.T) {
+	called := false
+	for _, n := range []int{0, -5} {
+		if err := New(4).Run(n, func(int) error { called = true; return nil }); err != nil {
+			t.Errorf("Run(%d) = %v, want nil", n, err)
+		}
+	}
+	if called {
+		t.Error("Run with n <= 0 invoked fn")
+	}
+}
+
+func TestRunSequentialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran []int
+	err := New(1).Run(10, func(i int) error {
+		ran = append(ran, i)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run = %v, want boom", err)
+	}
+	if len(ran) != 4 {
+		t.Errorf("sequential run executed %v, want to stop after index 3", ran)
+	}
+}
+
+func TestRunParallelReportsLowestIndexError(t *testing.T) {
+	// Make several units fail; the reported error must be the failing
+	// unit with the lowest index among those that ran, no matter how the
+	// goroutines interleave.
+	for trial := 0; trial < 20; trial++ {
+		err := New(8).Run(32, func(i int) error {
+			if i%2 == 1 {
+				return fmt.Errorf("unit %d", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatal("Run = nil, want an error")
+		}
+		if got := err.Error(); got != "unit 1" {
+			t.Fatalf("trial %d: Run = %q, want the lowest-index error \"unit 1\"", trial, got)
+		}
+	}
+}
+
+func TestRunStopsDispatchingAfterFailure(t *testing.T) {
+	// The bail is best-effort (in-flight units finish; the failure flag
+	// is checked per dispatch), so the assertion needs slack: each
+	// healthy unit sleeps briefly, making it overwhelmingly likely the
+	// failure is recorded long before the other worker could drain the
+	// batch, even on a loaded machine.
+	const units = 10000
+	var executed atomic.Int32
+	err := New(2).Run(units, func(i int) error {
+		executed.Add(1)
+		if i == 0 {
+			return errors.New("early failure")
+		}
+		time.Sleep(50 * time.Microsecond)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Run = nil, want error")
+	}
+	if n := executed.Load(); n > units/2 {
+		t.Errorf("executed %d of %d units after an immediate failure, expected early bail", n, units)
+	}
+}
+
+// TestRunHammer drives many tiny units through pools of several sizes so
+// `go test -race` can spot sharing bugs in the dispatch path.
+func TestRunHammer(t *testing.T) {
+	units, rounds := 5000, 20
+	if testing.Short() {
+		units, rounds = 500, 5
+	}
+	for round := 0; round < rounds; round++ {
+		results := make([]int, units)
+		if err := New(16).Run(units, func(i int) error {
+			results[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range results {
+			if r != i*i {
+				t.Fatalf("round %d: results[%d] = %d, want %d", round, i, r, i*i)
+			}
+		}
+	}
+}

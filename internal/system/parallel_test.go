@@ -1,0 +1,135 @@
+package system
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestRunReplicationsDeterministicAcrossParallelism is the core guarantee
+// of the parallel experiment engine: for a fixed base seed, fanning the
+// replications out across workers yields bit-identical results to the
+// sequential path, because each replication derives every RNG substream
+// from its own seed and owns its result slot.
+func TestRunReplicationsDeterministicAcrossParallelism(t *testing.T) {
+	cfg := Baseline()
+	cfg.Horizon = 4000
+	cfg.Seed = 11
+
+	const reps = 6
+	seq, err := RunReplicationsParallel(cfg, reps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallelism := range []int{2, 8} {
+		par, err := RunReplicationsParallel(cfg, reps, parallelism)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par.Runs) != len(seq.Runs) {
+			t.Fatalf("parallelism %d: %d runs, want %d", parallelism, len(par.Runs), len(seq.Runs))
+		}
+		for i := range seq.Runs {
+			if !reflect.DeepEqual(seq.Runs[i], par.Runs[i]) {
+				t.Errorf("parallelism %d: replication %d metrics diverge:\nseq: %+v\npar: %+v",
+					parallelism, i, seq.Runs[i], par.Runs[i])
+			}
+		}
+		if seq.LocalMD != par.LocalMD || seq.GlobalMD != par.GlobalMD {
+			t.Errorf("parallelism %d: aggregates diverge: seq local %+v global %+v, par local %+v global %+v",
+				parallelism, seq.LocalMD, seq.GlobalMD, par.LocalMD, par.GlobalMD)
+		}
+	}
+}
+
+// TestRunReplicationsMatchesLegacySequentialLoop pins RunReplications to
+// the exact behaviour of the pre-runner implementation: seeds Seed,
+// Seed+1, ..., aggregated in seed order.
+func TestRunReplicationsMatchesLegacySequentialLoop(t *testing.T) {
+	cfg := Baseline()
+	cfg.Horizon = 3000
+	cfg.Seed = 5
+
+	const reps = 3
+	got, err := RunReplications(cfg, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < reps; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)
+		want, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got.Runs[i]) {
+			t.Errorf("replication %d differs from a direct Run with seed %d", i, c.Seed)
+		}
+	}
+}
+
+func TestRunReplicationsRejectsBadReps(t *testing.T) {
+	cfg := Baseline()
+	cfg.Horizon = 1000
+	for _, reps := range []int{0, -1} {
+		if _, err := RunReplicationsParallel(cfg, reps, 4); err == nil {
+			t.Errorf("reps = %d accepted", reps)
+		}
+	}
+}
+
+func TestRunReplicationsParallelPropagatesError(t *testing.T) {
+	cfg := Baseline()
+	cfg.Horizon = 1000
+	cfg.Nodes = 0 // invalid: every replication fails Validate
+	if _, err := RunReplicationsParallel(cfg, 8, 4); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// TestRunReplicationsTraceForcesSequential: a shared trace recorder is
+// cross-replication mutable state, so tracing must take the sequential
+// path (and still record from all replications).
+func TestRunReplicationsTraceForcesSequential(t *testing.T) {
+	cfg := Baseline()
+	cfg.Horizon = 1500
+	rec := trace.NewRecorder(0)
+	cfg.Trace = rec
+	if _, err := RunReplicationsParallel(cfg, 3, 8); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Error("trace recorder captured no events across replications")
+	}
+}
+
+// TestRunReplicationsHammer stresses the fan-out with many tiny
+// replications so `go test -race ./internal/system` exercises the
+// engine, workload sources and metrics under real concurrency.
+func TestRunReplicationsHammer(t *testing.T) {
+	reps, rounds := 48, 4
+	if testing.Short() {
+		reps, rounds = 12, 2
+	}
+	cfg := Baseline()
+	cfg.Horizon = 300
+	cfg.Warmup = 50
+	for round := 0; round < rounds; round++ {
+		rep, err := RunReplicationsParallel(cfg, reps, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Runs) != reps {
+			t.Fatalf("round %d: %d runs, want %d", round, len(rep.Runs), reps)
+		}
+		for i, m := range rep.Runs {
+			if m == nil {
+				t.Fatalf("round %d: replication %d missing", round, i)
+			}
+			if m.LocalGenerated == 0 {
+				t.Errorf("round %d: replication %d generated no local tasks", round, i)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/procmgr"
 	"repro/internal/rng"
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -241,23 +242,44 @@ type Replication struct {
 // RunReplications executes reps independent runs with seeds Seed,
 // Seed+1, ... and aggregates the class miss percentages with Student-t
 // confidence intervals (the paper runs two replications per data point).
+// Replications fan out across all cores; see RunReplicationsParallel.
 func RunReplications(cfg Config, reps int) (*Replication, error) {
+	return RunReplicationsParallel(cfg, reps, 0)
+}
+
+// RunReplicationsParallel is RunReplications with an explicit worker
+// bound: parallelism <= 0 uses GOMAXPROCS, 1 forces the sequential path.
+// Each replication owns its seed substream (internal/rng derives every
+// stream from the replication's own Seed), so results are bit-identical
+// across parallelism levels. A shared cfg.Trace recorder is the one piece
+// of cross-replication mutable state, so tracing forces parallelism 1.
+func RunReplicationsParallel(cfg Config, reps, parallelism int) (*Replication, error) {
 	if reps <= 0 {
 		return nil, fmt.Errorf("system: reps = %d, want > 0", reps)
 	}
-	out := &Replication{Runs: make([]*Metrics, 0, reps)}
-	local := make([]float64, 0, reps)
-	global := make([]float64, 0, reps)
-	for i := 0; i < reps; i++ {
+	if cfg.Trace != nil {
+		parallelism = 1
+	}
+	runs := make([]*Metrics, reps)
+	err := runner.New(parallelism).Run(reps, func(i int) error {
 		c := cfg
 		c.Seed = cfg.Seed + uint64(i)
 		m, err := Run(c)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.Runs = append(out.Runs, m)
-		local = append(local, m.MDLocal())
-		global = append(global, m.MDGlobal())
+		runs[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Replication{Runs: runs}
+	local := make([]float64, reps)
+	global := make([]float64, reps)
+	for i, m := range runs {
+		local[i] = m.MDLocal()
+		global[i] = m.MDGlobal()
 	}
 	out.LocalMD = stats.MeanCI(local)
 	out.GlobalMD = stats.MeanCI(global)

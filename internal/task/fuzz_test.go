@@ -31,6 +31,21 @@ func FuzzParse(f *testing.F) {
 		"[x:0.0001 y:10000]",
 		"[\x00]",
 		"[ñ:1 ü:2]",
+		// The exemplar notation used across the examples and README.
+		"[a:1 [b:2 || c:3] d:1]",
+		"[gather:1 [f1:1 || f2:1.5] decide:2]",
+		"[fetch:1 filter:0.5 trade:2]",
+		// Malformed brackets and empty groups.
+		"[]",
+		"[ ]",
+		"[||]",
+		"[a ||]",
+		"[|| a]",
+		"[[]]",
+		"[a",
+		"a]",
+		"[a [b]",
+		"[a]]",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -16,7 +16,12 @@
 //     Experiments/RunExperiment regenerate every table and figure of the
 //     evaluation (fig2a, fig2b, fig3, fig4, combined, ablations,
 //     extensions) with confidence intervals; RenderTable, RenderChart
-//     and RenderCSV format the results.
+//     and RenderCSV format the results. Replications and sweep cells fan
+//     out across cores (ExperimentOptions.Parallelism,
+//     SimulateReplicationsParallel) with results bit-identical to the
+//     sequential path: every replication derives its own RNG substreams
+//     from its seed, so only wall-clock time depends on the worker
+//     count.
 //
 //   - Live runtime: NewLiveNode/NewLiveRuntime execute task graphs on
 //     real goroutines with deadline-ordered mailboxes, applying the same
@@ -33,6 +38,8 @@
 package repro
 
 import (
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/live"
@@ -179,9 +186,18 @@ func PSPBaselineConfig() SimConfig { return system.PSPBaseline() }
 func Simulate(cfg SimConfig) (*SimMetrics, error) { return system.Run(cfg) }
 
 // SimulateReplications runs reps independent replications and aggregates
-// miss percentages with 95% confidence intervals.
+// miss percentages with 95% confidence intervals. Replications fan out
+// across all cores; results are bit-identical to a sequential run because
+// every replication owns its seed-derived RNG substreams.
 func SimulateReplications(cfg SimConfig, reps int) (*SimReplication, error) {
 	return system.RunReplications(cfg, reps)
+}
+
+// SimulateReplicationsParallel is SimulateReplications with an explicit
+// worker bound: parallelism <= 0 uses GOMAXPROCS, 1 forces the
+// sequential path. Attaching a TraceRecorder forces parallelism 1.
+func SimulateReplicationsParallel(cfg SimConfig, reps, parallelism int) (*SimReplication, error) {
+	return system.RunReplicationsParallel(cfg, reps, parallelism)
 }
 
 // Experiments -----------------------------------------------------------
@@ -189,8 +205,19 @@ func SimulateReplications(cfg SimConfig, reps int) (*SimReplication, error) {
 // Experiment is a runnable paper artifact (table or figure).
 type Experiment = experiment.Experiment
 
-// ExperimentOptions scales an experiment (horizon, replications, seed).
+// ExperimentOptions scales an experiment (horizon, replications, seed)
+// and bounds its parallelism (Parallelism: 0 = all cores, 1 =
+// sequential; results are identical either way). Set Progress to observe
+// sweep completion, e.g. with ProgressPrinter.
 type ExperimentOptions = experiment.Options
+
+// ProgressPrinter returns an ExperimentOptions.Progress callback that
+// renders a one-line progress meter to w, prefixed with label. A
+// printer tracks a single sweep; construct a fresh one per
+// RunExperiment call.
+func ProgressPrinter(w io.Writer, label string) func(done, total int) {
+	return experiment.ProgressPrinter(w, label)
+}
 
 // ExperimentResult is a figure plus notes.
 type ExperimentResult = experiment.Result
