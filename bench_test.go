@@ -35,6 +35,36 @@ func BenchmarkRunReplications(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioRun measures the scenario engine (burst preset:
+// non-homogeneous arrivals via thinning, windowed series, merged across
+// replications) at several worker counts. The merged CSV is
+// byte-identical across the sub-benchmarks; only wall clock moves.
+func BenchmarkScenarioRun(b *testing.B) {
+	cfg := BaselineConfig()
+	cfg.Horizon = 2000
+	sc, err := ScenarioPreset("burst", cfg.Horizon)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const reps = 8
+	for _, parallel := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallel=%d", parallel), func(b *testing.B) {
+			var last *ScenarioResult
+			for i := 0; i < b.N; i++ {
+				res, err := RunScenario(cfg, sc, reps, parallel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			if last != nil {
+				b.ReportMetric(float64(last.Series.Len()), "windows/op")
+				b.ReportMetric(last.GlobalMD.Mean, "MDglobal%")
+			}
+		})
+	}
+}
+
 // benchOptions keeps one iteration around tens of milliseconds.
 func benchOptions() ExperimentOptions {
 	return ExperimentOptions{Horizon: 1200, Reps: 1, Seed: 42}

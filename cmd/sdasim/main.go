@@ -80,7 +80,14 @@ func run(args []string, out io.Writer) error {
 		for _, id := range strings.Split(*expID, ",") {
 			e, err := experiment.ByID(strings.TrimSpace(id))
 			if err != nil {
-				return err
+				// Show the full catalogue (ids and titles), not just a
+				// bare failure: the valid names are the fix.
+				var sb strings.Builder
+				fmt.Fprintf(&sb, "%v\nvalid experiments (sdasim -list):\n", err)
+				for _, e := range experiment.All() {
+					fmt.Fprintf(&sb, "  %-12s %s\n", e.ID, e.Title)
+				}
+				return fmt.Errorf("%s", strings.TrimRight(sb.String(), "\n"))
 			}
 			exps = append(exps, e)
 		}

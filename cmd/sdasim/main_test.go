@@ -102,6 +102,28 @@ func TestRunWritesFiles(t *testing.T) {
 	}
 }
 
+// TestUnknownExperimentListsValidOnes pins the error UX: a typo'd -exp
+// points at -list and enumerates the catalogue instead of failing bare.
+func TestUnknownExperimentListsValidOnes(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-exp", "fig9z"}, &b)
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "fig9z") {
+		t.Errorf("error does not echo the bad id: %q", msg)
+	}
+	if !strings.Contains(msg, "-list") {
+		t.Errorf("error does not point at -list: %q", msg)
+	}
+	for _, id := range []string{"table1", "fig2a", "fig2b", "fig3", "fig4", "combined"} {
+		if !strings.Contains(msg, id) {
+			t.Errorf("error listing missing %q: %q", id, msg)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	tests := []struct {
 		name string

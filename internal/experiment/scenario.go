@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/scenario"
+	"repro/internal/stats"
+	"repro/internal/system"
+)
+
+// ScenarioResult is the outcome of a replicated scenario run: the merged
+// time series plus the per-replication whole-run metrics and their
+// replication-level miss-percentage estimates.
+type ScenarioResult struct {
+	// Scenario is the scenario that was run.
+	Scenario *scenario.Scenario
+	// Series is the time series merged across all replications.
+	Series *scenario.Series
+	// Runs holds per-replication metrics in seed order (each with its
+	// own unmerged Series).
+	Runs []*system.Metrics
+	// LocalMD and GlobalMD are replication-level estimates of the
+	// whole-run miss percentages, as in system.Replication.
+	LocalMD  stats.Estimate
+	GlobalMD stats.Estimate
+}
+
+// RunScenario executes reps independent replications of cfg under the
+// scenario with seeds Seed, Seed+1, ... on the PR-1 worker pool
+// (parallelism <= 0 uses GOMAXPROCS, 1 forces the sequential path) and
+// merges the per-window time series across replications. The fan-out is
+// system.RunReplicationsParallel — same seed derivation, same
+// trace-forces-sequential rule — so every replication owns its RNG
+// substreams and the seed-order merge makes the result, including the
+// merged series' CSV bytes, identical at every parallelism level.
+func RunScenario(cfg system.Config, sc *scenario.Scenario, reps, parallelism int) (*ScenarioResult, error) {
+	if sc == nil {
+		return nil, fmt.Errorf("experiment: RunScenario with nil scenario")
+	}
+	cfg.Scenario = sc
+	rep, err := system.RunReplicationsParallel(cfg, reps, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	out := &ScenarioResult{
+		Scenario: sc,
+		Runs:     rep.Runs,
+		LocalMD:  rep.LocalMD,
+		GlobalMD: rep.GlobalMD,
+	}
+	out.Series = rep.Runs[0].Series.Clone()
+	for _, m := range rep.Runs[1:] {
+		if err := out.Series.Merge(m.Series); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

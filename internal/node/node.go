@@ -8,6 +8,7 @@ package node
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -86,6 +87,7 @@ type Node struct {
 	busy         bool
 	running      *task.Task
 	completion   *sim.Event
+	speed        float64 // service speed factor: 1 nominal, 0 frozen
 	segmentStart float64
 	busyTime     float64 // accumulated service time, for utilization
 	served       int64
@@ -144,6 +146,7 @@ func New(cfg Config) (*Node, error) {
 		observer:   cfg.Observer,
 		onDone:     cfg.OnDone,
 		onAbort:    cfg.OnAbort,
+		speed:      1,
 	}, nil
 }
 
@@ -170,6 +173,49 @@ func (n *Node) BusyTime() float64 { return n.busyTime }
 // Preemptions returns the number of times a running task was suspended
 // (always zero for non-preemptive nodes).
 func (n *Node) Preemptions() int64 { return n.preemptions }
+
+// Speed returns the current service speed factor (1 = nominal, 0 =
+// frozen).
+func (n *Node) Speed() float64 { return n.speed }
+
+// SetSpeed changes the node's service speed factor: demand is consumed at
+// `speed` work units per time unit, so a task with remaining demand w
+// finishes after w/speed. Speed 0 freezes the server (a transient
+// outage): the ready queue holds, a task in service is suspended in
+// place, and a later SetSpeed > 0 resumes it with its remaining demand
+// intact. Fractional speeds model degraded nodes (scenario fault
+// injection); BusyTime accrues only while the server actually serves.
+// It panics on a negative or NaN speed.
+func (n *Node) SetSpeed(speed float64) {
+	if speed < 0 || math.IsNaN(speed) {
+		panic(fmt.Sprintf("node %d: SetSpeed(%v)", n.id, speed))
+	}
+	if speed == n.speed {
+		return
+	}
+	now := n.eng.Now()
+	if n.busy {
+		if n.speed > 0 {
+			// Settle the progress of the current service segment.
+			elapsed := now - n.segmentStart
+			n.busyTime += elapsed
+			n.running.Remaining -= elapsed * n.speed
+			if n.running.Remaining < 0 {
+				n.running.Remaining = 0
+			}
+			n.eng.Cancel(n.completion)
+			n.completion = nil
+		}
+		n.segmentStart = now
+		if speed > 0 {
+			t := n.running
+			n.completion = n.eng.MustSchedule(t.Remaining/speed, func() { n.complete(t) })
+		}
+	}
+	n.speed = speed
+	// A thawed idle server picks up whatever queued during the freeze.
+	n.dispatch()
+}
 
 // Submit enqueues a task at the current simulation time and starts the
 // server if it is idle. The task's Arrival must already be set by the
@@ -198,8 +244,10 @@ func (n *Node) preempt() {
 	now := n.eng.Now()
 	n.eng.Cancel(n.completion)
 	cur := n.running
-	cur.Remaining -= now - n.segmentStart
-	n.busyTime += now - n.segmentStart
+	cur.Remaining -= (now - n.segmentStart) * n.speed
+	if n.speed > 0 {
+		n.busyTime += now - n.segmentStart
+	}
 	n.preemptions++
 	n.busy = false
 	n.running = nil
@@ -211,7 +259,7 @@ func (n *Node) preempt() {
 // is non-preemptive ("no preemption", section 4.1): once started, a
 // task runs to completion unless the node is explicitly preemptive.
 func (n *Node) dispatch() {
-	if n.busy {
+	if n.busy || n.speed == 0 {
 		return
 	}
 	for {
@@ -236,7 +284,7 @@ func (n *Node) dispatch() {
 		n.running = t
 		n.segmentStart = now
 		n.observe(ObserveDispatch, t)
-		n.completion = n.eng.MustSchedule(t.Remaining, func() { n.complete(t) })
+		n.completion = n.eng.MustSchedule(t.Remaining/n.speed, func() { n.complete(t) })
 		return
 	}
 }

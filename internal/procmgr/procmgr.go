@@ -33,8 +33,8 @@ type Instance struct {
 	// Arrival and Deadline are the end-to-end attributes ar(T), dl(T).
 	Arrival  float64
 	Deadline float64
-	// Finish is the completion time of the last subtask; zero while in
-	// flight or if aborted.
+	// Finish is the completion time of the last subtask, or the abort
+	// time for aborted instances; zero while in flight.
 	Finish float64
 	// Aborted reports that a subtask was discarded by a node's tardy
 	// policy, killing the whole instance.
@@ -241,6 +241,7 @@ func (m *Manager) Abort(t *task.Task) error {
 		return nil
 	}
 	p.inst.Aborted = true
+	p.inst.Finish = m.eng.Now()
 	m.inflight--
 	m.onDone(p.inst)
 	return nil

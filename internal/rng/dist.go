@@ -66,6 +66,28 @@ func (r *Source) Poisson(mean float64) int {
 	return count
 }
 
+// Pareto returns a Pareto-distributed value with shape alpha and scale
+// (minimum) xm, via inversion: xm · U^(−1/alpha). It panics if alpha <= 0
+// or xm <= 0. With alpha <= 1 the distribution has infinite mean; the
+// workload package therefore requires alpha > 1 for demand modelling.
+func (r *Source) Pareto(alpha, xm float64) float64 {
+	if alpha <= 0 || xm <= 0 {
+		panic("rng: Pareto called with alpha <= 0 or xm <= 0")
+	}
+	// 1-Float64() is in (0,1], so the power is finite.
+	return xm * math.Pow(1-r.Float64(), -1/alpha)
+}
+
+// Lognormal returns exp(N(mu, sigma)): a lognormally distributed value
+// whose logarithm has mean mu and standard deviation sigma. It panics if
+// sigma < 0. The mean of the variate is exp(mu + sigma²/2).
+func (r *Source) Lognormal(mu, sigma float64) float64 {
+	if sigma < 0 {
+		panic("rng: Lognormal called with sigma < 0")
+	}
+	return math.Exp(r.Normal(mu, sigma))
+}
+
 // Normal returns a normally distributed value with the given mean and
 // standard deviation, generated with the Marsaglia polar method.
 func (r *Source) Normal(mean, stddev float64) float64 {

@@ -164,6 +164,70 @@ func TestExponentialMoments(t *testing.T) {
 	}
 }
 
+func TestParetoMomentsAndSupport(t *testing.T) {
+	r := New(29)
+	const (
+		n     = 200000
+		alpha = 2.5
+		xm    = 1.5
+	)
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Pareto(alpha, xm)
+		if v < xm {
+			t.Fatalf("Pareto variate %v below scale %v", v, xm)
+		}
+		sum += v
+	}
+	want := xm * alpha / (alpha - 1) // mean of Pareto(alpha, xm)
+	if got := sum / n; math.Abs(got-want)/want > 0.03 {
+		t.Errorf("Pareto mean = %v, want %v +/- 3%%", got, want)
+	}
+	for _, bad := range [][2]float64{{0, 1}, {-1, 1}, {2, 0}, {2, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Pareto(%v, %v) did not panic", bad[0], bad[1])
+				}
+			}()
+			r.Pareto(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestLognormalMoments(t *testing.T) {
+	r := New(31)
+	const (
+		n     = 200000
+		mu    = 0.4
+		sigma = 0.8
+	)
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Lognormal(mu, sigma)
+		if v <= 0 {
+			t.Fatalf("non-positive lognormal variate %v", v)
+		}
+		sum += v
+	}
+	want := math.Exp(mu + sigma*sigma/2)
+	if got := sum / n; math.Abs(got-want)/want > 0.03 {
+		t.Errorf("lognormal mean = %v, want %v +/- 3%%", got, want)
+	}
+	// Sigma 0 degenerates to a point mass at e^mu.
+	if got := r.Lognormal(mu, 0); math.Abs(got-math.Exp(mu)) > 1e-12 {
+		t.Errorf("Lognormal(mu, 0) = %v, want e^mu", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Lognormal with negative sigma did not panic")
+			}
+		}()
+		r.Lognormal(0, -1)
+	}()
+}
+
 func TestErlangMoments(t *testing.T) {
 	r := New(17)
 	const (

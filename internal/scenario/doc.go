@@ -1,0 +1,60 @@
+// Package scenario adds declarative, time-varying workloads and fault
+// injection to the simulation model, plus the windowed time-series
+// metrics to observe them.
+//
+// # Why this exists
+//
+// The paper (Kao & Garcia-Molina, "Deadline Assignment in a Distributed
+// Soft Real-Time System") evaluates the SDA strategies only under
+// stationary Poisson arrivals with exponential demands (Table 1) and
+// reports whole-run miss ratios. Its soft real-time conclusions, though,
+// matter most exactly where stationarity breaks: load spikes, degraded
+// nodes, transient outages. Section 4.3 already gestures at this with
+// the unbalanced-load and prediction-error variations; this package
+// generalizes those one-off knobs into a first-class concept.
+//
+// Related work this design follows:
+//
+//   - "The Dawn of the Dead(line Misses)" (Chen et al., 2024) studies
+//     deadline-miss behaviour under overload and job dismissal — the
+//     regime the burst/ramp phases of a Spec create on purpose, and the
+//     regime in which the paper's EQF-vs-UD ranking is decided by the
+//     tardy policy (compare the abl-abort experiment).
+//   - "Adaptive Fixed Priority End-To-End Imprecise Scheduling" studies
+//     end-to-end scheduling under changing load; a Scenario's phase
+//     timeline is precisely a declarative "changing load" input, and the
+//     per-window Series is the signal an adaptive strategy would react
+//     to. Future adaptivity PRs plug in here.
+//
+// # Model
+//
+// A Spec has three orthogonal parts:
+//
+//   - Phases modulate the arrival rate over time: a piecewise timeline
+//     of multipliers with optional linear ramps (PhaseSpec.EndRate).
+//     The generators realize the resulting non-homogeneous Poisson
+//     process by Lewis-Shedler thinning (internal/workload), so runs
+//     stay pure functions of the seed. A 3x phase at Table 1's load 0.5
+//     pushes instantaneous load to 1.5 — deliberate transient overload.
+//   - Events inject node faults: KindSlowdown runs one node at a
+//     fractional speed, KindOutage freezes it entirely (the node's
+//     queue holds and the task in service suspends in place; see
+//     node.SetSpeed). Events map to the paper's section 3.2 component
+//     model: nodes are independent, so a fault is a per-node property.
+//   - Demand swaps the execution-time distribution (exponential,
+//     Pareto, lognormal, deterministic), mean-matched so the offered
+//     load is unchanged — only tail weight moves, which is what
+//     separates strategies that spread slack (EQS/EQF) from those that
+//     hoard it (UD).
+//
+// A Series cuts the horizon into fixed windows and collects per-window
+// class miss ratios, global lateness, and sampled queue lengths.
+// Windows merge exactly across replications (Series.Merge builds on
+// stats.Ratio.Merge / stats.Welford.Merge), so the parallel runner
+// aggregates time series the same way it aggregates whole-run ratios —
+// bit-identically, regardless of worker count.
+//
+// Use ParseSpec for JSON input (cmd/sdascn), New/MustNew for
+// programmatic specs, and Preset for the built-in library (burst, ramp,
+// outage, heavytail, storm).
+package scenario

@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseSpec checks that the spec parser never panics, that every
+// accepted spec also compiles (New) and survives a JSON round trip, and
+// that the compiled scenario's modulator respects its declared bound.
+// `go test` runs the seed corpus; `go test -fuzz=FuzzParseSpec` explores
+// further.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`null`,
+		`[]`,
+		`{"phases": []}`,
+		`{"phases": [{"duration": 100, "rate": 1}]}`,
+		`{"phases": [{"duration": 100, "rate": 1}, {"duration": 0, "rate": 3}]}`,
+		`{"phases": [{"duration": 100, "rate": 1, "endRate": 2.5}]}`,
+		// Malformed phases.
+		`{"phases": [{"duration": -1, "rate": 1}]}`,
+		`{"phases": [{"duration": 0, "rate": 1}, {"duration": 5, "rate": 1}]}`,
+		`{"phases": [{"duration": 1e309, "rate": 1}]}`,
+		`{"phases": [{"duration": 100, "rate": 0}]}`,
+		`{"phases": [{"duration": 100, "rate": -2}]}`,
+		`{"phases": [{"duration": 0, "rate": 1, "endRate": 2}]}`,
+		// Events, well-formed and not.
+		`{"events": [{"kind": "outage", "node": 0, "at": 10, "duration": 5}]}`,
+		`{"events": [{"kind": "slowdown", "node": 1, "at": 0, "duration": 1, "factor": 0.5}]}`,
+		`{"events": [{"kind": "slowdown", "node": 1, "at": 0, "duration": 1, "factor": 1.5}]}`,
+		`{"events": [{"kind": "meltdown", "node": 0, "at": 0, "duration": 1}]}`,
+		`{"events": [{"kind": "outage", "node": -3, "at": 0, "duration": 1}]}`,
+		`{"events": [{"kind": "outage", "node": 0, "at": -1, "duration": 1}]}`,
+		`{"events": [{"kind": "outage", "node": 0, "at": 0, "duration": -1}]}`,
+		// Overlapping events on one node.
+		`{"events": [
+			{"kind": "outage", "node": 0, "at": 10, "duration": 10},
+			{"kind": "outage", "node": 0, "at": 15, "duration": 10}]}`,
+		`{"events": [
+			{"kind": "outage", "node": 0, "at": 10, "duration": 10},
+			{"kind": "outage", "node": 1, "at": 15, "duration": 10}]}`,
+		// Demands.
+		`{"demand": {"dist": "pareto", "alpha": 2.5}}`,
+		`{"demand": {"dist": "pareto", "alpha": 0.5}}`,
+		`{"demand": {"dist": "lognormal", "sigma": 1}}`,
+		`{"demand": {"dist": "deterministic"}}`,
+		`{"demand": {"dist": "cauchy"}}`,
+		// Structure-level malformations.
+		`{"interval": -5}`,
+		`{"interval": "fast"}`,
+		`{"phasez": []}`,
+		`{"phases": [}`,
+		`{} {}`,
+		`{"phases": [{"duration": 100, "rate": 1}]`,
+		"{\"name\": \"\x00\"}",
+		`{"name": "ok", "phases": [{"duration": 1e-300, "rate": 1e300}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := ParseSpec(data)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		sc, err := New(sp)
+		if err != nil {
+			t.Fatalf("ParseSpec accepted a spec New rejects: %v\ninput: %s", err, data)
+		}
+		// The modulator must honour its declared bound at phase edges —
+		// the invariant the thinning generator panics on.
+		max := sc.MaxFactor()
+		probe := []float64{0}
+		at := 0.0
+		for _, ph := range sp.Phases {
+			probe = append(probe, at, at+ph.Duration/2, at+ph.Duration)
+			at += ph.Duration
+		}
+		for _, p := range probe {
+			if f := sc.FactorAt(p); f > max || f < 0 {
+				t.Fatalf("FactorAt(%v) = %v outside [0, max %v]", p, f, max)
+			}
+		}
+		// Accepted specs survive a JSON round trip.
+		blob, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatalf("marshal accepted spec: %v", err)
+		}
+		sp2, err := ParseSpec(blob)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\nblob: %s", err, blob)
+		}
+		if len(sp2.Phases) != len(sp.Phases) || len(sp2.Events) != len(sp.Events) {
+			t.Fatalf("round trip changed structure: %+v vs %+v", sp, sp2)
+		}
+	})
+}

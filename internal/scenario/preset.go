@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// preset builds a Spec for a run of the given horizon. Presets express
+// their timeline as fractions of the horizon so one name works at any
+// scale.
+type preset struct {
+	name  string
+	title string
+	build func(horizon float64) Spec
+}
+
+// presets is the built-in scenario library; see doc.go for the paper and
+// related-work motivation of each.
+var presets = []preset{
+	{
+		name:  "burst",
+		title: "3x arrival-rate burst for the middle 10% of the run",
+		build: func(h float64) Spec {
+			return Spec{
+				Name: "burst",
+				Phases: []PhaseSpec{
+					{Duration: 0.45 * h, Rate: 1},
+					{Duration: 0.10 * h, Rate: 3},
+					{Duration: 0, Rate: 1},
+				},
+			}
+		},
+	},
+	{
+		name:  "ramp",
+		title: "load ramps 1x..2.5x over the middle half, then back",
+		build: func(h float64) Spec {
+			return Spec{
+				Name: "ramp",
+				Phases: []PhaseSpec{
+					{Duration: 0.25 * h, Rate: 1},
+					{Duration: 0.25 * h, Rate: 1, EndRate: 2.5},
+					{Duration: 0.25 * h, Rate: 2.5, EndRate: 1},
+					{Duration: 0, Rate: 1},
+				},
+			}
+		},
+	},
+	{
+		name:  "outage",
+		title: "node 0 out for 5% of the run, node 1 at half speed for 10%",
+		build: func(h float64) Spec {
+			return Spec{
+				Name: "outage",
+				Events: []EventSpec{
+					{Kind: KindOutage, Node: 0, At: 0.40 * h, Duration: 0.05 * h},
+					{Kind: KindSlowdown, Node: 1, At: 0.60 * h, Duration: 0.10 * h, Factor: 0.5},
+				},
+			}
+		},
+	},
+	{
+		name:  "heavytail",
+		title: "stationary arrivals with Pareto(1.8) heavy-tailed demands",
+		build: func(h float64) Spec {
+			return Spec{
+				Name:   "heavytail",
+				Demand: &DemandSpec{Dist: "pareto", Alpha: 1.8},
+			}
+		},
+	},
+	{
+		name:  "storm",
+		title: "burst + node-0 outage inside the burst + lognormal demands",
+		build: func(h float64) Spec {
+			return Spec{
+				Name: "storm",
+				Phases: []PhaseSpec{
+					{Duration: 0.45 * h, Rate: 1},
+					{Duration: 0.10 * h, Rate: 3},
+					{Duration: 0, Rate: 1},
+				},
+				Events: []EventSpec{
+					{Kind: KindOutage, Node: 0, At: 0.47 * h, Duration: 0.04 * h},
+				},
+				Demand: &DemandSpec{Dist: "lognormal", Sigma: 1},
+			}
+		},
+	},
+}
+
+// Presets lists the built-in scenario names with one-line descriptions,
+// sorted by name.
+func Presets() []string {
+	out := make([]string, len(presets))
+	for i, p := range presets {
+		out[i] = fmt.Sprintf("%-10s %s", p.name, p.title)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PresetNames lists just the names, sorted.
+func PresetNames() []string {
+	out := make([]string, len(presets))
+	for i, p := range presets {
+		out[i] = p.name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Preset compiles a built-in scenario for a run of the given horizon.
+func Preset(name string, horizon float64) (*Scenario, error) {
+	if !(horizon > 0) {
+		return nil, fmt.Errorf("scenario: preset %q: horizon = %v, want > 0", name, horizon)
+	}
+	for _, p := range presets {
+		if p.name == name {
+			return New(p.build(horizon))
+		}
+	}
+	return nil, fmt.Errorf("scenario: unknown preset %q (try one of %v)", name, PresetNames())
+}

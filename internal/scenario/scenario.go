@@ -1,0 +1,156 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/workload"
+)
+
+// Scenario is a compiled, immutable Spec ready to drive a run. It
+// implements workload.RateModulator, so the system package can hand it
+// straight to the task generators, and exposes the fault events and
+// metrics interval for the simulation loop. A single Scenario value is
+// read-only after New and safe to share across parallel replications.
+type Scenario struct {
+	spec   Spec
+	starts []float64 // cumulative phase start times
+	end    float64   // end of the closed timeline (last phase may be open)
+	open   bool      // final phase has Duration 0
+	max    float64   // max rate factor over the whole run
+	demand workload.Demand
+}
+
+// New compiles a validated spec. It re-validates, so callers that build
+// specs programmatically need no separate Validate call.
+func New(spec Spec) (*Scenario, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Scenario{spec: spec, max: 1}
+	t := 0.0
+	for i, ph := range spec.Phases {
+		s.starts = append(s.starts, t)
+		t += ph.Duration
+		if ph.Duration == 0 && i == len(spec.Phases)-1 {
+			s.open = true
+		}
+		if ph.Rate > s.max {
+			s.max = ph.Rate
+		}
+		if ph.EndRate > s.max {
+			s.max = ph.EndRate
+		}
+	}
+	s.end = t
+	if spec.Demand != nil {
+		d, err := spec.Demand.demand()
+		if err != nil {
+			return nil, err
+		}
+		s.demand = d
+	}
+	return s, nil
+}
+
+// MustNew is New for statically known specs; it panics on error.
+func MustNew(spec Spec) *Scenario {
+	s, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name returns the spec's name.
+func (s *Scenario) Name() string { return s.spec.Name }
+
+// Spec returns a copy of the compiled spec.
+func (s *Scenario) Spec() Spec { return s.spec }
+
+// Events returns the fault events (not a copy; callers must not mutate).
+func (s *Scenario) Events() []EventSpec { return s.spec.Events }
+
+// Demand returns the configured execution-time distribution, or nil for
+// the exponential default.
+func (s *Scenario) Demand() workload.Demand { return s.demand }
+
+// Interval returns the metrics-window width for a run of the given
+// horizon, applying the Horizon/50 default and capping at the horizon.
+func (s *Scenario) Interval(horizon float64) float64 {
+	iv := s.spec.Interval
+	if iv == 0 {
+		iv = horizon / 50
+	}
+	if iv > horizon {
+		iv = horizon
+	}
+	return iv
+}
+
+// MaxWindows bounds a run's time-series length. A spec's Interval is
+// validated only for sign — the window count also depends on the
+// horizon, so the pairing is checked here (via CheckHorizon) before a
+// run allocates the series.
+const MaxWindows = 200000
+
+// CheckHorizon verifies the interval/horizon pairing yields a sane
+// window count; the spec itself cannot know the horizon. Without this
+// bound a tiny positive interval would turn into a huge (or, past
+// float-to-int overflow, panicking) series allocation.
+func (s *Scenario) CheckHorizon(horizon float64) error {
+	if !(horizon > 0) || math.IsInf(horizon, 0) {
+		return fmt.Errorf("scenario: horizon = %v, want positive and finite", horizon)
+	}
+	if n := horizon / s.Interval(horizon); n > MaxWindows {
+		return fmt.Errorf("scenario: interval %v over horizon %v means %.3g windows, max %d — raise the interval",
+			s.spec.Interval, horizon, n, MaxWindows)
+	}
+	return nil
+}
+
+// CheckNodes verifies every event targets a node index below k; the spec
+// itself cannot know the system size.
+func (s *Scenario) CheckNodes(k int) error {
+	for i, ev := range s.spec.Events {
+		if ev.Node >= k {
+			return fmt.Errorf("scenario: event %d targets node %d of a %d-node system", i, ev.Node, k)
+		}
+	}
+	return nil
+}
+
+// FactorAt implements workload.RateModulator: the piecewise-linear rate
+// multiplier of the phase timeline. Past the closed end of the timeline
+// the workload returns to nominal (factor 1).
+func (s *Scenario) FactorAt(t float64) float64 {
+	if t < 0 {
+		return 1
+	}
+	for i := len(s.starts) - 1; i >= 0; i-- {
+		if t < s.starts[i] {
+			continue
+		}
+		ph := s.spec.Phases[i]
+		if ph.Duration == 0 { // open-ended tail
+			return ph.Rate
+		}
+		if t >= s.starts[i]+ph.Duration {
+			break // t is past the closed timeline
+		}
+		if ph.EndRate > 0 {
+			frac := (t - s.starts[i]) / ph.Duration
+			return ph.Rate + (ph.EndRate-ph.Rate)*frac
+		}
+		return ph.Rate
+	}
+	return 1
+}
+
+// MaxFactor implements workload.RateModulator with the precomputed bound
+// (at least 1, since the timeline returns to nominal).
+func (s *Scenario) MaxFactor() float64 { return s.max }
+
+// PhaseEnd returns the end of the closed timeline and whether the final
+// phase is open-ended. Useful for labelling time-series output.
+func (s *Scenario) PhaseEnd() (end float64, open bool) { return s.end, s.open }

@@ -1,0 +1,303 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func burstSpec() Spec {
+	return Spec{
+		Name: "burst",
+		Phases: []PhaseSpec{
+			{Duration: 100, Rate: 1},
+			{Duration: 20, Rate: 3},
+			{Duration: 0, Rate: 1},
+		},
+	}
+}
+
+func TestFactorAtStepPhases(t *testing.T) {
+	s := MustNew(burstSpec())
+	tests := []struct {
+		at   float64
+		want float64
+	}{
+		{at: 0, want: 1},
+		{at: 99.9, want: 1},
+		{at: 100, want: 3},
+		{at: 119.9, want: 3},
+		{at: 120, want: 1}, // open-ended tail
+		{at: 1e9, want: 1},
+		{at: -5, want: 1},
+	}
+	for _, tt := range tests {
+		if got := s.FactorAt(tt.at); got != tt.want {
+			t.Errorf("FactorAt(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+	if got := s.MaxFactor(); got != 3 {
+		t.Errorf("MaxFactor = %v, want 3", got)
+	}
+}
+
+func TestFactorAtRampInterpolates(t *testing.T) {
+	s := MustNew(Spec{Phases: []PhaseSpec{
+		{Duration: 100, Rate: 1, EndRate: 3},
+	}})
+	tests := []struct {
+		at   float64
+		want float64
+	}{
+		{at: 0, want: 1},
+		{at: 50, want: 2},
+		{at: 75, want: 2.5},
+		{at: 100, want: 1}, // past the closed timeline: nominal
+	}
+	for _, tt := range tests {
+		if got := s.FactorAt(tt.at); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("FactorAt(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+	if got := s.MaxFactor(); got != 3 {
+		t.Errorf("MaxFactor = %v, want 3 (ramp end)", got)
+	}
+}
+
+func TestEmptySpecIsNominal(t *testing.T) {
+	s := MustNew(Spec{})
+	if got := s.FactorAt(12.5); got != 1 {
+		t.Errorf("FactorAt = %v, want 1", got)
+	}
+	if got := s.MaxFactor(); got != 1 {
+		t.Errorf("MaxFactor = %v, want 1", got)
+	}
+}
+
+func TestIntervalDefaultsAndCaps(t *testing.T) {
+	s := MustNew(Spec{})
+	if got := s.Interval(50000); got != 1000 {
+		t.Errorf("default interval = %v, want Horizon/50 = 1000", got)
+	}
+	s = MustNew(Spec{Interval: 700})
+	if got := s.Interval(50000); got != 700 {
+		t.Errorf("explicit interval = %v, want 700", got)
+	}
+	if got := s.Interval(500); got != 500 {
+		t.Errorf("interval beyond horizon = %v, want capped at 500", got)
+	}
+}
+
+// TestCheckHorizonBoundsWindowCount pins the interval/horizon pairing
+// check: a tiny positive interval must be a validation error, not a
+// giant (or, past float-to-int overflow, panicking) series allocation.
+func TestCheckHorizonBoundsWindowCount(t *testing.T) {
+	ok := MustNew(Spec{Interval: 1000})
+	if err := ok.CheckHorizon(50000); err != nil {
+		t.Errorf("CheckHorizon(50000) = %v, want nil", err)
+	}
+	for _, iv := range []float64{1e-300, 0.001} {
+		s := MustNew(Spec{Interval: iv})
+		if err := s.CheckHorizon(50000); err == nil {
+			t.Errorf("interval %v over horizon 50000 accepted (%v windows)", iv, 50000/iv)
+		}
+	}
+	if err := ok.CheckHorizon(0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	// The default interval (Horizon/50) is always fine.
+	if err := MustNew(Spec{}).CheckHorizon(1e12); err != nil {
+		t.Errorf("default interval rejected: %v", err)
+	}
+}
+
+func TestCheckNodes(t *testing.T) {
+	s := MustNew(Spec{Events: []EventSpec{
+		{Kind: KindOutage, Node: 5, At: 10, Duration: 5},
+	}})
+	if err := s.CheckNodes(6); err != nil {
+		t.Errorf("CheckNodes(6) = %v, want nil", err)
+	}
+	if err := s.CheckNodes(5); err == nil {
+		t.Error("CheckNodes(5) accepted an event on node 5")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tests := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{
+			name: "negative duration",
+			spec: Spec{Phases: []PhaseSpec{{Duration: -1, Rate: 1}}},
+			want: "duration",
+		},
+		{
+			name: "zero duration mid-timeline",
+			spec: Spec{Phases: []PhaseSpec{{Duration: 0, Rate: 1}, {Duration: 5, Rate: 1}}},
+			want: "final",
+		},
+		{
+			name: "zero rate",
+			spec: Spec{Phases: []PhaseSpec{{Duration: 1, Rate: 0}}},
+			want: "rate",
+		},
+		{
+			name: "NaN rate",
+			spec: Spec{Phases: []PhaseSpec{{Duration: 1, Rate: math.NaN()}}},
+			want: "rate",
+		},
+		{
+			name: "open-ended ramp",
+			spec: Spec{Phases: []PhaseSpec{{Duration: 0, Rate: 1, EndRate: 2}}},
+			want: "ramp",
+		},
+		{
+			name: "unknown event kind",
+			spec: Spec{Events: []EventSpec{{Kind: "meltdown", Node: 0, At: 0, Duration: 1}}},
+			want: "kind",
+		},
+		{
+			name: "negative event node",
+			spec: Spec{Events: []EventSpec{{Kind: KindOutage, Node: -1, At: 0, Duration: 1}}},
+			want: "node",
+		},
+		{
+			name: "zero event duration",
+			spec: Spec{Events: []EventSpec{{Kind: KindOutage, Node: 0, At: 0, Duration: 0}}},
+			want: "duration",
+		},
+		{
+			name: "slowdown factor out of range",
+			spec: Spec{Events: []EventSpec{{Kind: KindSlowdown, Node: 0, At: 0, Duration: 1, Factor: 1.5}}},
+			want: "factor",
+		},
+		{
+			name: "outage with factor",
+			spec: Spec{Events: []EventSpec{{Kind: KindOutage, Node: 0, At: 0, Duration: 1, Factor: 0.5}}},
+			want: "outage",
+		},
+		{
+			name: "overlapping events on one node",
+			spec: Spec{Events: []EventSpec{
+				{Kind: KindOutage, Node: 2, At: 10, Duration: 10},
+				{Kind: KindSlowdown, Node: 2, At: 15, Duration: 10, Factor: 0.5},
+			}},
+			want: "overlap",
+		},
+		{
+			name: "pareto alpha at most 1",
+			spec: Spec{Demand: &DemandSpec{Dist: "pareto", Alpha: 1}},
+			want: "alpha",
+		},
+		{
+			name: "unknown demand",
+			spec: Spec{Demand: &DemandSpec{Dist: "cauchy"}},
+			want: "demand",
+		},
+		{
+			name: "negative interval",
+			spec: Spec{Interval: -3},
+			want: "interval",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.spec)
+			if err == nil {
+				t.Fatal("New accepted an invalid spec")
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestOverlapOnDistinctNodesIsFine(t *testing.T) {
+	_, err := New(Spec{Events: []EventSpec{
+		{Kind: KindOutage, Node: 0, At: 10, Duration: 10},
+		{Kind: KindOutage, Node: 1, At: 12, Duration: 10},
+	}})
+	if err != nil {
+		t.Fatalf("simultaneous faults on distinct nodes rejected: %v", err)
+	}
+}
+
+func TestAdjacentEventsOnOneNodeAreFine(t *testing.T) {
+	_, err := New(Spec{Events: []EventSpec{
+		{Kind: KindOutage, Node: 0, At: 10, Duration: 10},
+		{Kind: KindSlowdown, Node: 0, At: 20, Duration: 10, Factor: 0.5},
+	}})
+	if err != nil {
+		t.Fatalf("back-to-back events rejected: %v", err)
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	data := []byte(`{
+		"name": "spike",
+		"interval": 500,
+		"phases": [
+			{"duration": 1000, "rate": 1},
+			{"duration": 200, "rate": 3},
+			{"duration": 0, "rate": 1}
+		],
+		"events": [{"kind": "slowdown", "node": 1, "at": 100, "duration": 50, "factor": 0.25}],
+		"demand": {"dist": "lognormal", "sigma": 0.8}
+	}`)
+	sp, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Name != "spike" || len(sp.Phases) != 3 || len(sp.Events) != 1 {
+		t.Fatalf("parsed spec incomplete: %+v", sp)
+	}
+	if _, err := New(sp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSpecRejections(t *testing.T) {
+	tests := []struct {
+		name string
+		data string
+	}{
+		{name: "syntax error", data: `{"phases": [}`},
+		{name: "unknown field", data: `{"phasez": []}`},
+		{name: "trailing data", data: `{} {}`},
+		{name: "wrong type", data: `{"interval": "fast"}`},
+		{name: "invalid content", data: `{"phases": [{"duration": -1, "rate": 1}]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseSpec([]byte(tt.data)); err == nil {
+				t.Errorf("ParseSpec accepted %q", tt.data)
+			}
+		})
+	}
+}
+
+func TestPresetsCompile(t *testing.T) {
+	for _, name := range PresetNames() {
+		sc, err := Preset(name, 50000)
+		if err != nil {
+			t.Errorf("preset %q: %v", name, err)
+			continue
+		}
+		if sc.MaxFactor() < 1 {
+			t.Errorf("preset %q: MaxFactor %v < 1", name, sc.MaxFactor())
+		}
+	}
+	if _, err := Preset("nope", 50000); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if _, err := Preset("burst", 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if len(Presets()) != len(PresetNames()) {
+		t.Error("Presets and PresetNames disagree")
+	}
+}

@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Series is the windowed time-series collector of a scenario run: the
+// horizon is cut into fixed-width intervals and every window accumulates
+// class miss ratios, lateness, and sampled queue lengths. Windows from
+// independent replications merge exactly (Merge), so parallel runs
+// aggregate without re-running — the scenario counterpart of the paper's
+// whole-run miss ratios.
+type Series struct {
+	interval float64
+	horizon  float64
+	windows  []Window
+}
+
+// Window holds one interval's statistics. Observations are binned by the
+// time they become known (completion or abort time), which is the only
+// binning a causal on-line monitor could use.
+type Window struct {
+	// LocalMiss and GlobalMiss are the class-conditional miss ratios of
+	// tasks finishing in this window.
+	LocalMiss  stats.Ratio
+	GlobalMiss stats.Ratio
+	// Lateness accumulates finish − deadline over global instances
+	// finishing in the window (negative values are early completions).
+	Lateness stats.Welford
+	// QueueLen accumulates system-wide ready-queue length samples taken
+	// inside the window.
+	QueueLen stats.Welford
+}
+
+// NewSeries returns a collector for a run of the given horizon with the
+// given window width. It panics on non-positive arguments; window shape
+// is a programming decision, not an input.
+func NewSeries(interval, horizon float64) *Series {
+	if !(interval > 0) || !(horizon > 0) {
+		panic(fmt.Sprintf("scenario: NewSeries(%v, %v)", interval, horizon))
+	}
+	n := int(horizon / interval)
+	if float64(n)*interval < horizon {
+		n++ // partial trailing window
+	}
+	return &Series{interval: interval, horizon: horizon, windows: make([]Window, n)}
+}
+
+// Interval returns the window width.
+func (s *Series) Interval() float64 { return s.interval }
+
+// Len returns the number of windows.
+func (s *Series) Len() int { return len(s.windows) }
+
+// Window returns a pointer to window i (for tests and reports).
+func (s *Series) Window(i int) *Window { return &s.windows[i] }
+
+// WindowStart returns the start time of window i.
+func (s *Series) WindowStart(i int) float64 { return float64(i) * s.interval }
+
+// index maps a time to its window, clamping to the series bounds so
+// boundary floating-point noise never drops an observation.
+func (s *Series) index(t float64) int {
+	i := int(t / s.interval)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s.windows) {
+		i = len(s.windows) - 1
+	}
+	return i
+}
+
+// ObserveLocal records a local task finishing (or aborting) at time t.
+func (s *Series) ObserveLocal(t float64, missed bool) {
+	s.windows[s.index(t)].LocalMiss.Observe(missed)
+}
+
+// ObserveGlobal records a global instance finishing at time t with the
+// given lateness (finish − deadline).
+func (s *Series) ObserveGlobal(t float64, missed bool, lateness float64) {
+	w := &s.windows[s.index(t)]
+	w.GlobalMiss.Observe(missed)
+	w.Lateness.Add(lateness)
+}
+
+// ObserveGlobalAbort records a global instance discarded at time t: a
+// miss by definition, with no lateness sample (the work never finished).
+func (s *Series) ObserveGlobalAbort(t float64) {
+	s.windows[s.index(t)].GlobalMiss.Observe(true)
+}
+
+// ObserveQueueLen records a system-wide queue-length sample at time t.
+func (s *Series) ObserveQueueLen(t float64, length float64) {
+	s.windows[s.index(t)].QueueLen.Add(length)
+}
+
+// MissRateIn returns the pooled per-class miss ratios over windows whose
+// start lies in [t0, t1) — the aggregate a test or report compares
+// between, say, a burst window and steady state.
+func (s *Series) MissRateIn(t0, t1 float64) (local, global float64) {
+	var lm, gm stats.Ratio
+	for i := range s.windows {
+		start := s.WindowStart(i)
+		if start < t0 || start >= t1 {
+			continue
+		}
+		lm.Merge(&s.windows[i].LocalMiss)
+		gm.Merge(&s.windows[i].GlobalMiss)
+	}
+	return lm.Value(), gm.Value()
+}
+
+// Clone returns a deep copy, so merging replications never mutates the
+// per-run series.
+func (s *Series) Clone() *Series {
+	out := &Series{interval: s.interval, horizon: s.horizon}
+	out.windows = make([]Window, len(s.windows))
+	copy(out.windows, s.windows)
+	return out
+}
+
+// Merge folds another replication's series into s window by window. The
+// two series must have identical geometry.
+func (s *Series) Merge(o *Series) error {
+	if o.interval != s.interval || len(o.windows) != len(s.windows) {
+		return fmt.Errorf("scenario: cannot merge series (interval %v/%v, windows %d/%d)",
+			s.interval, o.interval, len(s.windows), len(o.windows))
+	}
+	for i := range s.windows {
+		s.windows[i].LocalMiss.Merge(&o.windows[i].LocalMiss)
+		s.windows[i].GlobalMiss.Merge(&o.windows[i].GlobalMiss)
+		s.windows[i].Lateness.Merge(&o.windows[i].Lateness)
+		s.windows[i].QueueLen.Merge(&o.windows[i].QueueLen)
+	}
+	return nil
+}
+
+// CSVHeader is the column layout of WriteCSV.
+const CSVHeader = "t_start,t_end,local_done,local_missrate,global_done,global_missrate,mean_lateness,mean_queue_len"
+
+// WriteCSV emits one row per window. Numbers are formatted with the
+// shortest exact representation ('g', −1), so equal series produce
+// byte-identical output — the property the determinism CI job asserts
+// across worker counts.
+func (s *Series) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(CSVHeader)
+	b.WriteByte('\n')
+	for i := range s.windows {
+		win := &s.windows[i]
+		end := s.WindowStart(i) + s.interval
+		if end > s.horizon {
+			end = s.horizon
+		}
+		cols := []string{
+			num(s.WindowStart(i)),
+			num(end),
+			strconv.FormatInt(win.LocalMiss.Total(), 10),
+			num(win.LocalMiss.Value()),
+			strconv.FormatInt(win.GlobalMiss.Total(), 10),
+			num(win.GlobalMiss.Value()),
+			num(win.Lateness.Mean()),
+			num(win.QueueLen.Mean()),
+		}
+		b.WriteString(strings.Join(cols, ","))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// num formats a float with the shortest exact decimal representation.
+func num(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

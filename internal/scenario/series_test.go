@@ -1,0 +1,172 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSeriesGeometry(t *testing.T) {
+	s := NewSeries(100, 1000)
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+	// A horizon that is not a multiple of the interval gets a partial
+	// trailing window.
+	s = NewSeries(300, 1000)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (partial trailing window)", s.Len())
+	}
+	if got := s.WindowStart(3); got != 900 {
+		t.Fatalf("WindowStart(3) = %v, want 900", got)
+	}
+}
+
+func TestSeriesBinsByTime(t *testing.T) {
+	s := NewSeries(100, 1000)
+	s.ObserveLocal(50, true)
+	s.ObserveLocal(150, false)
+	s.ObserveGlobal(150, true, 2.5)
+	s.ObserveGlobal(999.9, false, -1)
+	// Boundary noise clamps instead of dropping.
+	s.ObserveLocal(1000, true)
+	s.ObserveLocal(-0.001, false)
+
+	if got := s.Window(0).LocalMiss.Total(); got != 2 {
+		t.Errorf("window 0 local total = %d, want 2 (incl. clamped negative)", got)
+	}
+	if got := s.Window(1).LocalMiss.Total(); got != 1 {
+		t.Errorf("window 1 local total = %d, want 1", got)
+	}
+	if got := s.Window(1).GlobalMiss.Value(); got != 1 {
+		t.Errorf("window 1 global miss = %v, want 1", got)
+	}
+	if got := s.Window(1).Lateness.Mean(); got != 2.5 {
+		t.Errorf("window 1 lateness = %v, want 2.5", got)
+	}
+	if got := s.Window(9).LocalMiss.Total(); got != 1 {
+		t.Errorf("window 9 local total = %d, want 1 (clamped at horizon)", got)
+	}
+}
+
+func TestSeriesMergeMatchesPooled(t *testing.T) {
+	a := NewSeries(100, 300)
+	b := NewSeries(100, 300)
+	pooled := NewSeries(100, 300)
+	obs := []struct {
+		at     float64
+		missed bool
+		late   float64
+	}{
+		{at: 10, missed: true, late: 3},
+		{at: 110, missed: false, late: -1},
+		{at: 120, missed: true, late: 0.5},
+		{at: 250, missed: false, late: -2},
+	}
+	for i, o := range obs {
+		target := a
+		if i%2 == 1 {
+			target = b
+		}
+		target.ObserveLocal(o.at, o.missed)
+		target.ObserveGlobal(o.at, o.missed, o.late)
+		target.ObserveQueueLen(o.at, float64(i))
+		pooled.ObserveLocal(o.at, o.missed)
+		pooled.ObserveGlobal(o.at, o.missed, o.late)
+		pooled.ObserveQueueLen(o.at, float64(i))
+	}
+	merged := a.Clone()
+	if err := merged.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < merged.Len(); i++ {
+		m, p := merged.Window(i), pooled.Window(i)
+		if m.LocalMiss != p.LocalMiss || m.GlobalMiss != p.GlobalMiss {
+			t.Errorf("window %d ratios diverge: %+v vs %+v", i, m, p)
+		}
+		if math.Abs(m.Lateness.Mean()-p.Lateness.Mean()) > 1e-12 ||
+			m.Lateness.N() != p.Lateness.N() {
+			t.Errorf("window %d lateness diverges", i)
+		}
+		if math.Abs(m.QueueLen.Mean()-p.QueueLen.Mean()) > 1e-12 {
+			t.Errorf("window %d queue length diverges", i)
+		}
+	}
+	// Clone isolates: the merge must not have touched a, which saw only
+	// the even-indexed observation at t = 10 in window 0.
+	if a.Window(0).LocalMiss.Total() != 1 {
+		t.Error("Merge mutated the clone source")
+	}
+}
+
+func TestSeriesMergeRejectsMismatch(t *testing.T) {
+	a := NewSeries(100, 1000)
+	if err := a.Merge(NewSeries(50, 1000)); err == nil {
+		t.Error("merged series with different interval")
+	}
+	if err := a.Merge(NewSeries(100, 500)); err == nil {
+		t.Error("merged series with different window count")
+	}
+}
+
+func TestSeriesMissRateIn(t *testing.T) {
+	s := NewSeries(100, 1000)
+	for i := 0; i < 10; i++ {
+		at := float64(i)*100 + 50
+		// Windows 4..5 are "the burst": all misses there.
+		missed := i == 4 || i == 5
+		s.ObserveLocal(at, missed)
+		s.ObserveGlobal(at, missed, 0)
+	}
+	local, global := s.MissRateIn(400, 600)
+	if local != 1 || global != 1 {
+		t.Errorf("burst MissRateIn = %v, %v, want 1, 1", local, global)
+	}
+	local, global = s.MissRateIn(0, 400)
+	if local != 0 || global != 0 {
+		t.Errorf("steady MissRateIn = %v, %v, want 0, 0", local, global)
+	}
+}
+
+func TestSeriesWriteCSV(t *testing.T) {
+	s := NewSeries(300, 1000)
+	s.ObserveLocal(10, true)
+	s.ObserveGlobal(10, true, 1.5)
+	s.ObserveQueueLen(10, 4)
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 1+4 {
+		t.Fatalf("CSV has %d lines, want header + 4 windows:\n%s", len(lines), b.String())
+	}
+	if lines[0] != CSVHeader {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0,300,1,1,1,1,1.5,4" {
+		t.Errorf("window 0 row = %q", lines[1])
+	}
+	// The partial trailing window ends at the horizon, not at 1200.
+	if !strings.HasPrefix(lines[4], "900,1000,") {
+		t.Errorf("trailing row = %q, want end clamped to horizon", lines[4])
+	}
+}
+
+func TestNewSeriesPanicsOnBadGeometry(t *testing.T) {
+	for _, tt := range []struct{ interval, horizon float64 }{
+		{interval: 0, horizon: 100},
+		{interval: -1, horizon: 100},
+		{interval: 10, horizon: 0},
+		{interval: math.NaN(), horizon: 100},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSeries(%v, %v) did not panic", tt.interval, tt.horizon)
+				}
+			}()
+			NewSeries(tt.interval, tt.horizon)
+		}()
+	}
+}

@@ -1,0 +1,194 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// Event kinds.
+const (
+	// KindSlowdown degrades one node's service speed by Factor for the
+	// event's duration.
+	KindSlowdown = "slowdown"
+	// KindOutage freezes one node entirely: the ready queue holds and a
+	// task in service suspends until the event ends.
+	KindOutage = "outage"
+)
+
+// Spec is the declarative, JSON-serializable description of a scenario:
+// a timeline of workload phases, a set of node fault events, the
+// metrics-window width, and an optional demand-distribution override.
+// Validate (or ParseSpec, which calls it) must accept a Spec before it is
+// compiled with New.
+type Spec struct {
+	// Name labels the scenario in reports.
+	Name string `json:"name,omitempty"`
+	// Interval is the width of one metrics window in simulated time
+	// units; 0 picks Horizon/50 at run time.
+	Interval float64 `json:"interval,omitempty"`
+	// Phases is the workload timeline, applied in order from t = 0.
+	// After the last phase ends the rate factor returns to 1. Empty
+	// phases mean a stationary workload (events and metrics only).
+	Phases []PhaseSpec `json:"phases,omitempty"`
+	// Events are node fault injections; events on the same node must
+	// not overlap.
+	Events []EventSpec `json:"events,omitempty"`
+	// Demand optionally replaces the exponential execution-time
+	// distribution for generated tasks.
+	Demand *DemandSpec `json:"demand,omitempty"`
+}
+
+// PhaseSpec is one segment of the workload timeline.
+type PhaseSpec struct {
+	// Duration is the phase length in simulated time units. It must be
+	// positive, except that the final phase may use 0 to mean "until
+	// the end of the run".
+	Duration float64 `json:"duration"`
+	// Rate is the arrival-rate multiplier at the start of the phase
+	// (1 = the configured nominal rate); it must be positive.
+	Rate float64 `json:"rate"`
+	// EndRate, when positive, ramps the multiplier linearly from Rate
+	// to EndRate across the phase (a load ramp); 0 keeps the phase
+	// constant at Rate. An open-ended final phase cannot ramp.
+	EndRate float64 `json:"endRate,omitempty"`
+}
+
+// EventSpec is one scheduled node fault.
+type EventSpec struct {
+	// Kind is KindSlowdown or KindOutage.
+	Kind string `json:"kind"`
+	// Node is the target node index (validated against the node count
+	// at run time).
+	Node int `json:"node"`
+	// At is the start time of the fault.
+	At float64 `json:"at"`
+	// Duration is the fault length; it must be positive.
+	Duration float64 `json:"duration"`
+	// Factor is the degraded speed for slowdowns, in (0, 1); outages
+	// must leave it 0.
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// DemandSpec selects an execution-time distribution by name.
+type DemandSpec struct {
+	// Dist is "exponential", "pareto", "lognormal", or "deterministic".
+	Dist string `json:"dist"`
+	// Alpha is the Pareto shape (> 1); 0 defaults to 2.5.
+	Alpha float64 `json:"alpha,omitempty"`
+	// Sigma is the lognormal log-space standard deviation; 0 defaults
+	// to 1.
+	Sigma float64 `json:"sigma,omitempty"`
+}
+
+// ParseSpec decodes and validates a JSON scenario spec. Unknown fields
+// are rejected so that typos in hand-written specs fail loudly.
+func ParseSpec(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sp Spec
+	if err := dec.Decode(&sp); err != nil {
+		return Spec{}, fmt.Errorf("scenario: parse spec: %w", err)
+	}
+	// A second document in the same input is a malformed spec, not data.
+	if dec.More() {
+		return Spec{}, fmt.Errorf("scenario: parse spec: trailing data after spec")
+	}
+	if err := sp.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return sp, nil
+}
+
+// Validate checks the spec and returns a descriptive error for the first
+// problem found.
+func (sp *Spec) Validate() error {
+	if !finite(sp.Interval) || sp.Interval < 0 {
+		return fmt.Errorf("scenario: interval = %v, want >= 0 and finite", sp.Interval)
+	}
+	for i, ph := range sp.Phases {
+		last := i == len(sp.Phases)-1
+		switch {
+		case !finite(ph.Duration) || ph.Duration < 0:
+			return fmt.Errorf("scenario: phase %d: duration = %v, want >= 0 and finite", i, ph.Duration)
+		case ph.Duration == 0 && !last:
+			return fmt.Errorf("scenario: phase %d: zero duration is only allowed for the final (open-ended) phase", i)
+		case !finite(ph.Rate) || ph.Rate <= 0:
+			return fmt.Errorf("scenario: phase %d: rate = %v, want > 0 and finite", i, ph.Rate)
+		case !finite(ph.EndRate) || ph.EndRate < 0:
+			return fmt.Errorf("scenario: phase %d: endRate = %v, want >= 0 and finite", i, ph.EndRate)
+		case ph.EndRate > 0 && ph.Duration == 0:
+			return fmt.Errorf("scenario: phase %d: an open-ended phase cannot ramp", i)
+		}
+	}
+	for i, ev := range sp.Events {
+		switch {
+		case ev.Kind != KindSlowdown && ev.Kind != KindOutage:
+			return fmt.Errorf("scenario: event %d: unknown kind %q (want %q or %q)", i, ev.Kind, KindSlowdown, KindOutage)
+		case ev.Node < 0:
+			return fmt.Errorf("scenario: event %d: node = %d, want >= 0", i, ev.Node)
+		case !finite(ev.At) || ev.At < 0:
+			return fmt.Errorf("scenario: event %d: at = %v, want >= 0 and finite", i, ev.At)
+		case !finite(ev.Duration) || ev.Duration <= 0:
+			return fmt.Errorf("scenario: event %d: duration = %v, want > 0 and finite", i, ev.Duration)
+		case ev.Kind == KindSlowdown && !(ev.Factor > 0 && ev.Factor < 1):
+			return fmt.Errorf("scenario: event %d: slowdown factor = %v, want in (0, 1)", i, ev.Factor)
+		case ev.Kind == KindOutage && ev.Factor != 0:
+			return fmt.Errorf("scenario: event %d: outage must not set factor (got %v)", i, ev.Factor)
+		}
+	}
+	// Events on one node must not overlap: the run-time schedule restores
+	// full speed when an event ends, which would silently cancel a still
+	// open overlapping fault.
+	byNode := make(map[int][]EventSpec)
+	for _, ev := range sp.Events {
+		byNode[ev.Node] = append(byNode[ev.Node], ev)
+	}
+	for node, evs := range byNode {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+		for i := 1; i < len(evs); i++ {
+			if evs[i].At < evs[i-1].At+evs[i-1].Duration {
+				return fmt.Errorf("scenario: node %d: events overlap at t = %v", node, evs[i].At)
+			}
+		}
+	}
+	if sp.Demand != nil {
+		if _, err := sp.Demand.demand(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// demand resolves the spec to a workload.Demand, applying defaults.
+func (d *DemandSpec) demand() (workload.Demand, error) {
+	switch d.Dist {
+	case "", "exponential":
+		return workload.ExponentialDemand{}, nil
+	case "pareto":
+		alpha := d.Alpha
+		if alpha == 0 {
+			alpha = 2.5
+		}
+		dd := workload.ParetoDemand{Alpha: alpha}
+		return dd, workload.ValidateDemand(dd)
+	case "lognormal":
+		sigma := d.Sigma
+		if sigma == 0 {
+			sigma = 1
+		}
+		dd := workload.LognormalDemand{Sigma: sigma}
+		return dd, workload.ValidateDemand(dd)
+	case "deterministic":
+		return workload.DeterministicDemand{}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown demand dist %q", d.Dist)
+	}
+}
+
+// finite reports whether x is neither NaN nor infinite.
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

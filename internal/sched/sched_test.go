@@ -110,6 +110,63 @@ func TestClassPriorityGlobalsFirst(t *testing.T) {
 	}
 }
 
+// TestClassPriorityEqualDeadlines pins the previously untested edge: a
+// mixed push sequence where locals and globals share deadlines. Class
+// dominates (all globals first, even those pushed after locals with the
+// same deadline) and within each class equal deadlines drain FIFO by
+// submission sequence.
+func TestClassPriorityEqualDeadlines(t *testing.T) {
+	q := NewClassPriority(NewEDF(), NewEDF())
+	// Interleaved pushes, two deadline groups shared across classes.
+	l1 := mkTask(1, task.Local, 10, 1)
+	g1 := mkTask(2, task.Global, 10, 1)
+	l2 := mkTask(3, task.Local, 10, 1)
+	g2 := mkTask(4, task.Global, 10, 1)
+	g3 := mkTask(5, task.Global, 5, 1)
+	l3 := mkTask(6, task.Local, 5, 1)
+	for _, tk := range []*task.Task{l1, g1, l2, g2, g3, l3} {
+		q.Push(tk)
+	}
+	want := []*task.Task{
+		g3,     // earliest-deadline global
+		g1, g2, // equal-deadline globals, FIFO by seq
+		l3,     // only then locals, earliest deadline first
+		l1, l2, // equal-deadline locals, FIFO by seq
+	}
+	got := drain(q, 0)
+	if len(got) != len(want) {
+		t.Fatalf("drained %d tasks, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("pop %d = seq %d, want seq %d", i, got[i].Seq, want[i].Seq)
+		}
+	}
+}
+
+// TestGlobalsFirstFactoryEqualDeadlines repeats the equal-deadline check
+// through the New factory for every wrappable policy, so the two-level
+// queue built by the system package inherits the guarantee.
+func TestGlobalsFirstFactoryEqualDeadlines(t *testing.T) {
+	for _, p := range []Policy{EDF, MLF, FCFS} {
+		q, err := New(p, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := mkTask(1, task.Global, 10, 1)
+		l := mkTask(2, task.Local, 10, 1)
+		g2 := mkTask(3, task.Global, 10, 1)
+		q.Push(l)
+		q.Push(g)
+		q.Push(g2)
+		got := drain(q, 0)
+		if got[0] != g || got[1] != g2 || got[2] != l {
+			t.Errorf("%s: order = %v,%v,%v, want globals (FIFO) then local",
+				q.Name(), got[0].Seq, got[1].Seq, got[2].Seq)
+		}
+	}
+}
+
 func TestNewFactory(t *testing.T) {
 	tests := []struct {
 		policy       Policy

@@ -83,6 +83,24 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.hi
 }
 
+// Merge combines another histogram's counts into h, as if all of o's
+// observations had been added to h. The two histograms must share their
+// range and bin count; it is the per-replication aggregation primitive
+// the scenario engine uses alongside Welford.Merge and Ratio.Merge.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o.lo != h.lo || o.hi != h.hi || len(o.bins) != len(h.bins) {
+		return fmt.Errorf("stats: cannot merge histograms over [%v,%v)/%d and [%v,%v)/%d",
+			h.lo, h.hi, len(h.bins), o.lo, o.hi, len(o.bins))
+	}
+	for i, c := range o.bins {
+		h.bins[i] += c
+	}
+	h.under += o.under
+	h.over += o.over
+	h.observed.Merge(&o.observed)
+	return nil
+}
+
 // String renders a compact ASCII bar chart of the histogram.
 func (h *Histogram) String() string {
 	var max int64

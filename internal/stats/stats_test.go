@@ -165,6 +165,54 @@ func TestHistogramBasics(t *testing.T) {
 	}
 }
 
+func TestHistogramMergeMatchesPooled(t *testing.T) {
+	a := NewHistogram(0, 10, 10)
+	b := NewHistogram(0, 10, 10)
+	pooled := NewHistogram(0, 10, 10)
+	for i := 0; i < 40; i++ {
+		x := float64(i)*0.3 - 1 // spans underflow, bins, and overflow
+		target := a
+		if i%2 == 1 {
+			target = b
+		}
+		target.Add(x)
+		pooled.Add(x)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != pooled.N() {
+		t.Errorf("merged N = %d, want %d", a.N(), pooled.N())
+	}
+	if !almostEqual(a.Mean(), pooled.Mean(), 1e-12) {
+		t.Errorf("merged mean = %v, want %v", a.Mean(), pooled.Mean())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got, want := a.Quantile(q), pooled.Quantile(q); got != want {
+			t.Errorf("merged Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if a.String() != pooled.String() {
+		t.Error("merged bins differ from pooled bins")
+	}
+}
+
+func TestHistogramMergeRejectsMismatchedShape(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, o := range []*Histogram{
+		NewHistogram(0, 10, 5),
+		NewHistogram(0, 20, 10),
+		NewHistogram(-1, 10, 10),
+	} {
+		if err := h.Merge(o); err == nil {
+			t.Error("merged histograms with different shapes")
+		}
+	}
+	if h.N() != 0 {
+		t.Error("failed merge mutated the receiver")
+	}
+}
+
 func TestHistogramQuantileBounds(t *testing.T) {
 	h := NewHistogram(0, 1, 4)
 	h.Add(0.1)

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/node"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -77,6 +78,13 @@ type Config struct {
 	// Warmup is the initial window excluded from statistics. Zero
 	// defaults to 5% of Horizon.
 	Warmup float64
+	// Scenario optionally makes the run time-varying: phase-modulated
+	// arrival rates, node fault events, an alternative demand
+	// distribution, and per-window time-series metrics (reported in
+	// Metrics.Series). Nil reproduces the paper's stationary model
+	// bit-for-bit. A Scenario is read-only and safe to share across
+	// parallel replications.
+	Scenario *scenario.Scenario
 	// Seed seeds every random stream of the run.
 	Seed uint64
 	// Trace optionally records per-task lifecycle events (submit,
@@ -168,10 +176,20 @@ func (c *Config) Validate() error {
 	if _, err := sched.New(c.Scheduler, false); err != nil {
 		return err
 	}
+	if c.Scenario != nil {
+		if err := c.Scenario.CheckNodes(c.Nodes); err != nil {
+			return err
+		}
+		if err := c.Scenario.CheckHorizon(c.Horizon); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// shape returns the configured shape or the default serial one.
+// shape returns the configured shape or the default serial one. The
+// scenario's demand override applies only to the default shape; an
+// explicitly set Shape carries its own Demand field.
 func (c *Config) shape() workload.Shape {
 	if c.Shape != nil {
 		return c.Shape
@@ -180,7 +198,26 @@ func (c *Config) shape() workload.Shape {
 		M:        c.M,
 		MeanExec: 1 / c.MuSubtask,
 		Pex:      workload.PexModel{RelErr: c.PexRelErr},
+		Demand:   c.scenarioDemand(),
 	}
+}
+
+// scenarioDemand returns the scenario's demand override, or nil.
+func (c *Config) scenarioDemand() workload.Demand {
+	if c.Scenario == nil {
+		return nil
+	}
+	return c.Scenario.Demand()
+}
+
+// scenarioMod returns the scenario as a rate modulator, or nil. The
+// explicit nil matters: a nil *scenario.Scenario stuffed into the
+// interface would be non-nil.
+func (c *Config) scenarioMod() workload.RateModulator {
+	if c.Scenario == nil {
+		return nil
+	}
+	return c.Scenario
 }
 
 // Rates holds the arrival rates derived from load and frac_local

@@ -1,6 +1,9 @@
 package system
 
-import "repro/internal/stats"
+import (
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
 
 // Metrics is the outcome of one simulation run. Miss ratios follow the
 // paper's primary measure: the fraction of missed deadlines conditional
@@ -63,6 +66,13 @@ type Metrics struct {
 	// service when the horizon ended (excluded from all ratios).
 	LocalInFlight  int64
 	GlobalInFlight int64
+
+	// Series is the per-window time series of a scenario run (miss
+	// ratios, lateness, queue lengths binned over fixed intervals); nil
+	// unless Config.Scenario was set. Unlike the whole-run ratios
+	// above, Series windows span the full horizon including warmup —
+	// the warmup transient is part of what a timeline shows.
+	Series *scenario.Series
 }
 
 // MDLocal returns the local miss ratio in percent.

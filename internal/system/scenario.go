@@ -1,0 +1,65 @@
+package system
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/node"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// scheduleScenario registers the scenario's dynamic behaviour on the
+// engine before the run starts: node fault events (slowdown / outage
+// with automatic recovery) and the periodic queue-length sampler feeding
+// the time series. Rate modulation and demand overrides are wired into
+// the workload sources directly, so this covers everything else.
+func scheduleScenario(eng *sim.Engine, cfg Config, nodes []*node.Node, series *scenario.Series) {
+	// Schedule events in start-time order, not spec order: the engine
+	// breaks time ties by scheduling sequence, so for back-to-back
+	// events on one node (recovery at t, next fault at t) this makes
+	// the earlier event's SetSpeed(1) fire before the later event's
+	// start instead of silently cancelling it.
+	events := append([]scenario.EventSpec(nil), cfg.Scenario.Events()...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	for _, ev := range events {
+		n := nodes[ev.Node]
+		speed := ev.Factor // 0 for outages: frozen
+		start, end := ev.At, ev.At+ev.Duration
+		if start >= cfg.Horizon {
+			continue // never takes effect inside the run
+		}
+		mustAt(eng, start, func() { n.SetSpeed(speed) })
+		if end < cfg.Horizon {
+			mustAt(eng, end, func() { n.SetSpeed(1) })
+		}
+	}
+
+	// Sample total ready-queue length at every window midpoint: one
+	// unbiased snapshot per window, aligned identically across
+	// replications so merged series stay comparable.
+	half := series.Interval() / 2
+	for i := 0; i < series.Len(); i++ {
+		at := series.WindowStart(i) + half
+		if at > cfg.Horizon {
+			break
+		}
+		mustAt(eng, at, func() {
+			total := 0
+			for _, n := range nodes {
+				total += n.QueueLen()
+				if n.Busy() {
+					total++ // count the task in service as queued work
+				}
+			}
+			series.ObserveQueueLen(eng.Now(), float64(total))
+		})
+	}
+}
+
+// mustAt schedules at an absolute time validated by the caller.
+func mustAt(eng *sim.Engine, t float64, fn func()) {
+	if _, err := eng.At(t, fn); err != nil {
+		panic(fmt.Sprintf("system: scenario event: %v", err))
+	}
+}

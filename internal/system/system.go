@@ -8,6 +8,7 @@ import (
 	"repro/internal/procmgr"
 	"repro/internal/rng"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -45,6 +46,9 @@ func Run(cfg Config) (*Metrics, error) {
 		nextSeq = func() uint64 { seq++; return seq }
 		nextID  = func() uint64 { taskID++; return taskID }
 	)
+	if cfg.Scenario != nil {
+		metrics.Series = scenario.NewSeries(cfg.Scenario.Interval(cfg.Horizon), cfg.Horizon)
+	}
 
 	// The manager is created after the nodes but node callbacks need
 	// it; declare first and close over the variable.
@@ -67,6 +71,9 @@ func Run(cfg Config) (*Metrics, error) {
 			metrics.LocalMiss.Observe(t.Missed())
 			metrics.LocalResponse.Add(t.Finish - t.Arrival)
 		}
+		if metrics.Series != nil {
+			metrics.Series.ObserveLocal(t.Finish, t.Missed())
+		}
 	}
 	onTaskAbort := func(t *task.Task) {
 		if t.Class == task.Global {
@@ -80,6 +87,9 @@ func Run(cfg Config) (*Metrics, error) {
 		metrics.LocalDone++
 		if t.Arrival >= warmup {
 			metrics.LocalMiss.Observe(true)
+		}
+		if metrics.Series != nil {
+			metrics.Series.ObserveLocal(t.Finish, true)
 		}
 	}
 
@@ -130,6 +140,15 @@ func Run(cfg Config) (*Metrics, error) {
 			if inst.Aborted {
 				metrics.GlobalAborted++
 			}
+			if metrics.Series != nil {
+				if inst.Aborted {
+					// Binned by abort time; a discarded instance has no
+					// meaningful lateness.
+					metrics.Series.ObserveGlobalAbort(inst.Finish)
+				} else {
+					metrics.Series.ObserveGlobal(inst.Finish, inst.Missed(), inst.Finish-inst.Deadline)
+				}
+			}
 			if inst.Arrival < warmup {
 				return
 			}
@@ -173,6 +192,8 @@ func Run(cfg Config) (*Metrics, error) {
 				SlackMin: cfg.SlackMin,
 				SlackMax: cfg.SlackMax,
 				Pex:      workload.PexModel{RelErr: cfg.PexRelErr},
+				Demand:   cfg.scenarioDemand(),
+				Mod:      cfg.scenarioMod(),
 			},
 			nextID, nextSeq,
 			func(t *task.Task) {
@@ -200,6 +221,7 @@ func Run(cfg Config) (*Metrics, error) {
 				SlackMax:      cfg.SlackMax,
 				RelFlex:       cfg.RelFlex,
 				MeanLocalExec: 1 / cfg.MuLocal,
+				Mod:           cfg.scenarioMod(),
 			},
 			func(sp workload.Spec) {
 				instID++
@@ -216,6 +238,10 @@ func Run(cfg Config) (*Metrics, error) {
 			return nil, err
 		}
 		src.Start()
+	}
+
+	if cfg.Scenario != nil {
+		scheduleScenario(eng, cfg, nodes, metrics.Series)
 	}
 
 	eng.Run(cfg.Horizon)

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Demand is a pluggable execution-time distribution for generated tasks.
+// Sample draws one demand with the given mean, so swapping distributions
+// never changes the offered load — only its variability. Implementations
+// must be pure functions of the passed Source.
+type Demand interface {
+	// Sample draws one execution time with the given mean (> 0).
+	Sample(r *rng.Source, mean float64) float64
+	// Name identifies the distribution in reports ("pareto-2.5").
+	Name() string
+}
+
+// ExponentialDemand is the paper's baseline distribution (Table 1). It is
+// the default wherever a Demand is nil, and draws exactly the variates the
+// pre-scenario generator drew, preserving bit-identical runs.
+type ExponentialDemand struct{}
+
+// Sample implements Demand.
+func (ExponentialDemand) Sample(r *rng.Source, mean float64) float64 {
+	return r.Exponential(mean)
+}
+
+// Name implements Demand.
+func (ExponentialDemand) Name() string { return "exponential" }
+
+// ParetoDemand draws heavy-tailed demands: Pareto with shape Alpha > 1,
+// scaled so the mean matches (xm = mean·(Alpha−1)/Alpha). Smaller Alpha
+// means heavier tails; Alpha <= 2 has infinite variance.
+type ParetoDemand struct {
+	Alpha float64
+}
+
+// Sample implements Demand.
+func (d ParetoDemand) Sample(r *rng.Source, mean float64) float64 {
+	xm := mean * (d.Alpha - 1) / d.Alpha
+	return r.Pareto(d.Alpha, xm)
+}
+
+// Name implements Demand.
+func (d ParetoDemand) Name() string { return fmt.Sprintf("pareto-%g", d.Alpha) }
+
+// LognormalDemand draws lognormal demands with log-space standard
+// deviation Sigma, mean-matched via mu = ln(mean) − Sigma²/2.
+type LognormalDemand struct {
+	Sigma float64
+}
+
+// Sample implements Demand.
+func (d LognormalDemand) Sample(r *rng.Source, mean float64) float64 {
+	mu := math.Log(mean) - d.Sigma*d.Sigma/2
+	return r.Lognormal(mu, d.Sigma)
+}
+
+// Name implements Demand.
+func (d LognormalDemand) Name() string { return fmt.Sprintf("lognormal-%g", d.Sigma) }
+
+// DeterministicDemand makes every task demand exactly the mean (M/D/1
+// style), the zero-variance end of the spectrum.
+type DeterministicDemand struct{}
+
+// Sample implements Demand.
+func (DeterministicDemand) Sample(_ *rng.Source, mean float64) float64 { return mean }
+
+// Name implements Demand.
+func (DeterministicDemand) Name() string { return "deterministic" }
+
+// ValidateDemand rejects parameterizations without a finite, positive
+// mean-matched sample (Pareto needs Alpha > 1, lognormal Sigma >= 0).
+// A nil demand is valid (it means exponential).
+func ValidateDemand(d Demand) error {
+	switch dd := d.(type) {
+	case nil:
+	case ParetoDemand:
+		if !(dd.Alpha > 1) || math.IsInf(dd.Alpha, 1) {
+			return fmt.Errorf("workload: pareto demand needs 1 < alpha < inf, got %v", dd.Alpha)
+		}
+	case LognormalDemand:
+		if !(dd.Sigma >= 0) || math.IsInf(dd.Sigma, 1) {
+			return fmt.Errorf("workload: lognormal demand needs 0 <= sigma < inf, got %v", dd.Sigma)
+		}
+	}
+	return nil
+}
+
+// sampleDemand applies the nil-means-exponential default.
+func sampleDemand(d Demand, r *rng.Source, mean float64) float64 {
+	if d == nil {
+		return r.Exponential(mean)
+	}
+	return d.Sample(r, mean)
+}

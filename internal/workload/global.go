@@ -23,6 +23,9 @@ type GlobalParams struct {
 	RelFlex float64
 	// MeanLocalExec is 1/µ_local, the normalizer for SlackScale.
 	MeanLocalExec float64
+	// Mod optionally modulates the arrival rate over time (scenario
+	// bursts and ramps); nil keeps the stream stationary.
+	Mod RateModulator
 }
 
 // Spec is one sampled global task handed to the start callback: the
@@ -40,6 +43,7 @@ type GlobalSource struct {
 	eng    *sim.Engine
 	r      *rng.Source
 	params GlobalParams
+	arr    *arrivals
 	k      int
 	start  func(Spec)
 }
@@ -60,16 +64,17 @@ func NewGlobalSource(eng *sim.Engine, r *rng.Source, k int, params GlobalParams,
 	if _, err := params.Shape.Build(rng.New(0), k); err != nil {
 		return nil, fmt.Errorf("workload: global source: %w", err)
 	}
-	return &GlobalSource{eng: eng, r: r, params: params, k: k, start: start}, nil
+	s := &GlobalSource{eng: eng, r: r, params: params, k: k, start: start}
+	arr, err := newArrivals(eng, r, params.Rate, params.Mod, s.arrive)
+	if err != nil {
+		return nil, err
+	}
+	s.arr = arr
+	return s, nil
 }
 
 // Start schedules the first arrival. A zero rate generates nothing.
-func (s *GlobalSource) Start() {
-	if s.params.Rate == 0 {
-		return
-	}
-	s.eng.MustSchedule(s.r.Exponential(1/s.params.Rate), s.arrive)
-}
+func (s *GlobalSource) Start() { s.arr.start() }
 
 func (s *GlobalSource) arrive() {
 	now := s.eng.Now()
@@ -87,5 +92,4 @@ func (s *GlobalSource) arrive() {
 	// path for mixed shapes.
 	dl := now + g.CriticalPathExec() + sl
 	s.start(Spec{Graph: g, Arrival: now, Deadline: dl, Slack: sl})
-	s.eng.MustSchedule(s.r.Exponential(1/s.params.Rate), s.arrive)
 }

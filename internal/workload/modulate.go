@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// RateModulator scales a source's arrival rate over simulated time,
+// turning the stationary Poisson streams of the paper into
+// non-homogeneous ones (load steps, ramps, bursts). FactorAt must be
+// bounded above by MaxFactor for all t; both must be pure functions so
+// runs stay deterministic. The scenario package provides the standard
+// implementation.
+type RateModulator interface {
+	// FactorAt returns the instantaneous rate multiplier at time t
+	// (1 = nominal).
+	FactorAt(t float64) float64
+	// MaxFactor returns a finite upper bound on FactorAt over the run.
+	MaxFactor() float64
+}
+
+// arrivals drives one source's arrival process. With a nil modulator it
+// draws plain exponential gaps — byte-identical to the pre-scenario
+// generator. With a modulator it generates a non-homogeneous Poisson
+// process by Lewis-Shedler thinning: candidate arrivals fire at the peak
+// rate rate·MaxFactor and each is accepted with probability
+// FactorAt(now)/MaxFactor, which needs no rate integration and keeps the
+// run a pure function of the seed.
+type arrivals struct {
+	eng  *sim.Engine
+	r    *rng.Source
+	rate float64
+	mod  RateModulator
+	fire func()
+}
+
+// newArrivals validates the modulator's bound once at construction.
+func newArrivals(eng *sim.Engine, r *rng.Source, rate float64, mod RateModulator, fire func()) (*arrivals, error) {
+	if mod != nil {
+		max := mod.MaxFactor()
+		if !(max > 0) || max != max {
+			return nil, fmt.Errorf("workload: rate modulator MaxFactor = %v, want > 0", max)
+		}
+	}
+	return &arrivals{eng: eng, r: r, rate: rate, mod: mod, fire: fire}, nil
+}
+
+// start schedules the first candidate. A zero rate generates nothing.
+func (a *arrivals) start() {
+	if a.rate == 0 {
+		return
+	}
+	a.eng.MustSchedule(a.r.Exponential(1/a.peakRate()), a.candidate)
+}
+
+// peakRate is the homogeneous rate candidates are generated at.
+func (a *arrivals) peakRate() float64 {
+	if a.mod == nil {
+		return a.rate
+	}
+	return a.rate * a.mod.MaxFactor()
+}
+
+// candidate fires one candidate arrival, thins it, and self-schedules.
+func (a *arrivals) candidate() {
+	if a.accept() {
+		a.fire()
+	}
+	a.eng.MustSchedule(a.r.Exponential(1/a.peakRate()), a.candidate)
+}
+
+// accept applies the thinning test at the current time.
+func (a *arrivals) accept() bool {
+	if a.mod == nil {
+		return true
+	}
+	max := a.mod.MaxFactor()
+	f := a.mod.FactorAt(a.eng.Now())
+	if f < 0 {
+		f = 0
+	}
+	if f > max {
+		panic(fmt.Sprintf("workload: modulator factor %v exceeds declared max %v", f, max))
+	}
+	return a.r.Float64()*max < f
+}

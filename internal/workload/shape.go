@@ -35,6 +35,9 @@ type SerialShape struct {
 	MeanExec float64
 	// Pex is the prediction model.
 	Pex PexModel
+	// Demand overrides the per-subtask execution-time distribution; nil
+	// draws the paper's exponential demands.
+	Demand Demand
 }
 
 // Build implements Shape.
@@ -42,9 +45,12 @@ func (s SerialShape) Build(r *rng.Source, k int) (*task.Graph, error) {
 	if s.M <= 0 || s.MeanExec <= 0 || k <= 0 {
 		return nil, fmt.Errorf("workload: serial shape: bad params m=%d mean=%v k=%d", s.M, s.MeanExec, k)
 	}
+	if err := ValidateDemand(s.Demand); err != nil {
+		return nil, fmt.Errorf("workload: serial shape: %w", err)
+	}
 	children := make([]*task.Graph, s.M)
 	for i := range children {
-		children[i] = sampleLeaf(r, s.MeanExec, s.Pex, r.IntN(k))
+		children[i] = sampleLeaf(r, s.MeanExec, s.Pex, s.Demand, r.IntN(k))
 	}
 	g := task.Serial(children...)
 	g.Flatten()
@@ -69,6 +75,9 @@ type ParallelShape struct {
 	MeanExec float64
 	// Pex is the prediction model.
 	Pex PexModel
+	// Demand overrides the per-subtask execution-time distribution; nil
+	// draws the paper's exponential demands.
+	Demand Demand
 }
 
 // Build implements Shape.
@@ -76,13 +85,16 @@ func (s ParallelShape) Build(r *rng.Source, k int) (*task.Graph, error) {
 	if s.M <= 0 || s.MeanExec <= 0 {
 		return nil, fmt.Errorf("workload: parallel shape: bad params m=%d mean=%v", s.M, s.MeanExec)
 	}
+	if err := ValidateDemand(s.Demand); err != nil {
+		return nil, fmt.Errorf("workload: parallel shape: %w", err)
+	}
 	if s.M > k {
 		return nil, fmt.Errorf("workload: parallel shape: m=%d exceeds k=%d distinct nodes", s.M, k)
 	}
 	nodes := r.SampleDistinct(s.M, k)
 	children := make([]*task.Graph, s.M)
 	for i := range children {
-		children[i] = sampleLeaf(r, s.MeanExec, s.Pex, nodes[i])
+		children[i] = sampleLeaf(r, s.MeanExec, s.Pex, s.Demand, nodes[i])
 	}
 	g := task.Parallel(children...)
 	g.Flatten()
@@ -108,6 +120,9 @@ type MixedShape struct {
 	MeanExec float64
 	// Pex is the prediction model.
 	Pex PexModel
+	// Demand overrides the per-subtask execution-time distribution; nil
+	// draws the paper's exponential demands.
+	Demand Demand
 }
 
 // Build implements Shape.
@@ -115,13 +130,16 @@ func (s MixedShape) Build(r *rng.Source, k int) (*task.Graph, error) {
 	if len(s.Stages) == 0 || s.MeanExec <= 0 {
 		return nil, fmt.Errorf("workload: mixed shape: bad params %+v", s)
 	}
+	if err := ValidateDemand(s.Demand); err != nil {
+		return nil, fmt.Errorf("workload: mixed shape: %w", err)
+	}
 	stages := make([]*task.Graph, len(s.Stages))
 	for i, width := range s.Stages {
 		switch {
 		case width < 1:
 			return nil, fmt.Errorf("workload: mixed shape: stage %d width %d", i, width)
 		case width == 1:
-			stages[i] = sampleLeaf(r, s.MeanExec, s.Pex, r.IntN(k))
+			stages[i] = sampleLeaf(r, s.MeanExec, s.Pex, s.Demand, r.IntN(k))
 		default:
 			if width > k {
 				return nil, fmt.Errorf("workload: mixed shape: stage %d width %d exceeds k=%d", i, width, k)
@@ -129,7 +147,7 @@ func (s MixedShape) Build(r *rng.Source, k int) (*task.Graph, error) {
 			nodes := r.SampleDistinct(width, k)
 			branches := make([]*task.Graph, width)
 			for j := range branches {
-				branches[j] = sampleLeaf(r, s.MeanExec, s.Pex, nodes[j])
+				branches[j] = sampleLeaf(r, s.MeanExec, s.Pex, s.Demand, nodes[j])
 			}
 			stages[i] = task.Parallel(branches...)
 		}
@@ -163,6 +181,9 @@ type HeteroSerialShape struct {
 	MeanExec float64
 	// Pex is the prediction model.
 	Pex PexModel
+	// Demand overrides the per-subtask execution-time distribution; nil
+	// draws the paper's exponential demands.
+	Demand Demand
 }
 
 // Build implements Shape.
@@ -171,7 +192,7 @@ func (s HeteroSerialShape) Build(r *rng.Source, k int) (*task.Graph, error) {
 		return nil, fmt.Errorf("workload: hetero shape: bad params %+v", s)
 	}
 	m := s.MinM + r.IntN(s.MaxM-s.MinM+1)
-	return SerialShape{M: m, MeanExec: s.MeanExec, Pex: s.Pex}.Build(r, k)
+	return SerialShape{M: m, MeanExec: s.MeanExec, Pex: s.Pex, Demand: s.Demand}.Build(r, k)
 }
 
 // SlackScale implements Shape using the expected subtask count.
@@ -207,11 +228,10 @@ func MeanSubtasks(s Shape) (float64, error) {
 	}
 }
 
-// sampleLeaf draws one simple subtask: exponential demand, prediction,
-// placement.
-func sampleLeaf(r *rng.Source, meanExec float64, pm PexModel, nodeID int) *task.Graph {
+// sampleLeaf draws one simple subtask: demand, prediction, placement.
+func sampleLeaf(r *rng.Source, meanExec float64, pm PexModel, d Demand, nodeID int) *task.Graph {
 	leaf := task.Simple("t", 1)
-	leaf.Exec = r.Exponential(meanExec)
+	leaf.Exec = sampleDemand(d, r, meanExec)
 	leaf.Pex = pm.Sample(r, leaf.Exec)
 	leaf.NodeID = nodeID
 	return leaf

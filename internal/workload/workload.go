@@ -48,6 +48,12 @@ type LocalParams struct {
 	SlackMin, SlackMax float64
 	// Pex is the prediction model.
 	Pex PexModel
+	// Demand overrides the execution-time distribution; nil draws the
+	// paper's exponential demands.
+	Demand Demand
+	// Mod optionally modulates the arrival rate over time (scenario
+	// bursts and ramps); nil keeps the stream stationary.
+	Mod RateModulator
 }
 
 // LocalSource generates local tasks at one node. Arrivals self-schedule
@@ -57,6 +63,7 @@ type LocalSource struct {
 	eng    *sim.Engine
 	r      *rng.Source
 	params LocalParams
+	arr    *arrivals
 	submit func(*task.Task)
 	nextID func() uint64
 	nextSq func() uint64
@@ -72,23 +79,27 @@ func NewLocalSource(eng *sim.Engine, r *rng.Source, params LocalParams,
 	if params.Rate < 0 || params.MeanExec <= 0 || params.SlackMax < params.SlackMin {
 		return nil, fmt.Errorf("workload: local source: bad params %+v", params)
 	}
-	return &LocalSource{
+	if err := ValidateDemand(params.Demand); err != nil {
+		return nil, err
+	}
+	s := &LocalSource{
 		eng: eng, r: r, params: params,
 		submit: submit, nextID: nextID, nextSq: nextSeq,
-	}, nil
+	}
+	arr, err := newArrivals(eng, r, params.Rate, params.Mod, s.arrive)
+	if err != nil {
+		return nil, err
+	}
+	s.arr = arr
+	return s, nil
 }
 
 // Start schedules the first arrival. A zero rate generates nothing.
-func (s *LocalSource) Start() {
-	if s.params.Rate == 0 {
-		return
-	}
-	s.eng.MustSchedule(s.r.Exponential(1/s.params.Rate), s.arrive)
-}
+func (s *LocalSource) Start() { s.arr.start() }
 
 func (s *LocalSource) arrive() {
 	now := s.eng.Now()
-	ex := s.r.Exponential(s.params.MeanExec)
+	ex := sampleDemand(s.params.Demand, s.r, s.params.MeanExec)
 	sl := s.r.Uniform(s.params.SlackMin, s.params.SlackMax)
 	t := &task.Task{
 		ID:           s.nextID(),
@@ -102,5 +113,4 @@ func (s *LocalSource) arrive() {
 		Seq:          s.nextSq(),
 	}
 	s.submit(t)
-	s.eng.MustSchedule(s.r.Exponential(1/s.params.Rate), s.arrive)
 }

@@ -23,6 +23,12 @@
 //     from its seed, so only wall-clock time depends on the worker
 //     count.
 //
+//   - Scenario engine: ParseScenario/ScenarioPreset/RunScenario drive
+//     the same model through declarative time-varying scenarios — load
+//     bursts and ramps, node slowdowns and outages, heavy-tailed
+//     demands — and collect windowed time-series metrics that merge
+//     exactly across parallel replications (cmd/sdascn is the CLI).
+//
 //   - Live runtime: NewLiveNode/NewLiveRuntime execute task graphs on
 //     real goroutines with deadline-ordered mailboxes, applying the same
 //     strategies to real work.
@@ -43,6 +49,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/live"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/system"
 	"repro/internal/task"
@@ -198,6 +205,76 @@ func SimulateReplications(cfg SimConfig, reps int) (*SimReplication, error) {
 // sequential path. Attaching a TraceRecorder forces parallelism 1.
 func SimulateReplicationsParallel(cfg SimConfig, reps, parallelism int) (*SimReplication, error) {
 	return system.RunReplicationsParallel(cfg, reps, parallelism)
+}
+
+// Scenarios --------------------------------------------------------------
+
+// Scenario is a compiled declarative scenario: a timeline of workload
+// phases (rate steps, ramps, bursts), node fault events (slowdowns,
+// outages) and an optional demand-distribution override, plus the
+// window width of its time-series metrics. See internal/scenario.
+type Scenario = scenario.Scenario
+
+// ScenarioSpec is the JSON-serializable scenario description.
+type ScenarioSpec = scenario.Spec
+
+// ScenarioPhase is one segment of a scenario's workload timeline.
+type ScenarioPhase = scenario.PhaseSpec
+
+// ScenarioEvent is one scheduled node fault (slowdown or outage).
+type ScenarioEvent = scenario.EventSpec
+
+// ScenarioSeries is the per-window time series a scenario run collects
+// (miss ratios, lateness, queue lengths); it merges exactly across
+// replications and renders as CSV via WriteCSV.
+type ScenarioSeries = scenario.Series
+
+// ScenarioResult is a replicated scenario outcome: the merged series
+// plus per-replication metrics and miss-percentage estimates.
+type ScenarioResult = experiment.ScenarioResult
+
+// Demand distributions for ScenarioSpec / workload shapes. Nil means
+// the paper's exponential demands.
+type (
+	// Demand is the pluggable execution-time distribution interface.
+	Demand = workload.Demand
+	// ParetoDemand draws mean-matched heavy-tailed demands (Alpha > 1).
+	ParetoDemand = workload.ParetoDemand
+	// LognormalDemand draws mean-matched lognormal demands.
+	LognormalDemand = workload.LognormalDemand
+	// DeterministicDemand makes every demand exactly the mean.
+	DeterministicDemand = workload.DeterministicDemand
+)
+
+// ParseScenario parses and compiles a JSON scenario spec.
+func ParseScenario(data []byte) (*Scenario, error) {
+	sp, err := scenario.ParseSpec(data)
+	if err != nil {
+		return nil, err
+	}
+	return scenario.New(sp)
+}
+
+// NewScenario compiles a programmatically built spec.
+func NewScenario(spec ScenarioSpec) (*Scenario, error) { return scenario.New(spec) }
+
+// ScenarioPreset compiles a built-in scenario ("burst", "ramp",
+// "outage", "heavytail", "storm") scaled to the given horizon.
+func ScenarioPreset(name string, horizon float64) (*Scenario, error) {
+	return scenario.Preset(name, horizon)
+}
+
+// ScenarioPresets lists the built-in scenarios with one-line
+// descriptions.
+func ScenarioPresets() []string { return scenario.Presets() }
+
+// RunScenario executes reps replications of cfg under the scenario on
+// the parallel runner (parallelism <= 0 uses GOMAXPROCS, 1 is
+// sequential) and merges the time series across replications. Results —
+// including the merged series' CSV bytes — are identical at every
+// parallelism level.
+func RunScenario(cfg SimConfig, sc *Scenario, reps, parallelism int) (*ScenarioResult, error) {
+	return experiment.RunScenario(cfg, sc, reps, parallelism)
 }
 
 // Experiments -----------------------------------------------------------
