@@ -26,6 +26,7 @@ func BenchmarkRunReplications(b *testing.B) {
 	const reps = 8
 	for _, parallel := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("parallel=%d", parallel), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := SimulateReplicationsParallel(cfg, reps, parallel); err != nil {
 					b.Fatal(err)
@@ -49,6 +50,7 @@ func BenchmarkScenarioRun(b *testing.B) {
 	const reps = 8
 	for _, parallel := range []int{1, 4} {
 		b.Run(fmt.Sprintf("parallel=%d", parallel), func(b *testing.B) {
+			b.ReportAllocs()
 			var last *ScenarioResult
 			for i := 0; i < b.N; i++ {
 				res, err := RunScenario(cfg, sc, reps, parallel)
@@ -211,7 +213,10 @@ func BenchmarkGraphParse(b *testing.B) {
 
 func BenchmarkSimulationThroughput(b *testing.B) {
 	// Measures raw simulator speed in executed tasks per second at the
-	// baseline load; the horizon scales with b.N.
+	// baseline load; the horizon scales with b.N. allocs/op here is the
+	// steady-state allocation count per 10 simulated time units — the
+	// pooled engine holds it at zero.
+	b.ReportAllocs()
 	cfg := BaselineConfig()
 	cfg.Horizon = float64(b.N) * 10
 	cfg.Warmup = 1

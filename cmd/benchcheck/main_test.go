@@ -1,0 +1,64 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	name, m, ok := ParseBenchLine(
+		"BenchmarkSimulationThroughput-8 \t  472447\t      7799 ns/op\t   3124831 tasks/s\t       0 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("ParseBenchLine rejected a valid line")
+	}
+	if name != "BenchmarkSimulationThroughput" {
+		t.Fatalf("name = %q, want cpu suffix trimmed", name)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 7799, "tasks/s": 3124831, "B/op": 0, "allocs/op": 0,
+	} {
+		if m[unit] != want {
+			t.Fatalf("%s = %v, want %v", unit, m[unit], want)
+		}
+	}
+}
+
+func TestParseBenchLineSubBenchmark(t *testing.T) {
+	name, m, ok := ParseBenchLine(
+		"BenchmarkRunReplications/parallel=1-4   100  12727211 ns/op  76714 B/op  1256 allocs/op")
+	if !ok || name != "BenchmarkRunReplications/parallel=1" {
+		t.Fatalf("parsed (%q, ok=%v), want sub-benchmark name kept, suffix trimmed", name, ok)
+	}
+	if m["allocs/op"] != 1256 {
+		t.Fatalf("allocs/op = %v, want 1256", m["allocs/op"])
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro\t8.644s",
+		"BenchmarkBroken no-iteration-count ns/op",
+		"cpu: Intel(R) Xeon(R)",
+	} {
+		if _, _, ok := ParseBenchLine(line); ok {
+			t.Fatalf("ParseBenchLine accepted %q", line)
+		}
+	}
+}
+
+func TestFailures(t *testing.T) {
+	base := Metrics{"tasks/s": 3000000, "ns/op": 8000, "allocs/op": 0}
+	if fs := failures(base, Metrics{"tasks/s": 2900000, "ns/op": 8200, "allocs/op": 1}, 0.2); len(fs) != 0 {
+		t.Fatalf("small drift flagged: %v", fs)
+	}
+	if fs := failures(base, Metrics{"tasks/s": 2000000, "ns/op": 12000, "allocs/op": 0}, 0.2); len(fs) != 1 {
+		t.Fatalf("33%% tasks/s drop not flagged exactly once: %v", fs)
+	}
+	if fs := failures(base, Metrics{"tasks/s": 3000000, "ns/op": 8000, "allocs/op": 50}, 0.2); len(fs) != 1 {
+		t.Fatalf("alloc regression not flagged: %v", fs)
+	}
+	// Without tasks/s, ns/op is the criterion.
+	nsOnly := Metrics{"ns/op": 10000, "allocs/op": 100}
+	if fs := failures(nsOnly, Metrics{"ns/op": 13000, "allocs/op": 100}, 0.2); len(fs) != 1 {
+		t.Fatalf("ns/op regression not flagged: %v", fs)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -66,10 +67,17 @@ func run(args []string, out, errOut io.Writer) error {
 		psp      = fs.String("psp", "", "parallel strategy: UD, DIV-<x>, GF, ... (default UD)")
 		outPath  = fs.String("out", "", "write the CSV here instead of stdout")
 		quiet    = fs.Bool("quiet", false, "suppress the summary line on stderr")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
+		memProf  = fs.String("memprofile", "", "write an allocation profile taken at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	if *list {
 		for _, line := range repro.ScenarioPresets() {
@@ -85,10 +93,7 @@ func run(args []string, out, errOut io.Writer) error {
 		return fmt.Errorf("-horizon %v, want > 0", *horizon)
 	}
 
-	var (
-		sc  *repro.Scenario
-		err error
-	)
+	var sc *repro.Scenario
 	if *specPath != "" {
 		data, rerr := os.ReadFile(*specPath)
 		if rerr != nil {

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -52,10 +53,17 @@ func run(args []string, out io.Writer) error {
 		progress = fs.Bool("progress", false, "print a per-experiment progress meter to stderr")
 		format   = fs.String("format", "table", "output format: table, chart, csv, json, or all")
 		outDir   = fs.String("out", "", "write per-experiment files to this directory instead of stdout")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
+		memProf  = fs.String("memprofile", "", "write an allocation profile taken at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	if *list {
 		for _, e := range experiment.All() {

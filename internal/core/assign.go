@@ -48,21 +48,39 @@ func (a Assigner) Name() string {
 // graph nodes of the current stage and all following stages; their
 // aggregate pex values feed the SSP formulas.
 func (a Assigner) SerialStage(now, groupDeadline float64, remaining []*task.Graph) float64 {
-	pexs := make([]float64, len(remaining))
-	for i, g := range remaining {
-		pexs[i] = g.AggregatePex()
+	dl, _ := a.SerialStageBuf(make([]float64, 0, len(remaining)), now, groupDeadline, remaining)
+	return dl
+}
+
+// SerialStageBuf is SerialStage collecting the aggregate pex values into
+// buf (grown as needed) instead of allocating; it returns the deadline
+// and the possibly regrown buffer for the caller to reuse. Strategies
+// receive the buffer only for the duration of the call and must not
+// retain it. This is the process manager's hot path: one call per serial
+// stage release for the whole run.
+func (a Assigner) SerialStageBuf(buf []float64, now, groupDeadline float64, remaining []*task.Graph) (float64, []float64) {
+	buf = buf[:0]
+	for _, g := range remaining {
+		buf = append(buf, g.AggregatePex())
 	}
-	return a.Serial.StageDeadline(now, groupDeadline, pexs)
+	return a.Serial.StageDeadline(now, groupDeadline, buf), buf
 }
 
 // ParallelBranch returns the virtual deadline of branch i of a parallel
 // group arriving at time arrival with the given group deadline.
 func (a Assigner) ParallelBranch(arrival, groupDeadline float64, branches []*task.Graph, i int) float64 {
-	pexs := make([]float64, len(branches))
-	for j, g := range branches {
-		pexs[j] = g.AggregatePex()
+	dl, _ := a.ParallelBranchBuf(make([]float64, 0, len(branches)), arrival, groupDeadline, branches, i)
+	return dl
+}
+
+// ParallelBranchBuf is ParallelBranch with a caller-owned scratch buffer,
+// mirroring SerialStageBuf.
+func (a Assigner) ParallelBranchBuf(buf []float64, arrival, groupDeadline float64, branches []*task.Graph, i int) (float64, []float64) {
+	buf = buf[:0]
+	for _, g := range branches {
+		buf = append(buf, g.AggregatePex())
 	}
-	return a.Parallel.BranchDeadline(arrival, groupDeadline, pexs, i)
+	return a.Parallel.BranchDeadline(arrival, groupDeadline, buf, i), buf
 }
 
 // Assignment is one leaf's planned virtual deadline, produced by Plan.

@@ -93,6 +93,7 @@ func diagStagesExp() Experiment {
 				cfg := system.Baseline()
 				cfg.Horizon = o.Horizon
 				cfg.Seed = o.Seed + uint64(rep)
+				cfg.DisablePooling = o.DisablePooling
 				cfg.SSP = ssps[si]
 				m, err := system.Run(cfg)
 				if err != nil {

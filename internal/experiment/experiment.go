@@ -42,6 +42,10 @@ type Options struct {
 	// concurrently from worker goroutines and must be safe for that;
 	// ProgressPrinter returns a suitable implementation.
 	Progress func(done, total int)
+	// DisablePooling forwards system.Config.DisablePooling to every
+	// replication: the pure allocation path, for pool-safety testing and
+	// diagnostics. Results are bit-identical either way.
+	DisablePooling bool
 }
 
 // DefaultOptions returns the default experiment scale.
@@ -206,6 +210,7 @@ func runCell(o Options, figID string, base func() system.Config,
 		cfg := base()
 		cfg.Horizon = o.Horizon
 		cfg.Seed = o.Seed + uint64(rep)
+		cfg.DisablePooling = o.DisablePooling
 		setX(&cfg, x)
 		if v.configure != nil {
 			v.configure(&cfg)

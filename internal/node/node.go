@@ -86,7 +86,8 @@ type Node struct {
 
 	busy         bool
 	running      *task.Task
-	completion   *sim.Event
+	completion   sim.Event
+	completeCB   sim.Callback
 	speed        float64 // service speed factor: 1 nominal, 0 frozen
 	segmentStart float64
 	busyTime     float64 // accumulated service time, for utilization
@@ -137,7 +138,7 @@ func New(cfg Config) (*Node, error) {
 	if (cfg.Policy == AbortAtDispatch || cfg.Policy == AbortFirm) && cfg.OnAbort == nil {
 		return nil, fmt.Errorf("node %d: abort policy requires OnAbort", cfg.ID)
 	}
-	return &Node{
+	n := &Node{
 		id:         cfg.ID,
 		eng:        cfg.Engine,
 		queue:      cfg.Queue,
@@ -147,7 +148,11 @@ func New(cfg Config) (*Node, error) {
 		onDone:     cfg.OnDone,
 		onAbort:    cfg.OnAbort,
 		speed:      1,
-	}, nil
+	}
+	// One registration per node replaces a closure allocation per
+	// completion event: the task rides along as the payload word.
+	n.completeCB = cfg.Engine.Register(func(p any) { n.complete(p.(*task.Task)) })
+	return n, nil
 }
 
 // ID returns the node's index.
@@ -204,12 +209,11 @@ func (n *Node) SetSpeed(speed float64) {
 				n.running.Remaining = 0
 			}
 			n.eng.Cancel(n.completion)
-			n.completion = nil
+			n.completion = sim.Event{}
 		}
 		n.segmentStart = now
 		if speed > 0 {
-			t := n.running
-			n.completion = n.eng.MustSchedule(t.Remaining/speed, func() { n.complete(t) })
+			n.completion = n.eng.MustScheduleCall(n.running.Remaining/speed, n.completeCB, n.running)
 		}
 	}
 	n.speed = speed
@@ -284,7 +288,7 @@ func (n *Node) dispatch() {
 		n.running = t
 		n.segmentStart = now
 		n.observe(ObserveDispatch, t)
-		n.completion = n.eng.MustSchedule(t.Remaining/n.speed, func() { n.complete(t) })
+		n.completion = n.eng.MustScheduleCall(t.Remaining/n.speed, n.completeCB, t)
 		return
 	}
 }

@@ -48,6 +48,15 @@ type Instance struct {
 	// which each stage finished before its virtual deadline (leftover
 	// slack passed to the successor). Diagnostic for section 4.2.2.
 	InheritedSlack float64
+
+	// leafRefs counts subtasks submitted but not yet completed or
+	// aborted at their nodes. An instance can only be recycled once it
+	// is finished AND no node still holds one of its subtasks — an
+	// aborted instance's already-queued siblings keep referencing it
+	// until they drain.
+	leafRefs int
+	// finished marks that OnDone has been delivered.
+	finished bool
 }
 
 // Missed reports whether the completed instance missed its end-to-end
@@ -71,15 +80,46 @@ type Manager struct {
 	// nextTaskID allocates task ids.
 	nextTaskID func() uint64
 
-	// waiting maps an in-flight subtask id to its continuation.
+	// waiting maps an in-flight subtask id to the activation frame its
+	// completion resumes.
 	waiting map[uint64]pending
+
+	// pool optionally recycles retired subtasks; nil allocates fresh
+	// ones (the reference path pooling must reproduce bit-for-bit).
+	pool *task.Pool
+	// instFree recycles Instance shells once fully drained; only used
+	// when pool is set, so DisablePooling yields the pure allocation
+	// path end to end.
+	instFree []*Instance
+	// frameFree recycles activation frames, same gating as instFree.
+	frameFree []*frame
+	// graphPool receives retired instance graphs; nil drops them to the
+	// garbage collector.
+	graphPool *task.GraphPool
+	// pexBuf is the scratch buffer for the assigner's aggregate pex
+	// values, reused across every stage release of the run.
+	pexBuf []float64
 
 	inflight int
 }
 
 type pending struct {
-	inst *Instance
-	cont func(*task.Task)
+	inst  *Instance
+	frame *frame // enclosing group; nil when the leaf is the whole graph
+}
+
+// frame is one live activation record: a serial group waiting to release
+// its next stage, or a parallel group counting branches still running.
+// Frames replace the per-stage continuation closures the manager used to
+// allocate — precedence state lives in a pooled struct and completion
+// walks the parent chain instead of invoking captured functions.
+type frame struct {
+	inst      *Instance
+	g         *task.Graph
+	parent    *frame // nil at the graph root
+	dl        float64
+	next      int // serial: index of the next child to release
+	remaining int // parallel: branches still running
 }
 
 // Config carries the manager's construction parameters.
@@ -94,6 +134,12 @@ type Config struct {
 	// subtasks and local tasks draw from one deterministic sequence.
 	NextSeq    func() uint64
 	NextTaskID func() uint64
+	// Pool optionally recycles subtasks (and Instance shells) within a
+	// replication. Nil disables reuse; results are identical either way.
+	Pool *task.Pool
+	// GraphPool optionally receives retired instance graphs for reuse by
+	// the workload generator. Only consulted when Pool is set.
+	GraphPool *task.GraphPool
 }
 
 // New returns a manager.
@@ -118,7 +164,62 @@ func New(cfg Config) (*Manager, error) {
 		nextSeq:    cfg.NextSeq,
 		nextTaskID: cfg.NextTaskID,
 		waiting:    make(map[uint64]pending),
+		pool:       cfg.Pool,
+		graphPool:  cfg.GraphPool,
 	}, nil
+}
+
+// NewInstance returns a zeroed Instance, recycled from the manager's free
+// list when pooling is enabled. The caller fills it and hands it to
+// Start; after OnDone the manager reclaims it once the last of its
+// subtasks has drained, so callers must not retain instances beyond the
+// OnDone callback.
+func (m *Manager) NewInstance() *Instance {
+	if n := len(m.instFree); n > 0 {
+		inst := m.instFree[n-1]
+		m.instFree[n-1] = nil
+		m.instFree = m.instFree[:n-1]
+		return inst
+	}
+	return &Instance{}
+}
+
+// maybeRecycle parks a fully drained, finished instance on the free list.
+func (m *Manager) maybeRecycle(inst *Instance) {
+	if m.pool == nil || !inst.finished || inst.leafRefs != 0 {
+		return
+	}
+	// The instance is fully drained: no node, frame, or waiting entry
+	// references its graph, so its nodes can go back to the generator.
+	m.graphPool.Release(inst.Graph)
+	*inst = Instance{} // drop the graph reference and reset counters
+	m.instFree = append(m.instFree, inst)
+}
+
+// newFrame returns an initialized activation frame, recycled when
+// pooling is enabled.
+func (m *Manager) newFrame(inst *Instance, g *task.Graph, parent *frame, dl float64) *frame {
+	var f *frame
+	if n := len(m.frameFree); n > 0 {
+		f = m.frameFree[n-1]
+		m.frameFree[n-1] = nil
+		m.frameFree = m.frameFree[:n-1]
+	} else {
+		f = &frame{}
+	}
+	*f = frame{inst: inst, g: g, parent: parent, dl: dl}
+	return f
+}
+
+// releaseFrame recycles a finished frame. Frames of aborted instances
+// are simply dropped (their completions are swallowed, so release is
+// never reached) and reclaimed by the garbage collector.
+func (m *Manager) releaseFrame(f *frame) {
+	if m.pool == nil {
+		return
+	}
+	*f = frame{}
+	m.frameFree = append(m.frameFree, f)
 }
 
 // InFlight returns the number of instances started but not yet finished
@@ -130,51 +231,29 @@ func (m *Manager) InFlight() int { return m.inflight }
 // Pex and NodeID values on every leaf.
 func (m *Manager) Start(inst *Instance) {
 	m.inflight++
-	m.activate(inst, inst.Graph, inst.Deadline, func() {
-		if inst.Aborted {
-			return
-		}
-		inst.Finish = m.eng.Now()
-		m.inflight--
-		m.onDone(inst)
-	})
+	m.activate(inst, inst.Graph, inst.Deadline, nil)
 }
 
-// activate submits graph node g with virtual deadline dl, calling done
-// when g (and everything under it) finishes. Continuations check
-// inst.Aborted so that an aborted instance never reports completion.
-func (m *Manager) activate(inst *Instance, g *task.Graph, dl float64, done func()) {
+// activate submits graph node g with virtual deadline dl inside the
+// enclosing frame (nil when g is the whole graph). Completion propagates
+// through childDone; aborted instances never reach it because their
+// subtask completions are swallowed.
+func (m *Manager) activate(inst *Instance, g *task.Graph, dl float64, parent *frame) {
 	switch g.Kind {
 	case task.KindSimple:
-		m.submitLeaf(inst, g, dl, done)
+		m.submitLeaf(inst, g, dl, parent)
 
 	case task.KindSerial:
-		children := g.Children
-		var step func(i int)
-		step = func(i int) {
-			if inst.Aborted {
-				return
-			}
-			if i == len(children) {
-				done()
-				return
-			}
-			stageDL := m.assigner.SerialStage(m.eng.Now(), dl, children[i:])
-			m.activate(inst, children[i], stageDL, func() { step(i + 1) })
-		}
-		step(0)
+		m.stepSerial(m.newFrame(inst, g, parent, dl))
 
 	case task.KindParallel:
-		remaining := len(g.Children)
+		f := m.newFrame(inst, g, parent, dl)
+		f.remaining = len(g.Children)
 		arrival := m.eng.Now()
 		for i, child := range g.Children {
-			branchDL := m.assigner.ParallelBranch(arrival, dl, g.Children, i)
-			m.activate(inst, child, branchDL, func() {
-				remaining--
-				if remaining == 0 && !inst.Aborted {
-					done()
-				}
-			})
+			var branchDL float64
+			branchDL, m.pexBuf = m.assigner.ParallelBranchBuf(m.pexBuf, arrival, dl, g.Children, i)
+			m.activate(inst, child, branchDL, f)
 		}
 
 	default:
@@ -184,65 +263,115 @@ func (m *Manager) activate(inst *Instance, g *task.Graph, dl float64, done func(
 	}
 }
 
+// stepSerial releases the next stage of a serial frame, computing its
+// virtual deadline at the instant of release (the paper's dynamic
+// assignment), or finishes the group when no stages remain.
+func (m *Manager) stepSerial(f *frame) {
+	if f.next < len(f.g.Children) {
+		i := f.next
+		f.next++
+		var stageDL float64
+		stageDL, m.pexBuf = m.assigner.SerialStageBuf(m.pexBuf, m.eng.Now(), f.dl, f.g.Children[i:])
+		m.activate(f.inst, f.g.Children[i], stageDL, f)
+		return
+	}
+	m.groupDone(f)
+}
+
+// groupDone retires a finished frame and propagates completion upward.
+func (m *Manager) groupDone(f *frame) {
+	inst, parent := f.inst, f.parent
+	m.releaseFrame(f)
+	m.childDone(inst, parent)
+}
+
+// childDone records that one direct child of frame f finished. A nil
+// frame means the whole graph finished: the instance completes.
+func (m *Manager) childDone(inst *Instance, f *frame) {
+	if f == nil {
+		inst.Finish = m.eng.Now()
+		m.inflight--
+		inst.finished = true
+		m.onDone(inst)
+		return
+	}
+	switch f.g.Kind {
+	case task.KindSerial:
+		m.stepSerial(f)
+	case task.KindParallel:
+		f.remaining--
+		if f.remaining == 0 {
+			m.groupDone(f)
+		}
+	}
+}
+
 // submitLeaf creates the schedulable subtask for a leaf and sends it to
 // its node.
-func (m *Manager) submitLeaf(inst *Instance, leaf *task.Graph, dl float64, done func()) {
-	t := &task.Task{
-		ID:           m.nextTaskID(),
-		Class:        task.Global,
-		GlobalID:     inst.ID,
-		Stage:        leaf.LeafIndex,
-		Arrival:      m.eng.Now(),
-		Deadline:     dl,
-		FirmDeadline: inst.Deadline,
-		Exec:         leaf.Exec,
-		Pex:          leaf.Pex,
-		Seq:          m.nextSeq(),
-	}
-	m.waiting[t.ID] = pending{inst: inst, cont: func(ct *task.Task) {
-		inst.StageCount++
-		if ct.Missed() {
-			inst.StageMisses++
-		} else {
-			inst.InheritedSlack += ct.Deadline - ct.Finish
-		}
-		done()
-	}}
+func (m *Manager) submitLeaf(inst *Instance, leaf *task.Graph, dl float64, parent *frame) {
+	t := m.pool.Get()
+	t.ID = m.nextTaskID()
+	t.Class = task.Global
+	t.GlobalID = inst.ID
+	t.Stage = leaf.LeafIndex
+	t.Arrival = m.eng.Now()
+	t.Deadline = dl
+	t.FirmDeadline = inst.Deadline
+	t.Exec = leaf.Exec
+	t.Pex = leaf.Pex
+	t.Seq = m.nextSeq()
+	inst.leafRefs++
+	m.waiting[t.ID] = pending{inst: inst, frame: parent}
 	m.nodes[leaf.NodeID].Submit(t)
 }
 
 // Complete must be called by the system when a node finishes a Global
 // subtask. Completions for aborted instances are swallowed (their
 // already-queued siblings still occupy servers, which is realistic — the
-// manager cannot retract work from an independent component).
+// manager cannot retract work from an independent component). The subtask
+// is recycled after its continuation runs; callers must not hold on to it.
 func (m *Manager) Complete(t *task.Task) error {
 	p, ok := m.waiting[t.ID]
 	if !ok {
 		return fmt.Errorf("procmgr: completion for unknown subtask %d", t.ID)
 	}
 	delete(m.waiting, t.ID)
-	if p.inst.Aborted {
-		return nil
+	inst := p.inst
+	inst.leafRefs--
+	if !inst.Aborted {
+		inst.StageCount++
+		if t.Missed() {
+			inst.StageMisses++
+		} else {
+			inst.InheritedSlack += t.Deadline - t.Finish
+		}
+		m.childDone(inst, p.frame)
 	}
-	p.cont(t)
+	m.pool.Put(t)
+	m.maybeRecycle(inst)
 	return nil
 }
 
 // Abort must be called by the system when a node's tardy policy discards
 // a Global subtask. The first abort kills the whole instance: a global
 // task whose subtask was dropped can never meet its end-to-end deadline.
+// The subtask is recycled on return; callers must not hold on to it.
 func (m *Manager) Abort(t *task.Task) error {
 	p, ok := m.waiting[t.ID]
 	if !ok {
 		return fmt.Errorf("procmgr: abort for unknown subtask %d", t.ID)
 	}
 	delete(m.waiting, t.ID)
-	if p.inst.Aborted {
-		return nil
+	inst := p.inst
+	inst.leafRefs--
+	if !inst.Aborted {
+		inst.Aborted = true
+		inst.Finish = m.eng.Now()
+		m.inflight--
+		inst.finished = true
+		m.onDone(inst)
 	}
-	p.inst.Aborted = true
-	p.inst.Finish = m.eng.Now()
-	m.inflight--
-	m.onDone(p.inst)
+	m.pool.Put(t)
+	m.maybeRecycle(inst)
 	return nil
 }

@@ -47,6 +47,15 @@ func (r *Runner) Workers() int { return r.workers }
 // unit fails, exactly as the sequential loop would stop at its first
 // error; units already in flight still run to completion.
 func (r *Runner) Run(n int, fn func(i int) error) error {
+	return r.RunWorkers(n, func(_, i int) error { return fn(i) })
+}
+
+// RunWorkers is Run with the executing worker's index (0 <= worker <
+// Workers) passed alongside each unit index. A worker processes its units
+// strictly sequentially, so per-worker state — a reusable simulation
+// workspace, a scratch buffer — handed out by worker index needs no
+// locking. Unit results must still not depend on which worker ran them.
+func (r *Runner) RunWorkers(n int, fn func(worker, unit int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -56,7 +65,7 @@ func (r *Runner) Run(n int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -82,19 +91,19 @@ func (r *Runner) Run(n int, fn func(i int) error) error {
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for !failed.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(worker, i); err != nil {
 					record(i, err)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return firstErr

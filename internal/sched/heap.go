@@ -13,6 +13,15 @@ type taskHeap struct {
 
 func (h *taskHeap) len() int { return len(h.items) }
 
+// reset empties the heap while keeping its backing array, so a reused
+// queue reaches its working size without re-growing.
+func (h *taskHeap) reset() {
+	for i := range h.items {
+		h.items[i] = nil
+	}
+	h.items = h.items[:0]
+}
+
 func (h *taskHeap) less(i, j int) bool {
 	ki, kj := h.key(h.items[i]), h.key(h.items[j])
 	if ki != kj {

@@ -25,6 +25,9 @@ func (q *edfQueue) Len() int { return q.h.len() }
 // Name implements Queue.
 func (q *edfQueue) Name() string { return "EDF" }
 
+// Reset implements Resetter.
+func (q *edfQueue) Reset() { q.h.reset() }
+
 // fcfsQueue orders tasks by submission sequence.
 type fcfsQueue struct {
 	h taskHeap
@@ -48,6 +51,9 @@ func (q *fcfsQueue) Len() int { return q.h.len() }
 
 // Name implements Queue.
 func (q *fcfsQueue) Name() string { return "FCFS" }
+
+// Reset implements Resetter.
+func (q *fcfsQueue) Reset() { q.h.reset() }
 
 // mlfQueue implements non-preemptive minimum-laxity-first. Laxity
 // dl − now − pex depends on the dispatch time, but `now` is identical for
@@ -74,6 +80,9 @@ func (q *mlfQueue) Len() int { return q.h.len() }
 
 // Name implements Queue.
 func (q *mlfQueue) Name() string { return "MLF" }
+
+// Reset implements Resetter.
+func (q *mlfQueue) Reset() { q.h.reset() }
 
 // classPriority is the two-level queue of the GF strategy: global
 // subtasks are always served before local tasks; within each class the
@@ -111,3 +120,9 @@ func (q *classPriority) Len() int { return q.globals.Len() + q.locals.Len() }
 
 // Name implements Queue.
 func (q *classPriority) Name() string { return "GF(" + q.globals.Name() + ")" }
+
+// Reset implements Resetter when both wrapped queues do.
+func (q *classPriority) Reset() {
+	q.globals.(Resetter).Reset()
+	q.locals.(Resetter).Reset()
+}

@@ -33,6 +33,15 @@ type Queue interface {
 	Name() string
 }
 
+// Resetter is implemented by queues that can be emptied in place, keeping
+// their backing arrays so a reused queue starts at its working capacity.
+// All queues returned by New implement it; the interface is optional so
+// external Queue implementations remain valid.
+type Resetter interface {
+	// Reset discards all queued tasks and keeps allocated capacity.
+	Reset()
+}
+
 // Policy selects a queue implementation by name.
 type Policy string
 

@@ -9,6 +9,14 @@
 // of (configuration, seed) so that results are reproducible and tests can
 // assert exact task counts. Events scheduled for the same instant fire in
 // scheduling order.
+//
+// The implementation is built for paper-scale horizons (millions of events
+// per replication): events are stored by value in the heap and recycled
+// through an engine-owned free list, so steady-state scheduling performs
+// zero heap allocations. Hot callers register a Callback once and schedule
+// with a payload word (ScheduleCall) instead of allocating a capturing
+// closure per event; the closure-based Schedule/At remain for one-shot and
+// test use.
 package sim
 
 import (
@@ -21,31 +29,101 @@ import (
 // simulation time.
 var ErrEventInPast = errors.New("sim: event scheduled in the past")
 
-// Event is a scheduled callback. It is returned by the scheduling methods
-// so callers can cancel it before it fires.
+// Callback identifies a handler registered with Register. Callbacks are
+// bound once per simulation entity (a node's completion handler, a
+// source's arrival handler) and invoked with the payload passed at
+// scheduling time, which removes the per-event closure allocation.
+type Callback int32
+
+// Event is a generation-counted handle to a scheduled event, returned by
+// the scheduling methods so callers can Cancel before it fires. It is a
+// small value, valid only for the engine that issued it. The zero Event is
+// not a valid handle; cancelling it is a harmless no-op. Once the event
+// fires or is cancelled its slot may be reused, but the generation counter
+// makes a stale handle's Cancel a safe no-op rather than a misdirected
+// cancellation.
 type Event struct {
-	time float64
-	seq  uint64 // tie-break: FIFO among equal times
-	fn   func()
-	pos  int // index in the heap, -1 once removed
+	slot int32 // slot index + 1; 0 marks the zero (invalid) handle
+	gen  uint32
 }
 
-// Time returns the simulation time the event will fire at.
-func (e *Event) Time() float64 { return e.time }
+// event is the in-heap representation, stored by value.
+type event struct {
+	time    float64
+	seq     uint64 // tie-break: FIFO among equal times
+	payload any
+	cb      Callback
+	slot    int32
+}
+
+// slotRec tracks one recyclable event slot: the generation its current
+// handle must match and the event's heap index (-1 while the slot is
+// idle).
+type slotRec struct {
+	gen uint32
+	pos int32
+}
 
 // Engine is a discrete-event simulator. The zero value is not usable;
 // create one with New.
 type Engine struct {
-	now    float64
-	seq    uint64
-	heap   []*Event
-	fired  uint64
-	stoped bool
+	now     float64
+	seq     uint64
+	fired   uint64
+	stopped bool
+
+	heap      []event
+	slots     []slotRec
+	freeSlots []int32
+	callbacks []func(any)
 }
+
+// runClosure is the pre-registered callback backing the closure-based
+// scheduling API: the payload is the func() itself.
+func runClosure(payload any) { payload.(func())() }
+
+// funcCallback is the reserved Callback id of runClosure.
+const funcCallback Callback = 0
 
 // New returns an engine with the clock at zero.
 func New() *Engine {
-	return &Engine{}
+	e := &Engine{}
+	e.callbacks = append(e.callbacks, runClosure)
+	return e
+}
+
+// Reset returns the engine to its initial state — clock at zero, no
+// pending events, no registered callbacks — while keeping the capacity of
+// its internal buffers, so a reused engine reaches steady state without
+// re-growing its heap and slot arrays. Handles issued before the reset are
+// invalidated.
+func (e *Engine) Reset() {
+	e.now, e.seq, e.fired, e.stopped = 0, 0, 0, false
+	for i := range e.heap {
+		e.heap[i] = event{} // release payload references
+	}
+	e.heap = e.heap[:0]
+	e.freeSlots = e.freeSlots[:0]
+	for i := range e.slots {
+		e.slots[i].gen++ // stale handles from the previous run go dead
+		e.slots[i].pos = -1
+		e.freeSlots = append(e.freeSlots, int32(i))
+	}
+	for i := range e.callbacks {
+		e.callbacks[i] = nil // release closure references
+	}
+	e.callbacks = append(e.callbacks[:0], runClosure)
+}
+
+// Register binds fn as a reusable event handler and returns its Callback
+// id. Registration is meant to happen once per simulation entity at setup
+// time; the returned id is then scheduled with ScheduleCall and friends.
+func (e *Engine) Register(fn func(payload any)) Callback {
+	if fn == nil {
+		panic("sim: Register(nil)")
+	}
+	e.callbacks = append(e.callbacks, fn)
+	return Callback(len(e.callbacks) - 1)
 }
 
 // Now returns the current simulation time.
@@ -59,14 +137,15 @@ func (e *Engine) Fired() uint64 { return e.fired }
 func (e *Engine) Pending() int { return len(e.heap) }
 
 // Schedule registers fn to run after delay time units. A negative or NaN
-// delay returns ErrEventInPast.
-func (e *Engine) Schedule(delay float64, fn func()) (*Event, error) {
+// delay returns ErrEventInPast. Each call allocates a closure; hot paths
+// should use Register + ScheduleCall instead.
+func (e *Engine) Schedule(delay float64, fn func()) (Event, error) {
 	return e.At(e.now+delay, fn)
 }
 
 // MustSchedule is Schedule for delays the caller has already validated;
 // it panics on a negative or NaN delay, which indicates a model bug.
-func (e *Engine) MustSchedule(delay float64, fn func()) *Event {
+func (e *Engine) MustSchedule(delay float64, fn func()) Event {
 	ev, err := e.Schedule(delay, fn)
 	if err != nil {
 		panic(fmt.Sprintf("sim: MustSchedule(%v): %v", delay, err))
@@ -76,25 +155,71 @@ func (e *Engine) MustSchedule(delay float64, fn func()) *Event {
 
 // At registers fn to run at absolute simulation time t. Scheduling in the
 // past (or NaN) returns ErrEventInPast.
-func (e *Engine) At(t float64, fn func()) (*Event, error) {
-	if math.IsNaN(t) || t < e.now {
-		return nil, fmt.Errorf("%w: at %v, now %v", ErrEventInPast, t, e.now)
-	}
-	ev := &Event{time: t, seq: e.seq, fn: fn}
-	e.seq++
-	e.push(ev)
-	return ev, nil
+func (e *Engine) At(t float64, fn func()) (Event, error) {
+	return e.CallAt(t, funcCallback, fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op and reports false.
-func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.pos < 0 || ev.pos >= len(e.heap) || e.heap[ev.pos] != ev {
+// ScheduleCall schedules the registered callback cb to fire with payload
+// after delay time units. It performs no heap allocation: the event lives
+// by value in the engine's heap and payload is carried as-is (a pointer
+// payload does not escape to the heap).
+func (e *Engine) ScheduleCall(delay float64, cb Callback, payload any) (Event, error) {
+	return e.CallAt(e.now+delay, cb, payload)
+}
+
+// MustScheduleCall is ScheduleCall for delays the caller has already
+// validated; it panics on a negative or NaN delay.
+func (e *Engine) MustScheduleCall(delay float64, cb Callback, payload any) Event {
+	ev, err := e.CallAt(e.now+delay, cb, payload)
+	if err != nil {
+		panic(fmt.Sprintf("sim: MustScheduleCall(%v): %v", delay, err))
+	}
+	return ev
+}
+
+// CallAt schedules the registered callback cb to fire with payload at
+// absolute simulation time t. Scheduling in the past (or NaN) returns
+// ErrEventInPast; an unregistered cb panics at fire time.
+func (e *Engine) CallAt(t float64, cb Callback, payload any) (Event, error) {
+	if math.IsNaN(t) || t < e.now {
+		return Event{}, fmt.Errorf("%w: at %v, now %v", ErrEventInPast, t, e.now)
+	}
+	slot := e.takeSlot()
+	ev := event{time: t, seq: e.seq, payload: payload, cb: cb, slot: slot}
+	e.seq++
+	e.push(ev)
+	return Event{slot: slot + 1, gen: e.slots[slot].gen}, nil
+}
+
+// Cancel removes a pending event. Cancelling an already-fired,
+// already-cancelled, or zero handle is a no-op and reports false.
+func (e *Engine) Cancel(ev Event) bool {
+	i := int(ev.slot) - 1
+	if i < 0 || i >= len(e.slots) {
 		return false
 	}
-	e.remove(ev.pos)
-	ev.pos = -1
+	s := &e.slots[i]
+	if s.gen != ev.gen || s.pos < 0 {
+		return false
+	}
+	pos := s.pos
+	e.releaseSlot(int32(i))
+	e.remove(pos)
 	return true
+}
+
+// EventTime returns the simulation time a pending event will fire at, and
+// whether the handle still refers to a pending event.
+func (e *Engine) EventTime(ev Event) (float64, bool) {
+	i := int(ev.slot) - 1
+	if i < 0 || i >= len(e.slots) {
+		return 0, false
+	}
+	s := e.slots[i]
+	if s.gen != ev.gen || s.pos < 0 {
+		return 0, false
+	}
+	return e.heap[s.pos].time, true
 }
 
 // Step executes the next pending event, advancing the clock to its time.
@@ -103,45 +228,70 @@ func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
 	}
-	ev := e.pop()
+	ev := e.heap[0]
+	// Release the slot before invoking so the callback can schedule into
+	// it; the generation bump makes the fired event's handle stale.
+	e.releaseSlot(ev.slot)
+	e.remove(0)
 	e.now = ev.time
 	e.fired++
-	ev.fn()
+	e.callbacks[ev.cb](ev.payload)
 	return true
 }
 
-// Run executes events in time order until the event list is empty or the
-// next event lies strictly beyond horizon. The clock finishes at the time
-// of the last executed event, clamped up to horizon if the list drained
-// early, so Now() == horizon after a bounded run.
+// Run executes events in time order until the event list is empty, Stop is
+// called, or the next event lies strictly beyond horizon (that event stays
+// pending for a later Run). If the list drains before horizon the clock is
+// clamped up to exactly horizon, so Now() == horizon after any bounded run
+// that was not stopped early.
 func (e *Engine) Run(horizon float64) {
-	e.stoped = false
-	for len(e.heap) > 0 && !e.stoped {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
 		if e.heap[0].time > horizon {
 			break
 		}
 		e.Step()
 	}
-	if e.now < horizon && !e.stoped {
+	if e.now < horizon && !e.stopped {
 		e.now = horizon
 	}
 }
 
 // RunAll executes events until none remain or Stop is called.
 func (e *Engine) RunAll() {
-	e.stoped = false
-	for len(e.heap) > 0 && !e.stoped {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
 		e.Step()
 	}
 }
 
 // Stop makes the innermost Run/RunAll return after the current event's
 // callback completes. It is intended to be called from within a callback.
-func (e *Engine) Stop() { e.stoped = true }
+func (e *Engine) Stop() { e.stopped = true }
+
+// takeSlot pops a free slot or grows the slot table.
+func (e *Engine) takeSlot() int32 {
+	if n := len(e.freeSlots); n > 0 {
+		slot := e.freeSlots[n-1]
+		e.freeSlots = e.freeSlots[:n-1]
+		return slot
+	}
+	e.slots = append(e.slots, slotRec{pos: -1})
+	return int32(len(e.slots) - 1)
+}
+
+// releaseSlot retires a slot's current generation and returns it to the
+// free list.
+func (e *Engine) releaseSlot(slot int32) {
+	s := &e.slots[slot]
+	s.gen++
+	s.pos = -1
+	e.freeSlots = append(e.freeSlots, slot)
+}
 
 // before reports whether event a fires before event b: earlier time, or
 // FIFO order at equal times.
-func before(a, b *Event) bool {
+func before(a, b *event) bool {
 	if a.time != b.time {
 		return a.time < b.time
 	}
@@ -149,32 +299,26 @@ func before(a, b *Event) bool {
 }
 
 // push inserts an event into the binary heap.
-func (e *Engine) push(ev *Event) {
-	ev.pos = len(e.heap)
+func (e *Engine) push(ev event) {
+	i := int32(len(e.heap))
 	e.heap = append(e.heap, ev)
-	e.up(ev.pos)
+	e.slots[ev.slot].pos = i
+	e.up(int(i))
 }
 
-// pop removes and returns the earliest event.
-func (e *Engine) pop() *Event {
-	ev := e.heap[0]
-	e.remove(0)
-	ev.pos = -1
-	return ev
-}
-
-// remove deletes the heap element at index i.
-func (e *Engine) remove(i int) {
-	last := len(e.heap) - 1
+// remove deletes the heap element at index i. The caller has already
+// released the element's slot.
+func (e *Engine) remove(i int32) {
+	last := int32(len(e.heap)) - 1
 	if i != last {
 		e.heap[i] = e.heap[last]
-		e.heap[i].pos = i
+		e.slots[e.heap[i].slot].pos = i
 	}
-	e.heap[last] = nil
+	e.heap[last] = event{} // release the payload reference
 	e.heap = e.heap[:last]
-	if i < len(e.heap) {
-		if !e.up(i) {
-			e.down(i)
+	if i < last {
+		if !e.up(int(i)) {
+			e.down(int(i))
 		}
 	}
 }
@@ -185,7 +329,7 @@ func (e *Engine) up(i int) bool {
 	moved := false
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !before(e.heap[i], e.heap[parent]) {
+		if !before(&e.heap[i], &e.heap[parent]) {
 			break
 		}
 		e.swap(i, parent)
@@ -204,10 +348,10 @@ func (e *Engine) down(i int) {
 			return
 		}
 		least := left
-		if right := left + 1; right < n && before(e.heap[right], e.heap[left]) {
+		if right := left + 1; right < n && before(&e.heap[right], &e.heap[left]) {
 			least = right
 		}
-		if !before(e.heap[least], e.heap[i]) {
+		if !before(&e.heap[least], &e.heap[i]) {
 			return
 		}
 		e.swap(i, least)
@@ -217,6 +361,6 @@ func (e *Engine) down(i int) {
 
 func (e *Engine) swap(i, j int) {
 	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
-	e.heap[i].pos = i
-	e.heap[j].pos = j
+	e.slots[e.heap[i].slot].pos = int32(i)
+	e.slots[e.heap[j].slot].pos = int32(j)
 }

@@ -114,15 +114,15 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if e.Cancel(nil) {
-		t.Fatal("Cancel(nil) returned true")
+	if e.Cancel(Event{}) {
+		t.Fatal("Cancel of the zero handle returned true")
 	}
 }
 
 func TestCancelMiddleOfHeap(t *testing.T) {
 	e := New()
 	var got []float64
-	var evs []*Event
+	var evs []Event
 	for _, d := range []float64{4, 2, 6, 1, 5, 3} {
 		tm := d
 		ev := e.MustSchedule(d, func() { got = append(got, tm) })
@@ -173,7 +173,7 @@ func TestHeapPropertyRandomized(t *testing.T) {
 	f := func(delays []uint16, cancelMask []bool) bool {
 		e := New()
 		var fired []float64
-		var evs []*Event
+		var evs []Event
 		for _, d := range delays {
 			tm := float64(d % 1000)
 			evs = append(evs, e.MustSchedule(tm, func() { fired = append(fired, tm) }))
@@ -197,12 +197,131 @@ func TestHeapPropertyRandomized(t *testing.T) {
 	}
 }
 
+func TestRegisteredCallbackPayload(t *testing.T) {
+	e := New()
+	type box struct{ v int }
+	var got []int
+	cb := e.Register(func(p any) { got = append(got, p.(*box).v) })
+	payloads := []*box{{1}, {2}, {3}}
+	for i, p := range payloads {
+		if _, err := e.ScheduleCall(float64(3-i), cb, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.RunAll()
+	want := []int{3, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("payloads fired as %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCancelAfterSlotReuse(t *testing.T) {
+	// A handle to a fired event must stay dead even after its slot is
+	// recycled by a new event: the generation counter, not the slot
+	// index, is the identity.
+	e := New()
+	cb := e.Register(func(any) {})
+	first := e.MustScheduleCall(1, cb, nil)
+	e.RunAll() // fires `first`, freeing its slot
+	secondFired := false
+	e.MustScheduleCall(1, e.Register(func(any) { secondFired = true }), nil)
+	if e.Cancel(first) {
+		t.Fatal("Cancel of a fired handle returned true after slot reuse")
+	}
+	e.RunAll()
+	if !secondFired {
+		t.Fatal("stale Cancel killed the slot's new occupant")
+	}
+}
+
+func TestEventTime(t *testing.T) {
+	e := New()
+	ev := e.MustSchedule(7, func() {})
+	if at, ok := e.EventTime(ev); !ok || at != 7 {
+		t.Fatalf("EventTime = (%v, %v), want (7, true)", at, ok)
+	}
+	e.RunAll()
+	if _, ok := e.EventTime(ev); ok {
+		t.Fatal("EventTime reported a fired event as pending")
+	}
+	if _, ok := e.EventTime(Event{}); ok {
+		t.Fatal("EventTime reported the zero handle as pending")
+	}
+}
+
+func TestReset(t *testing.T) {
+	e := New()
+	stale := e.MustSchedule(5, func() { t.Fatal("event from before Reset fired") })
+	e.MustSchedule(1, func() {})
+	e.Run(0.5)
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 || e.Fired() != 0 {
+		t.Fatalf("after Reset: Now=%v Pending=%d Fired=%d, want zeros",
+			e.Now(), e.Pending(), e.Fired())
+	}
+	if e.Cancel(stale) {
+		t.Fatal("Cancel of a pre-Reset handle returned true")
+	}
+	fired := 0
+	e.MustScheduleCall(2, e.Register(func(any) { fired++ }), nil)
+	e.RunAll()
+	if fired != 1 || e.Now() != 2 {
+		t.Fatalf("after Reset: fired=%d Now=%v, want 1 and 2", fired, e.Now())
+	}
+}
+
+// TestSteadyStateScheduleZeroAlloc pins the PR's core invariant: once the
+// heap and slot arrays have grown to their working size, scheduling,
+// firing, and cancelling events allocates nothing.
+func TestSteadyStateScheduleZeroAlloc(t *testing.T) {
+	e := New()
+	var sink *payloadProbe
+	cb := e.Register(func(p any) { sink = p.(*payloadProbe) })
+	probe := &payloadProbe{}
+	// Warm the heap, slot, and free-list capacity.
+	for i := 0; i < 256; i++ {
+		e.MustScheduleCall(float64(i%16), cb, probe)
+	}
+	e.RunAll()
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 8; i++ {
+			e.MustScheduleCall(float64(i%4), cb, probe)
+		}
+		ev := e.MustScheduleCall(1, cb, probe)
+		e.Cancel(ev)
+		e.RunAll()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule/fire/cancel allocated %v times per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+type payloadProbe struct{ n int }
+
 func BenchmarkScheduleAndFire(b *testing.B) {
 	e := New()
 	fn := func() {}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.MustSchedule(float64(i%64), fn)
+		if i%64 == 63 {
+			e.RunAll()
+		}
+	}
+	e.RunAll()
+}
+
+func BenchmarkScheduleCallAndFire(b *testing.B) {
+	b.ReportAllocs()
+	e := New()
+	cb := e.Register(func(any) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.MustScheduleCall(float64(i%64), cb, nil)
 		if i%64 == 63 {
 			e.RunAll()
 		}

@@ -85,6 +85,13 @@ type Config struct {
 	// bit-for-bit. A Scenario is read-only and safe to share across
 	// parallel replications.
 	Scenario *scenario.Scenario
+	// DisablePooling turns off every object-reuse fast path of the run:
+	// tasks and global-task instances are freshly allocated instead of
+	// recycled, and a caller-provided Workspace is ignored. Results are
+	// bit-identical either way — this is the reference path the pooled
+	// one is tested against, and a diagnostic switch should a
+	// use-after-release ever be suspected.
+	DisablePooling bool
 	// Seed seeds every random stream of the run.
 	Seed uint64
 	// Trace optionally records per-task lifecycle events (submit,

@@ -9,12 +9,26 @@ import (
 	"repro/internal/sim"
 )
 
+// faultEvent is the payload of one scheduled speed change: the node it
+// applies to and the speed factor to set (0 freezes, 1 restores).
+type faultEvent struct {
+	node  *node.Node
+	speed float64
+}
+
 // scheduleScenario registers the scenario's dynamic behaviour on the
 // engine before the run starts: node fault events (slowdown / outage
 // with automatic recovery) and the periodic queue-length sampler feeding
 // the time series. Rate modulation and demand overrides are wired into
-// the workload sources directly, so this covers everything else.
+// the workload sources directly, so this covers everything else. All
+// events go through two callbacks registered once, with payload structs
+// allocated up front — no per-event closures.
 func scheduleScenario(eng *sim.Engine, cfg Config, nodes []*node.Node, series *scenario.Series) {
+	faultCB := eng.Register(func(p any) {
+		f := p.(*faultEvent)
+		f.node.SetSpeed(f.speed)
+	})
+
 	// Schedule events in start-time order, not spec order: the engine
 	// breaks time ties by scheduling sequence, so for back-to-back
 	// events on one node (recovery at t, next fault at t) this makes
@@ -24,16 +38,27 @@ func scheduleScenario(eng *sim.Engine, cfg Config, nodes []*node.Node, series *s
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
 	for _, ev := range events {
 		n := nodes[ev.Node]
-		speed := ev.Factor // 0 for outages: frozen
 		start, end := ev.At, ev.At+ev.Duration
 		if start >= cfg.Horizon {
 			continue // never takes effect inside the run
 		}
-		mustAt(eng, start, func() { n.SetSpeed(speed) })
+		// ev.Factor is 0 for outages: frozen.
+		mustCallAt(eng, start, faultCB, &faultEvent{node: n, speed: ev.Factor})
 		if end < cfg.Horizon {
-			mustAt(eng, end, func() { n.SetSpeed(1) })
+			mustCallAt(eng, end, faultCB, &faultEvent{node: n, speed: 1})
 		}
 	}
+
+	sampleCB := eng.Register(func(any) {
+		total := 0
+		for _, n := range nodes {
+			total += n.QueueLen()
+			if n.Busy() {
+				total++ // count the task in service as queued work
+			}
+		}
+		series.ObserveQueueLen(eng.Now(), float64(total))
+	})
 
 	// Sample total ready-queue length at every window midpoint: one
 	// unbiased snapshot per window, aligned identically across
@@ -44,22 +69,13 @@ func scheduleScenario(eng *sim.Engine, cfg Config, nodes []*node.Node, series *s
 		if at > cfg.Horizon {
 			break
 		}
-		mustAt(eng, at, func() {
-			total := 0
-			for _, n := range nodes {
-				total += n.QueueLen()
-				if n.Busy() {
-					total++ // count the task in service as queued work
-				}
-			}
-			series.ObserveQueueLen(eng.Now(), float64(total))
-		})
+		mustCallAt(eng, at, sampleCB, nil)
 	}
 }
 
-// mustAt schedules at an absolute time validated by the caller.
-func mustAt(eng *sim.Engine, t float64, fn func()) {
-	if _, err := eng.At(t, fn); err != nil {
+// mustCallAt schedules at an absolute time validated by the caller.
+func mustCallAt(eng *sim.Engine, t float64, cb sim.Callback, payload any) {
+	if _, err := eng.CallAt(t, cb, payload); err != nil {
 		panic(fmt.Sprintf("system: scenario event: %v", err))
 	}
 }

@@ -17,10 +17,36 @@ import (
 	"repro/internal/workload"
 )
 
+// Workspace carries the reusable state of a simulation replication: the
+// engine (heap and slot arrays), the task free list, and the per-node
+// ready queues. Reusing one workspace across the sequential replications
+// of a runner worker lets every run after the first start at its working
+// capacity instead of re-growing from zero. A Workspace is single-
+// threaded — one per worker — and results are bit-identical with or
+// without one.
+type Workspace struct {
+	eng      *sim.Engine
+	pool     *task.Pool
+	graphs   *task.GraphPool
+	queues   []sched.Queue
+	queueKey string
+	stageCap int // observed stage-index breadth, to pre-size Metrics
+}
+
+// NewWorkspace returns an empty workspace; the first run populates it.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
 // Run executes one simulation replication and returns its metrics. It is
 // deterministic: equal configs (including Seed) produce identical
 // metrics.
 func Run(cfg Config) (*Metrics, error) {
+	return RunWith(cfg, nil)
+}
+
+// RunWith is Run reusing the given workspace's buffers and pools (nil
+// behaves like Run). cfg.DisablePooling ignores the workspace entirely
+// and takes the pure allocation path.
+func RunWith(cfg Config, ws *Workspace) (*Metrics, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -37,8 +63,34 @@ func Run(cfg Config) (*Metrics, error) {
 		return nil, err
 	}
 
+	if cfg.DisablePooling {
+		ws = nil
+	}
 	var (
-		eng     = sim.New()
+		eng    *sim.Engine
+		pool   *task.Pool
+		graphs *task.GraphPool
+	)
+	if ws != nil {
+		if ws.eng == nil {
+			ws.eng = sim.New()
+		} else {
+			ws.eng.Reset()
+		}
+		if ws.pool == nil {
+			ws.pool = &task.Pool{}
+			ws.graphs = &task.GraphPool{}
+		}
+		eng, pool, graphs = ws.eng, ws.pool, ws.graphs
+	} else {
+		eng = sim.New()
+		if !cfg.DisablePooling {
+			pool = &task.Pool{}
+			graphs = &task.GraphPool{}
+		}
+	}
+
+	var (
 		metrics = &Metrics{}
 		warmup  = cfg.warmup()
 		seq     uint64
@@ -46,6 +98,10 @@ func Run(cfg Config) (*Metrics, error) {
 		nextSeq = func() uint64 { seq++; return seq }
 		nextID  = func() uint64 { taskID++; return taskID }
 	)
+	if ws != nil && ws.stageCap > 0 {
+		metrics.StageMissByIndex = make([]stats.Ratio, 0, ws.stageCap)
+		metrics.StageSlackByIndex = make([]stats.Welford, 0, ws.stageCap)
+	}
 	if cfg.Scenario != nil {
 		metrics.Series = scenario.NewSeries(cfg.Scenario.Interval(cfg.Horizon), cfg.Horizon)
 	}
@@ -61,6 +117,7 @@ func Run(cfg Config) (*Metrics, error) {
 				metrics.StageMiss.Observe(t.Missed())
 				metrics.observeStage(t.Stage, t.Missed(), t.Deadline-t.Arrival-t.Pex)
 			}
+			// The manager recycles the subtask; t is dead past this call.
 			if err := mgr.Complete(t); err != nil {
 				panic(fmt.Sprintf("system: %v", err))
 			}
@@ -74,9 +131,11 @@ func Run(cfg Config) (*Metrics, error) {
 		if metrics.Series != nil {
 			metrics.Series.ObserveLocal(t.Finish, t.Missed())
 		}
+		pool.Put(t)
 	}
 	onTaskAbort := func(t *task.Task) {
 		if t.Class == task.Global {
+			// The manager recycles the subtask; t is dead past this call.
 			if err := mgr.Abort(t); err != nil {
 				panic(fmt.Sprintf("system: %v", err))
 			}
@@ -91,6 +150,7 @@ func Run(cfg Config) (*Metrics, error) {
 		if metrics.Series != nil {
 			metrics.Series.ObserveLocal(t.Finish, true)
 		}
+		pool.Put(t)
 	}
 
 	var observer node.Observer
@@ -109,11 +169,25 @@ func Run(cfg Config) (*Metrics, error) {
 	}
 
 	globalsFirst := core.NeedsClassPriority(parallel)
+	queueKey := fmt.Sprintf("%s|%t", cfg.Scheduler, globalsFirst)
+	reuseQueues := ws != nil && ws.queueKey == queueKey && len(ws.queues) == cfg.Nodes
+	if ws != nil && !reuseQueues {
+		ws.queues, ws.queueKey = make([]sched.Queue, 0, cfg.Nodes), queueKey
+	}
 	nodes := make([]*node.Node, cfg.Nodes)
 	for i := range nodes {
-		q, err := sched.New(cfg.Scheduler, globalsFirst)
-		if err != nil {
-			return nil, err
+		var q sched.Queue
+		if reuseQueues {
+			q = ws.queues[i]
+			q.(sched.Resetter).Reset()
+		} else {
+			q, err = sched.New(cfg.Scheduler, globalsFirst)
+			if err != nil {
+				return nil, err
+			}
+			if ws != nil {
+				ws.queues = append(ws.queues, q)
+			}
 		}
 		n, err := node.New(node.Config{
 			ID:         i,
@@ -163,6 +237,8 @@ func Run(cfg Config) (*Metrics, error) {
 		},
 		NextSeq:    nextSeq,
 		NextTaskID: nextID,
+		Pool:       pool,
+		GraphPool:  graphs,
 	})
 	if err != nil {
 		return nil, err
@@ -194,6 +270,7 @@ func Run(cfg Config) (*Metrics, error) {
 				Pex:      workload.PexModel{RelErr: cfg.PexRelErr},
 				Demand:   cfg.scenarioDemand(),
 				Mod:      cfg.scenarioMod(),
+				Pool:     pool,
 			},
 			nextID, nextSeq,
 			func(t *task.Task) {
@@ -222,16 +299,17 @@ func Run(cfg Config) (*Metrics, error) {
 				RelFlex:       cfg.RelFlex,
 				MeanLocalExec: 1 / cfg.MuLocal,
 				Mod:           cfg.scenarioMod(),
+				GraphPool:     graphs,
 			},
 			func(sp workload.Spec) {
 				instID++
 				metrics.GlobalGenerated++
-				mgr.Start(&procmgr.Instance{
-					ID:       instID,
-					Graph:    sp.Graph,
-					Arrival:  sp.Arrival,
-					Deadline: sp.Deadline,
-				})
+				inst := mgr.NewInstance()
+				inst.ID = instID
+				inst.Graph = sp.Graph
+				inst.Arrival = sp.Arrival
+				inst.Deadline = sp.Deadline
+				mgr.Start(inst)
 			},
 		)
 		if err != nil {
@@ -252,6 +330,9 @@ func Run(cfg Config) (*Metrics, error) {
 	}
 	metrics.LocalInFlight = metrics.LocalGenerated - metrics.LocalDone
 	metrics.GlobalInFlight = int64(mgr.InFlight())
+	if ws != nil && len(metrics.StageMissByIndex) > ws.stageCap {
+		ws.stageCap = len(metrics.StageMissByIndex)
+	}
 	return metrics, nil
 }
 
@@ -287,10 +368,21 @@ func RunReplicationsParallel(cfg Config, reps, parallelism int) (*Replication, e
 		parallelism = 1
 	}
 	runs := make([]*Metrics, reps)
-	err := runner.New(parallelism).Run(reps, func(i int) error {
+	run := runner.New(parallelism)
+	// Each worker owns one reusable workspace: after its first
+	// replication the engine heap, task free list, and ready queues are
+	// already at working size, so subsequent replications on that worker
+	// allocate almost nothing.
+	workspaces := make([]*Workspace, run.Workers())
+	err := run.RunWorkers(reps, func(worker, i int) error {
+		ws := workspaces[worker]
+		if ws == nil {
+			ws = NewWorkspace()
+			workspaces[worker] = ws
+		}
 		c := cfg
 		c.Seed = cfg.Seed + uint64(i)
-		m, err := Run(c)
+		m, err := RunWith(c, ws)
 		if err != nil {
 			return err
 		}

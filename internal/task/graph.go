@@ -217,6 +217,22 @@ func (g *Graph) Flatten() []*Graph {
 	return leaves
 }
 
+// Index assigns LeafIndex in left-to-right order like Flatten but
+// without materializing the leaf slice — the allocation-free variant for
+// generators that only need the indices. It returns the leaf count.
+func (g *Graph) Index() int { return g.index(0) }
+
+func (g *Graph) index(next int) int {
+	if g.Kind == KindSimple {
+		g.LeafIndex = next
+		return next + 1
+	}
+	for _, c := range g.Children {
+		next = c.index(next)
+	}
+	return next
+}
+
 // LeafCount returns the number of simple subtasks in the graph.
 func (g *Graph) LeafCount() int {
 	n := 0

@@ -1,0 +1,70 @@
+package task
+
+// GraphPool recycles Graph nodes — and, through them, their children
+// slices — within a simulation replication. Every global-task arrival
+// builds a fresh instance graph; at paper-scale horizons that is millions
+// of short-lived nodes. The pool's free list is LIFO and Release pushes a
+// parent after its children, so a shape that rebuilds the same topology
+// pops nodes back in an order that reuses each node in the same role
+// (group nodes keep their grown children capacity).
+//
+// Like task.Pool, a GraphPool is single-threaded per replication, and a
+// nil *GraphPool is valid: every method falls back to plain allocation,
+// which is the reference behaviour the pooled path reproduces
+// bit-for-bit.
+type GraphPool struct {
+	free []*Graph
+}
+
+// take pops a reset node or allocates a fresh one.
+func (p *GraphPool) take() *Graph {
+	if p == nil || len(p.free) == 0 {
+		return &Graph{LeafIndex: -1}
+	}
+	n := len(p.free) - 1
+	g := p.free[n]
+	p.free[n] = nil
+	p.free = p.free[:n]
+	return g
+}
+
+// Simple returns a pooled leaf, mirroring the Simple constructor.
+func (p *GraphPool) Simple(name string, pex float64) *Graph {
+	g := p.take()
+	g.Kind, g.Name, g.Pex, g.Exec = KindSimple, name, pex, pex
+	return g
+}
+
+// Group returns a pooled, empty group node of the given kind; the caller
+// appends its children to g.Children (the recycled backing array is
+// retained, so steady-state appends do not allocate).
+func (p *GraphPool) Group(kind Kind) *Graph {
+	g := p.take()
+	g.Kind = kind
+	return g
+}
+
+// Release returns g and every descendant to the pool. The caller owns
+// the graph exclusively at this point: no instance, frame, or queue may
+// still reference any of its nodes. Nodes are reset on release so stale
+// use surfaces as zeroed data.
+func (p *GraphPool) Release(g *Graph) {
+	if p == nil || g == nil {
+		return
+	}
+	for i, c := range g.Children {
+		p.Release(c)
+		g.Children[i] = nil
+	}
+	kids := g.Children[:0]
+	*g = Graph{Children: kids, LeafIndex: -1}
+	p.free = append(p.free, g)
+}
+
+// Size returns the number of nodes currently parked in the free list.
+func (p *GraphPool) Size() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.free)
+}

@@ -1,0 +1,56 @@
+package task
+
+// Pool is a free list of Tasks owned by one simulation replication. The
+// steady-state hot path of a long run creates and retires millions of
+// short-lived tasks; recycling them through a Pool removes that allocation
+// (and the GC pressure it causes) entirely once the pool has grown to the
+// run's working set.
+//
+// A Pool is not safe for concurrent use — like the engine it feeds, it is
+// single-threaded per replication; parallel replications each own a pool.
+//
+// A nil *Pool is valid and disables reuse: Get allocates a fresh Task and
+// Put discards, which is the reference behaviour the pooled path must
+// reproduce bit-for-bit (see Config.DisablePooling in internal/system and
+// the pool-safety determinism tests).
+type Pool struct {
+	free []*Task
+}
+
+// Get returns a zeroed Task, recycled if one is available. Callers must
+// set every field they rely on; Put has already cleared the rest.
+func (p *Pool) Get() *Task {
+	if p == nil || len(p.free) == 0 {
+		return &Task{}
+	}
+	n := len(p.free) - 1
+	t := p.free[n]
+	p.free[n] = nil
+	p.free = p.free[:n]
+	return t
+}
+
+// Put recycles a task the simulation has fully retired: no queue, engine
+// event, or continuation may still reference it. The task is reset
+// immediately, so use-after-release bugs surface as zeroed fields rather
+// than silently stale data.
+func (p *Pool) Put(t *Task) {
+	if p == nil || t == nil {
+		return
+	}
+	t.Reset()
+	p.free = append(p.free, t)
+}
+
+// Size returns the number of tasks currently parked in the free list.
+func (p *Pool) Size() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.free)
+}
+
+// Reset clears every field, making the task indistinguishable from a
+// freshly allocated one. Pool.Put calls it on release; generators then
+// fill in the fields of the next lifecycle.
+func (t *Task) Reset() { *t = Task{} }

@@ -26,6 +26,9 @@ type GlobalParams struct {
 	// Mod optionally modulates the arrival rate over time (scenario
 	// bursts and ramps); nil keeps the stream stationary.
 	Mod RateModulator
+	// GraphPool optionally recycles instance-graph nodes across
+	// arrivals. Nil allocates; sampled graphs are identical either way.
+	GraphPool *task.GraphPool
 }
 
 // Spec is one sampled global task handed to the start callback: the
@@ -46,6 +49,7 @@ type GlobalSource struct {
 	arr    *arrivals
 	k      int
 	start  func(Spec)
+	pooled PooledBuilder // non-nil when the shape supports graph reuse
 }
 
 // NewGlobalSource returns a generator; call Start to schedule the first
@@ -65,6 +69,7 @@ func NewGlobalSource(eng *sim.Engine, r *rng.Source, k int, params GlobalParams,
 		return nil, fmt.Errorf("workload: global source: %w", err)
 	}
 	s := &GlobalSource{eng: eng, r: r, params: params, k: k, start: start}
+	s.pooled, _ = params.Shape.(PooledBuilder)
 	arr, err := newArrivals(eng, r, params.Rate, params.Mod, s.arrive)
 	if err != nil {
 		return nil, err
@@ -78,7 +83,15 @@ func (s *GlobalSource) Start() { s.arr.start() }
 
 func (s *GlobalSource) arrive() {
 	now := s.eng.Now()
-	g, err := s.params.Shape.Build(s.r, s.k)
+	var (
+		g   *task.Graph
+		err error
+	)
+	if s.pooled != nil {
+		g, err = s.pooled.BuildPooled(s.r, s.k, s.params.GraphPool)
+	} else {
+		g, err = s.params.Shape.Build(s.r, s.k)
+	}
 	if err != nil {
 		// Construction was validated in NewGlobalSource; a failure here
 		// is a programming error in the shape.

@@ -28,23 +28,45 @@ type RateModulator interface {
 // rate rate·MaxFactor and each is accepted with probability
 // FactorAt(now)/MaxFactor, which needs no rate integration and keeps the
 // run a pure function of the seed.
+//
+// The candidate loop is the single hottest call site of a run, so it is
+// kept allocation-free and branch-lean: the peak-rate mean gap and the
+// modulator's bound are hoisted to fields at construction (MaxFactor is
+// constant by contract), and self-scheduling goes through one Callback
+// registered up front instead of a per-event closure. Gap draws are NOT
+// batched ahead of time: the body draws of each arrival (demand, slack,
+// pex, shape) interleave with the gap draws on the same RNG stream, so
+// pre-drawing gaps would reorder the stream's consumption and change
+// every downstream result — the per-draw overhead is instead cut by
+// removing the interface calls and divisions this loop used to perform
+// per candidate.
 type arrivals struct {
-	eng  *sim.Engine
-	r    *rng.Source
-	rate float64
-	mod  RateModulator
-	fire func()
+	eng       *sim.Engine
+	r         *rng.Source
+	rate      float64
+	peakMean  float64 // mean inter-candidate gap at the peak rate
+	maxFactor float64 // cached mod.MaxFactor(); 1 with no modulator
+	mod       RateModulator
+	fire      func()
+	cb        sim.Callback
 }
 
-// newArrivals validates the modulator's bound once at construction.
+// newArrivals validates the modulator's bound once at construction and
+// registers the self-scheduling callback.
 func newArrivals(eng *sim.Engine, r *rng.Source, rate float64, mod RateModulator, fire func()) (*arrivals, error) {
+	maxFactor := 1.0
 	if mod != nil {
-		max := mod.MaxFactor()
-		if !(max > 0) || max != max {
-			return nil, fmt.Errorf("workload: rate modulator MaxFactor = %v, want > 0", max)
+		maxFactor = mod.MaxFactor()
+		if !(maxFactor > 0) || maxFactor != maxFactor {
+			return nil, fmt.Errorf("workload: rate modulator MaxFactor = %v, want > 0", maxFactor)
 		}
 	}
-	return &arrivals{eng: eng, r: r, rate: rate, mod: mod, fire: fire}, nil
+	a := &arrivals{eng: eng, r: r, rate: rate, maxFactor: maxFactor, mod: mod, fire: fire}
+	if rate > 0 {
+		a.peakMean = 1 / (rate * maxFactor)
+	}
+	a.cb = eng.Register(func(any) { a.candidate() })
+	return a, nil
 }
 
 // start schedules the first candidate. A zero rate generates nothing.
@@ -52,15 +74,7 @@ func (a *arrivals) start() {
 	if a.rate == 0 {
 		return
 	}
-	a.eng.MustSchedule(a.r.Exponential(1/a.peakRate()), a.candidate)
-}
-
-// peakRate is the homogeneous rate candidates are generated at.
-func (a *arrivals) peakRate() float64 {
-	if a.mod == nil {
-		return a.rate
-	}
-	return a.rate * a.mod.MaxFactor()
+	a.eng.MustScheduleCall(a.r.Exponential(a.peakMean), a.cb, nil)
 }
 
 // candidate fires one candidate arrival, thins it, and self-schedules.
@@ -68,7 +82,7 @@ func (a *arrivals) candidate() {
 	if a.accept() {
 		a.fire()
 	}
-	a.eng.MustSchedule(a.r.Exponential(1/a.peakRate()), a.candidate)
+	a.eng.MustScheduleCall(a.r.Exponential(a.peakMean), a.cb, nil)
 }
 
 // accept applies the thinning test at the current time.
@@ -76,13 +90,12 @@ func (a *arrivals) accept() bool {
 	if a.mod == nil {
 		return true
 	}
-	max := a.mod.MaxFactor()
 	f := a.mod.FactorAt(a.eng.Now())
 	if f < 0 {
 		f = 0
 	}
-	if f > max {
-		panic(fmt.Sprintf("workload: modulator factor %v exceeds declared max %v", f, max))
+	if f > a.maxFactor {
+		panic(fmt.Sprintf("workload: modulator factor %v exceeds declared max %v", f, a.maxFactor))
 	}
-	return a.r.Float64()*max < f
+	return a.r.Float64()*a.maxFactor < f
 }

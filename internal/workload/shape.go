@@ -25,6 +25,17 @@ type Shape interface {
 	Name() string
 }
 
+// PooledBuilder is the optional allocation-free fast path of a Shape:
+// BuildPooled is Build drawing graph nodes from pool (nil falls back to
+// fresh allocation; the sampled values are identical either way). The
+// graph is released back to the pool by the process manager once the
+// instance retires. All shapes in this package implement it; external
+// Shape implementations need not — the generator falls back to Build,
+// which only costs them the recycling.
+type PooledBuilder interface {
+	BuildPooled(r *rng.Source, k int, pool *task.GraphPool) (*task.Graph, error)
+}
+
 // SerialShape is the SSP workload: T = [T1 T2 ... Tm], every subtask
 // exponential with mean MeanExec, each placed uniformly at random
 // (independently) over the k nodes.
@@ -42,18 +53,22 @@ type SerialShape struct {
 
 // Build implements Shape.
 func (s SerialShape) Build(r *rng.Source, k int) (*task.Graph, error) {
+	return s.BuildPooled(r, k, nil)
+}
+
+// BuildPooled implements Shape.
+func (s SerialShape) BuildPooled(r *rng.Source, k int, pool *task.GraphPool) (*task.Graph, error) {
 	if s.M <= 0 || s.MeanExec <= 0 || k <= 0 {
 		return nil, fmt.Errorf("workload: serial shape: bad params m=%d mean=%v k=%d", s.M, s.MeanExec, k)
 	}
 	if err := ValidateDemand(s.Demand); err != nil {
 		return nil, fmt.Errorf("workload: serial shape: %w", err)
 	}
-	children := make([]*task.Graph, s.M)
-	for i := range children {
-		children[i] = sampleLeaf(r, s.MeanExec, s.Pex, s.Demand, r.IntN(k))
+	g := pool.Group(task.KindSerial)
+	for i := 0; i < s.M; i++ {
+		g.Children = append(g.Children, sampleLeaf(pool, r, s.MeanExec, s.Pex, s.Demand, r.IntN(k)))
 	}
-	g := task.Serial(children...)
-	g.Flatten()
+	g.Index()
 	return g, nil
 }
 
@@ -82,6 +97,11 @@ type ParallelShape struct {
 
 // Build implements Shape.
 func (s ParallelShape) Build(r *rng.Source, k int) (*task.Graph, error) {
+	return s.BuildPooled(r, k, nil)
+}
+
+// BuildPooled implements Shape.
+func (s ParallelShape) BuildPooled(r *rng.Source, k int, pool *task.GraphPool) (*task.Graph, error) {
 	if s.M <= 0 || s.MeanExec <= 0 {
 		return nil, fmt.Errorf("workload: parallel shape: bad params m=%d mean=%v", s.M, s.MeanExec)
 	}
@@ -92,12 +112,11 @@ func (s ParallelShape) Build(r *rng.Source, k int) (*task.Graph, error) {
 		return nil, fmt.Errorf("workload: parallel shape: m=%d exceeds k=%d distinct nodes", s.M, k)
 	}
 	nodes := r.SampleDistinct(s.M, k)
-	children := make([]*task.Graph, s.M)
-	for i := range children {
-		children[i] = sampleLeaf(r, s.MeanExec, s.Pex, s.Demand, nodes[i])
+	g := pool.Group(task.KindParallel)
+	for i := 0; i < s.M; i++ {
+		g.Children = append(g.Children, sampleLeaf(pool, r, s.MeanExec, s.Pex, s.Demand, nodes[i]))
 	}
-	g := task.Parallel(children...)
-	g.Flatten()
+	g.Index()
 	return g, nil
 }
 
@@ -127,33 +146,37 @@ type MixedShape struct {
 
 // Build implements Shape.
 func (s MixedShape) Build(r *rng.Source, k int) (*task.Graph, error) {
+	return s.BuildPooled(r, k, nil)
+}
+
+// BuildPooled implements Shape.
+func (s MixedShape) BuildPooled(r *rng.Source, k int, pool *task.GraphPool) (*task.Graph, error) {
 	if len(s.Stages) == 0 || s.MeanExec <= 0 {
 		return nil, fmt.Errorf("workload: mixed shape: bad params %+v", s)
 	}
 	if err := ValidateDemand(s.Demand); err != nil {
 		return nil, fmt.Errorf("workload: mixed shape: %w", err)
 	}
-	stages := make([]*task.Graph, len(s.Stages))
+	g := pool.Group(task.KindSerial)
 	for i, width := range s.Stages {
 		switch {
 		case width < 1:
 			return nil, fmt.Errorf("workload: mixed shape: stage %d width %d", i, width)
 		case width == 1:
-			stages[i] = sampleLeaf(r, s.MeanExec, s.Pex, s.Demand, r.IntN(k))
+			g.Children = append(g.Children, sampleLeaf(pool, r, s.MeanExec, s.Pex, s.Demand, r.IntN(k)))
 		default:
 			if width > k {
 				return nil, fmt.Errorf("workload: mixed shape: stage %d width %d exceeds k=%d", i, width, k)
 			}
 			nodes := r.SampleDistinct(width, k)
-			branches := make([]*task.Graph, width)
-			for j := range branches {
-				branches[j] = sampleLeaf(r, s.MeanExec, s.Pex, s.Demand, nodes[j])
+			group := pool.Group(task.KindParallel)
+			for j := 0; j < width; j++ {
+				group.Children = append(group.Children, sampleLeaf(pool, r, s.MeanExec, s.Pex, s.Demand, nodes[j]))
 			}
-			stages[i] = task.Parallel(branches...)
+			g.Children = append(g.Children, group)
 		}
 	}
-	g := task.Serial(stages...)
-	g.Flatten()
+	g.Index()
 	return g, nil
 }
 
@@ -188,11 +211,16 @@ type HeteroSerialShape struct {
 
 // Build implements Shape.
 func (s HeteroSerialShape) Build(r *rng.Source, k int) (*task.Graph, error) {
+	return s.BuildPooled(r, k, nil)
+}
+
+// BuildPooled implements Shape.
+func (s HeteroSerialShape) BuildPooled(r *rng.Source, k int, pool *task.GraphPool) (*task.Graph, error) {
 	if s.MinM <= 0 || s.MaxM < s.MinM || s.MeanExec <= 0 {
 		return nil, fmt.Errorf("workload: hetero shape: bad params %+v", s)
 	}
 	m := s.MinM + r.IntN(s.MaxM-s.MinM+1)
-	return SerialShape{M: m, MeanExec: s.MeanExec, Pex: s.Pex, Demand: s.Demand}.Build(r, k)
+	return SerialShape{M: m, MeanExec: s.MeanExec, Pex: s.Pex, Demand: s.Demand}.BuildPooled(r, k, pool)
 }
 
 // SlackScale implements Shape using the expected subtask count.
@@ -229,8 +257,8 @@ func MeanSubtasks(s Shape) (float64, error) {
 }
 
 // sampleLeaf draws one simple subtask: demand, prediction, placement.
-func sampleLeaf(r *rng.Source, meanExec float64, pm PexModel, d Demand, nodeID int) *task.Graph {
-	leaf := task.Simple("t", 1)
+func sampleLeaf(pool *task.GraphPool, r *rng.Source, meanExec float64, pm PexModel, d Demand, nodeID int) *task.Graph {
+	leaf := pool.Simple("t", 1)
 	leaf.Exec = sampleDemand(d, r, meanExec)
 	leaf.Pex = pm.Sample(r, leaf.Exec)
 	leaf.NodeID = nodeID

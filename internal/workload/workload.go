@@ -54,6 +54,10 @@ type LocalParams struct {
 	// Mod optionally modulates the arrival rate over time (scenario
 	// bursts and ramps); nil keeps the stream stationary.
 	Mod RateModulator
+	// Pool optionally recycles retired tasks instead of allocating a
+	// fresh Task per arrival. Nil allocates; results are identical
+	// either way.
+	Pool *task.Pool
 }
 
 // LocalSource generates local tasks at one node. Arrivals self-schedule
@@ -101,16 +105,17 @@ func (s *LocalSource) arrive() {
 	now := s.eng.Now()
 	ex := sampleDemand(s.params.Demand, s.r, s.params.MeanExec)
 	sl := s.r.Uniform(s.params.SlackMin, s.params.SlackMax)
-	t := &task.Task{
-		ID:           s.nextID(),
-		Class:        task.Local,
-		Stage:        -1,
-		Arrival:      now,
-		Deadline:     now + ex + sl, // dl = ar + ex + sl
-		FirmDeadline: now + ex + sl,
-		Exec:         ex,
-		Pex:          s.params.Pex.Sample(s.r, ex),
-		Seq:          s.nextSq(),
-	}
+	// The pool hands back a zeroed task; every non-zero field of a local
+	// task is assigned here, in the same draw order as the unpooled path.
+	t := s.params.Pool.Get()
+	t.ID = s.nextID()
+	t.Class = task.Local
+	t.Stage = -1
+	t.Arrival = now
+	t.Deadline = now + ex + sl // dl = ar + ex + sl
+	t.FirmDeadline = now + ex + sl
+	t.Exec = ex
+	t.Pex = s.params.Pex.Sample(s.r, ex)
+	t.Seq = s.nextSq()
 	s.submit(t)
 }
