@@ -211,6 +211,49 @@ func BenchmarkGraphParse(b *testing.B) {
 	}
 }
 
+// BenchmarkScalingThroughput measures full-system simulator speed
+// across topology sizes and event-queue implementations. The per-node
+// load is the Table 1 baseline at every size, so the pending-event
+// count (and with it the event queue's share of the runtime) grows with
+// the node count; the horizon shrinks proportionally so one op is
+// roughly constant simulated work. Results are byte-identical across
+// the queue=... sub-benchmarks — only tasks/s may differ.
+//
+// The recorded numbers (BENCH_pr4.json) show the ladder ahead of the
+// binary-heap path from nodes=64 up; CI's bench-regression job pins
+// each sub-benchmark against its own committed baseline within
+// tolerance (benchcheck compares absolute numbers per benchmark, not
+// ladder-vs-heap ratios). The full-system ratio is Amdahl-bounded —
+// model work (RNG draws, ready queues, stage bookkeeping) dominates as
+// the per-node working set outgrows the cache — so the event core's
+// isolated scaling advantage is measured separately by
+// BenchmarkEventCoreScaling in internal/sim, which strips the model
+// away (its recorded ladder-vs-heap ratio reaches 2x at 1M pending
+// events).
+func BenchmarkScalingThroughput(b *testing.B) {
+	for _, k := range []int{6, 64, 1024, 16384} {
+		for _, q := range []EventQueueKind{EventQueueHeap, EventQueueLadder} {
+			b.Run(fmt.Sprintf("nodes=%d/queue=%s", k, q), func(b *testing.B) {
+				b.ReportAllocs()
+				cfg := BaselineConfig()
+				cfg.Nodes = k
+				cfg.EventQueue = q
+				cfg.Horizon = float64(b.N) * 10 * 6 / float64(k)
+				if cfg.Horizon < 10 {
+					cfg.Horizon = 10
+				}
+				cfg.Warmup = cfg.Horizon / 100
+				b.ResetTimer()
+				m, err := Simulate(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(m.LocalDone+m.GlobalDone)/b.Elapsed().Seconds(), "tasks/s")
+			})
+		}
+	}
+}
+
 func BenchmarkSimulationThroughput(b *testing.B) {
 	// Measures raw simulator speed in executed tasks per second at the
 	// baseline load; the horizon scales with b.N. allocs/op here is the

@@ -41,6 +41,7 @@ import (
 
 	"repro"
 	"repro/internal/profiling"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -62,7 +63,8 @@ func run(args []string, out, errOut io.Writer) error {
 		seed     = fs.Uint64("seed", 1, "base random seed (replication i uses seed+i)")
 		parallel = fs.Int("parallel", 0, "worker-pool size: 0 = all cores, 1 = sequential (output is identical either way)")
 		load     = fs.Float64("load", 0, "nominal system load (default: Table 1's 0.5)")
-		nodes    = fs.Int("nodes", 0, "node count k (default: Table 1's 6)")
+		nodes    = fs.Int("nodes", 0, "node count k (default: Table 1's 6); scenarios whose fault events target node ids >= k are rejected")
+		queue    = fs.String("queue", "", "event-queue implementation: auto (default; heap, ladder-promoted at scale), heap, or ladder — output is byte-identical, only speed differs")
 		ssp      = fs.String("ssp", "", "serial strategy: UD, ED, EQS, EQF, ... (default UD)")
 		psp      = fs.String("psp", "", "parallel strategy: UD, DIV-<x>, GF, ... (default UD)")
 		outPath  = fs.String("out", "", "write the CSV here instead of stdout")
@@ -107,9 +109,15 @@ func run(args []string, out, errOut io.Writer) error {
 		return err
 	}
 
+	queueKind, err := sim.ParseQueueKind(*queue)
+	if err != nil {
+		return err
+	}
+
 	cfg := repro.BaselineConfig()
 	cfg.Horizon = *horizon
 	cfg.Seed = *seed
+	cfg.EventQueue = queueKind
 	if *load > 0 {
 		cfg.Load = *load
 	}

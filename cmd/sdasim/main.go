@@ -8,11 +8,19 @@
 //	sdasim -exp all -horizon 1e6 -reps 2    # paper scale
 //	sdasim -exp fig4 -format csv -out results/
 //	sdasim -exp all -parallel 8 -progress   # bound the worker pool
+//	sdasim -exp abl-hot -nodes 1024         # scale the topology
+//	sdasim -exp fig2b -queue ladder         # pin an event queue
 //
 // Sweeps fan their (curve, data-point) cells out across cores; -parallel
 // bounds the worker pool (0 = GOMAXPROCS, 1 = sequential). Results are
 // bit-identical regardless of parallelism: each replication derives its
 // own RNG substreams from its seed.
+//
+// -nodes overrides the node count k for every replication (experiments
+// that pin node-dependent parameters reject incompatible overrides with
+// a descriptive error); -queue selects the engine's event queue (auto,
+// heap, ladder) — results are byte-identical across queues, only speed
+// differs with topology size.
 //
 // Experiment ids follow DESIGN.md: table1, fig2a, fig2b, fig3, fig4,
 // combined, abl-pexerr, abl-abort, abl-mlf, abl-m, abl-hetm, abl-hot,
@@ -30,6 +38,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/profiling"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -50,6 +59,8 @@ func run(args []string, out io.Writer) error {
 		target   = fs.Float64("targetci", 0, "add replications (up to -maxreps) until every 95% half-width is at or below this many percentage points (paper protocol: 0.35); 0 disables")
 		maxReps  = fs.Int("maxreps", 0, "replication cap for -targetci (default 10)")
 		parallel = fs.Int("parallel", 0, "worker-pool size for sweep cells: 0 = all cores, 1 = sequential (results are identical either way)")
+		nodes    = fs.Int("nodes", 0, "override the node count k for every replication (default: each experiment's setting, Table 1: 6); experiments that pin node-dependent parameters reject incompatible overrides")
+		queue    = fs.String("queue", "", "event-queue implementation: auto (default; heap, ladder-promoted at scale), heap, or ladder — results are byte-identical, only speed differs")
 		progress = fs.Bool("progress", false, "print a per-experiment progress meter to stderr")
 		format   = fs.String("format", "table", "output format: table, chart, csv, json, or all")
 		outDir   = fs.String("out", "", "write per-experiment files to this directory instead of stdout")
@@ -101,6 +112,14 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	queueKind, err := sim.ParseQueueKind(*queue)
+	if err != nil {
+		return err
+	}
+	if *nodes < 0 {
+		return fmt.Errorf("-nodes %d, want > 0 (or omit for the experiment default)", *nodes)
+	}
+
 	opts := experiment.Options{
 		Horizon:     *horizon,
 		Reps:        *reps,
@@ -108,6 +127,8 @@ func run(args []string, out io.Writer) error {
 		TargetCI:    *target,
 		MaxReps:     *maxReps,
 		Parallelism: *parallel,
+		Nodes:       *nodes,
+		EventQueue:  queueKind,
 	}
 	for _, e := range exps {
 		if *progress {

@@ -124,6 +124,67 @@ func TestUnknownExperimentListsValidOnes(t *testing.T) {
 	}
 }
 
+// TestNodesOverride runs a sweep whose node-dependent parameters derive
+// from Config.Nodes (abl-hot builds its per-node rate multipliers from
+// it), so -nodes must scale the whole experiment without code edits.
+func TestNodesOverride(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-exp", "abl-hot", "-nodes", "8", "-horizon", "400",
+		"-reps", "1", "-format", "csv"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "== abl-hot") {
+		t.Errorf("output missing experiment header:\n%s", b.String())
+	}
+	// The override must change results: the same tiny sweep at the
+	// default 6 nodes yields a different CSV body.
+	var def strings.Builder
+	if err := run([]string{"-exp", "abl-hot", "-horizon", "400",
+		"-reps", "1", "-format", "csv"}, &def); err != nil {
+		t.Fatal(err)
+	}
+	strip := func(s string) string {
+		lines := strings.Split(s, "\n")
+		kept := lines[:0]
+		for _, l := range lines {
+			if !strings.HasPrefix(l, "== ") {
+				kept = append(kept, l)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	if strip(b.String()) == strip(def.String()) {
+		t.Error("-nodes 8 produced byte-identical output to the 6-node default")
+	}
+}
+
+// TestQueueFlagIsByteIdentical pins the event-queue contract at the CLI:
+// -queue heap and -queue ladder must render identical artifacts.
+func TestQueueFlagIsByteIdentical(t *testing.T) {
+	render := func(queue string) string {
+		t.Helper()
+		var b strings.Builder
+		err := run([]string{"-exp", "fig2b", "-horizon", "900", "-reps", "1",
+			"-format", "csv", "-queue", queue}, &b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(b.String(), "\n")
+		kept := lines[:0]
+		for _, l := range lines {
+			if !strings.HasPrefix(l, "== ") {
+				kept = append(kept, l)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	heap, ladder := render("heap"), render("ladder")
+	if heap != ladder {
+		t.Fatalf("-queue heap and -queue ladder rendered different CSV:\nheap:\n%s\nladder:\n%s", heap, ladder)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	tests := []struct {
 		name string
@@ -132,6 +193,8 @@ func TestRunErrors(t *testing.T) {
 		{name: "no exp", args: []string{}},
 		{name: "unknown exp", args: []string{"-exp", "nope"}},
 		{name: "bad format", args: []string{"-exp", "table1", "-format", "xml"}},
+		{name: "bad queue", args: []string{"-exp", "table1", "-queue", "btree"}},
+		{name: "negative nodes", args: []string{"-exp", "table1", "-nodes", "-3"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

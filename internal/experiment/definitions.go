@@ -91,9 +91,7 @@ func diagStagesExp() Experiment {
 			err := runner.New(o.Parallelism).Run(total, func(u int) error {
 				si, rep := u/o.Reps, u%o.Reps
 				cfg := system.Baseline()
-				cfg.Horizon = o.Horizon
-				cfg.Seed = o.Seed + uint64(rep)
-				cfg.DisablePooling = o.DisablePooling
+				o.applyTo(&cfg, rep)
 				cfg.SSP = ssps[si]
 				m, err := system.Run(cfg)
 				if err != nil {

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/runner"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/system"
 )
@@ -46,6 +47,30 @@ type Options struct {
 	// replication: the pure allocation path, for pool-safety testing and
 	// diagnostics. Results are bit-identical either way.
 	DisablePooling bool
+	// Nodes, when positive, overrides Config.Nodes for every replication
+	// (the -nodes flag): the scaling knob for large-topology runs. It is
+	// applied before each experiment's own configuration, so experiments
+	// that derive node-count-dependent settings (e.g. abl-hot's per-node
+	// rate multipliers) adapt; configurations that cannot (a scenario
+	// pinned to specific node ids, hand-written multiplier vectors) fail
+	// Config.Validate with a descriptive error.
+	Nodes int
+	// EventQueue forwards system.Config.EventQueue to every replication:
+	// "" or "auto" (heap, ladder-promoted at scale), "heap", "ladder".
+	// Results are byte-identical across kinds.
+	EventQueue sim.QueueKind
+}
+
+// applyTo writes the option overrides shared by every experiment into a
+// replication's config. rep selects the replication's seed offset.
+func (o Options) applyTo(cfg *system.Config, rep int) {
+	cfg.Horizon = o.Horizon
+	cfg.Seed = o.Seed + uint64(rep)
+	cfg.DisablePooling = o.DisablePooling
+	cfg.EventQueue = o.EventQueue
+	if o.Nodes > 0 {
+		cfg.Nodes = o.Nodes
+	}
 }
 
 // DefaultOptions returns the default experiment scale.
@@ -208,9 +233,7 @@ func runCell(o Options, figID string, base func() system.Config,
 	var runs []*system.Metrics
 	runOne := func(rep int) error {
 		cfg := base()
-		cfg.Horizon = o.Horizon
-		cfg.Seed = o.Seed + uint64(rep)
-		cfg.DisablePooling = o.DisablePooling
+		o.applyTo(&cfg, rep)
 		setX(&cfg, x)
 		if v.configure != nil {
 			v.configure(&cfg)

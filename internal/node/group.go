@@ -1,0 +1,125 @@
+package node
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// Group owns every node of one simulated system, stored by value in a
+// single contiguous slice indexed by node id. The dispatch loop's
+// per-node hot state (server busy/running, completion handle, speed,
+// counters) therefore lives in one cache-friendly array instead of k
+// separately allocated objects, and all k nodes share one registered
+// completion callback (the completing task's NodeID routes it), so
+// setting up a large topology costs one closure instead of k.
+//
+// A Group is single-threaded, like the engine that drives it. It is
+// reusable: Configure re-points the same backing array at a fresh run's
+// engine and callbacks, so a reused Workspace re-creates no per-node
+// objects.
+type Group struct {
+	nodes []Node
+	ptrs  []*Node // stable per-Configure view for slice-shaped consumers
+}
+
+// GroupConfig carries the construction parameters shared by every node
+// of the group; per-node ready queues carry the only per-node state.
+type GroupConfig struct {
+	// Engine drives all nodes.
+	Engine *sim.Engine
+	// Queues holds one ready queue per node; its length is the node
+	// count.
+	Queues []sched.Queue
+	// Policy is the tardy-task policy; zero value defaults to NoAbort.
+	Policy TardyPolicy
+	// Preemptive enables deadline-based preemption at every node.
+	Preemptive bool
+	// OnDone is called when a task completes service; required.
+	OnDone func(*task.Task)
+	// OnAbort is called when an abort policy discards a task; required
+	// with an abort policy.
+	OnAbort func(*task.Task)
+	// Observer optionally receives every lifecycle event (for tracing).
+	Observer Observer
+}
+
+// NewGroup returns a configured group of len(cfg.Queues) nodes.
+func NewGroup(cfg GroupConfig) (*Group, error) {
+	g := &Group{}
+	if err := g.Configure(cfg); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Configure (re)initializes the group for a new run, reusing the node
+// backing array when the node count is unchanged. It must be called
+// after the engine is reset, because it registers the group's completion
+// callback on it.
+func (g *Group) Configure(cfg GroupConfig) error {
+	if cfg.Engine == nil {
+		return fmt.Errorf("node group: nil engine")
+	}
+	if len(cfg.Queues) == 0 {
+		return fmt.Errorf("node group: no queues")
+	}
+	if cfg.OnDone == nil {
+		return fmt.Errorf("node group: nil OnDone")
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = NoAbort
+	}
+	if (cfg.Policy == AbortAtDispatch || cfg.Policy == AbortFirm) && cfg.OnAbort == nil {
+		return fmt.Errorf("node group: abort policy requires OnAbort")
+	}
+	k := len(cfg.Queues)
+	for i, q := range cfg.Queues {
+		if q == nil {
+			return fmt.Errorf("node %d: nil queue", i)
+		}
+	}
+	if cap(g.nodes) >= k {
+		g.nodes = g.nodes[:k]
+	} else {
+		g.nodes = make([]Node, k)
+		g.ptrs = make([]*Node, k)
+	}
+	g.ptrs = g.ptrs[:k]
+	// One registration serves every node: the payload task's NodeID
+	// (set at Submit) routes the completion.
+	completeCB := cfg.Engine.Register(func(p any) {
+		t := p.(*task.Task)
+		g.nodes[t.NodeID].complete(t)
+	})
+	for i := range g.nodes {
+		g.nodes[i] = Node{
+			id:         i,
+			eng:        cfg.Engine,
+			queue:      cfg.Queues[i],
+			policy:     cfg.Policy,
+			preemptive: cfg.Preemptive,
+			observer:   cfg.Observer,
+			onDone:     cfg.OnDone,
+			onAbort:    cfg.OnAbort,
+			completeCB: completeCB,
+			speed:      1,
+		}
+		g.ptrs[i] = &g.nodes[i]
+	}
+	return nil
+}
+
+// Len returns the node count.
+func (g *Group) Len() int { return len(g.nodes) }
+
+// Node returns the i'th node. The pointer stays valid until the next
+// Configure.
+func (g *Group) Node(i int) *Node { return &g.nodes[i] }
+
+// Nodes returns the group as a []*Node view for consumers that walk or
+// index nodes by id (the process manager, scenario fault scheduling).
+// The slice and its pointers stay valid until the next Configure.
+func (g *Group) Nodes() []*Node { return g.ptrs }

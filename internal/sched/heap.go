@@ -2,36 +2,54 @@ package sched
 
 import "repro/internal/task"
 
-// taskHeap is a binary min-heap of tasks ordered by a key function, with
-// deterministic FIFO tie-breaking on Task.Seq. It backs the EDF and FCFS
-// queues (static keys); MLF keeps its own slice because its key depends
-// on the current time.
-type taskHeap struct {
-	items []*task.Task
-	key   func(*task.Task) float64
+// entry is one ready-queue element, stored by value: the ordering key is
+// computed once at push time, so the heap's comparisons are two loads
+// from the same contiguous slice — no indirect key-function call and no
+// pointer chase into the task on the hot path. seq carries the
+// deterministic FIFO tie-break.
+type entry struct {
+	key float64
+	seq uint64
+	t   *task.Task
 }
 
-func (h *taskHeap) len() int { return len(h.items) }
+// entryHeap is a binary min-heap over (key, seq). It backs the EDF and
+// MLF queues; FCFS uses a ring buffer because arrival order needs no
+// heap at all.
+type entryHeap struct {
+	items []entry
+}
+
+func (h *entryHeap) len() int { return len(h.items) }
 
 // reset empties the heap while keeping its backing array, so a reused
 // queue reaches its working size without re-growing.
-func (h *taskHeap) reset() {
+func (h *entryHeap) reset() {
 	for i := range h.items {
-		h.items[i] = nil
+		h.items[i] = entry{}
 	}
 	h.items = h.items[:0]
 }
 
-func (h *taskHeap) less(i, j int) bool {
-	ki, kj := h.key(h.items[i]), h.key(h.items[j])
-	if ki != kj {
-		return ki < kj
+// grow pre-sizes the backing array to hold at least capacity entries.
+func (h *entryHeap) grow(capacity int) {
+	if cap(h.items) < capacity {
+		items := make([]entry, len(h.items), capacity)
+		copy(items, h.items)
+		h.items = items
 	}
-	return h.items[i].Seq < h.items[j].Seq
 }
 
-func (h *taskHeap) push(t *task.Task) {
-	h.items = append(h.items, t)
+func (h *entryHeap) less(i, j int) bool {
+	a, b := &h.items[i], &h.items[j]
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
+}
+
+func (h *entryHeap) push(key float64, t *task.Task) {
+	h.items = append(h.items, entry{key: key, seq: t.Seq, t: t})
 	i := len(h.items) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -43,20 +61,20 @@ func (h *taskHeap) push(t *task.Task) {
 	}
 }
 
-func (h *taskHeap) pop() *task.Task {
+func (h *entryHeap) pop() *task.Task {
 	n := len(h.items)
 	if n == 0 {
 		return nil
 	}
-	top := h.items[0]
+	top := h.items[0].t
 	h.items[0] = h.items[n-1]
-	h.items[n-1] = nil
+	h.items[n-1] = entry{}
 	h.items = h.items[:n-1]
 	h.down(0)
 	return top
 }
 
-func (h *taskHeap) down(i int) {
+func (h *entryHeap) down(i int) {
 	n := len(h.items)
 	for {
 		left := 2*i + 1

@@ -3,18 +3,18 @@ package sched
 import "repro/internal/task"
 
 // edfQueue orders tasks by deadline (earliest first). Deadlines are fixed
-// at submission, so a heap with a static key suffices.
+// at submission, so the key is cached in the entry at push time.
 type edfQueue struct {
-	h taskHeap
+	h entryHeap
 }
 
 // NewEDF returns an earliest-deadline-first queue.
 func NewEDF() Queue {
-	return &edfQueue{h: taskHeap{key: func(t *task.Task) float64 { return t.Deadline }}}
+	return &edfQueue{}
 }
 
 // Push implements Queue.
-func (q *edfQueue) Push(t *task.Task) { q.h.push(t) }
+func (q *edfQueue) Push(t *task.Task) { q.h.push(t.Deadline, t) }
 
 // Pop implements Queue.
 func (q *edfQueue) Pop(float64) *task.Task { return q.h.pop() }
@@ -28,49 +28,106 @@ func (q *edfQueue) Name() string { return "EDF" }
 // Reset implements Resetter.
 func (q *edfQueue) Reset() { q.h.reset() }
 
-// fcfsQueue orders tasks by submission sequence.
+// Grow implements Grower.
+func (q *edfQueue) Grow(capacity int) { q.h.grow(capacity) }
+
+// fcfsQueue serves tasks in submission-sequence order. Because arrival
+// order is the key, no heap is needed: the queue is a ring-buffer deque
+// with O(1) push and pop and no comparisons.
+//
+// Pushes arrive in increasing Seq order with one exception: a preemptive
+// node re-queues the task it suspends, and that task's Seq is smaller
+// than every queued task's (it was the minimum when it was dispatched,
+// and everything since arrived later). Routing that case to the front of
+// the deque reproduces the previous seq-ordered heap exactly.
 type fcfsQueue struct {
-	h taskHeap
+	buf  []*task.Task
+	head int
+	n    int
 }
 
 // NewFCFS returns a first-come-first-served queue.
 func NewFCFS() Queue {
-	// The key is constant; the heap's Seq tie-break supplies the FIFO
-	// order.
-	return &fcfsQueue{h: taskHeap{key: func(*task.Task) float64 { return 0 }}}
+	return &fcfsQueue{}
 }
 
 // Push implements Queue.
-func (q *fcfsQueue) Push(t *task.Task) { q.h.push(t) }
+func (q *fcfsQueue) Push(t *task.Task) {
+	if q.n == len(q.buf) {
+		q.growTo(2 * q.n)
+	}
+	if q.n > 0 && t.Seq < q.buf[q.head].Seq {
+		// A re-queued (preempted) task resumes its FIFO position.
+		q.head = (q.head - 1 + len(q.buf)) % len(q.buf)
+		q.buf[q.head] = t
+		q.n++
+		return
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = t
+	q.n++
+}
 
 // Pop implements Queue.
-func (q *fcfsQueue) Pop(float64) *task.Task { return q.h.pop() }
+func (q *fcfsQueue) Pop(float64) *task.Task {
+	if q.n == 0 {
+		return nil
+	}
+	t := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return t
+}
 
 // Len implements Queue.
-func (q *fcfsQueue) Len() int { return q.h.len() }
+func (q *fcfsQueue) Len() int { return q.n }
 
 // Name implements Queue.
 func (q *fcfsQueue) Name() string { return "FCFS" }
 
 // Reset implements Resetter.
-func (q *fcfsQueue) Reset() { q.h.reset() }
+func (q *fcfsQueue) Reset() {
+	for i := range q.buf {
+		q.buf[i] = nil
+	}
+	q.head, q.n = 0, 0
+}
+
+// Grow implements Grower.
+func (q *fcfsQueue) Grow(capacity int) {
+	if capacity > len(q.buf) {
+		q.growTo(capacity)
+	}
+}
+
+// growTo resizes the ring to hold capacity tasks, unrolling the queue to
+// the front of the new buffer.
+func (q *fcfsQueue) growTo(capacity int) {
+	if capacity < 8 {
+		capacity = 8
+	}
+	buf := make([]*task.Task, capacity)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf, q.head = buf, 0
+}
 
 // mlfQueue implements non-preemptive minimum-laxity-first. Laxity
 // dl − now − pex depends on the dispatch time, but `now` is identical for
 // all queued tasks at any given Pop, so the ordering is the same as
-// ordering by dl − pex, which is static. We still compute it explicitly
-// through Task.Laxity to keep the policy's definition visible.
+// ordering by dl − pex, which is static and cached in the entry at push.
 type mlfQueue struct {
-	h taskHeap
+	h entryHeap
 }
 
 // NewMLF returns a minimum-laxity-first queue.
 func NewMLF() Queue {
-	return &mlfQueue{h: taskHeap{key: func(t *task.Task) float64 { return t.Deadline - t.Pex }}}
+	return &mlfQueue{}
 }
 
 // Push implements Queue.
-func (q *mlfQueue) Push(t *task.Task) { q.h.push(t) }
+func (q *mlfQueue) Push(t *task.Task) { q.h.push(t.Deadline-t.Pex, t) }
 
 // Pop implements Queue.
 func (q *mlfQueue) Pop(float64) *task.Task { return q.h.pop() }
@@ -83,6 +140,9 @@ func (q *mlfQueue) Name() string { return "MLF" }
 
 // Reset implements Resetter.
 func (q *mlfQueue) Reset() { q.h.reset() }
+
+// Grow implements Grower.
+func (q *mlfQueue) Grow(capacity int) { q.h.grow(capacity) }
 
 // classPriority is the two-level queue of the GF strategy: global
 // subtasks are always served before local tasks; within each class the
@@ -125,4 +185,10 @@ func (q *classPriority) Name() string { return "GF(" + q.globals.Name() + ")" }
 func (q *classPriority) Reset() {
 	q.globals.(Resetter).Reset()
 	q.locals.(Resetter).Reset()
+}
+
+// Grow implements Grower when both wrapped queues do.
+func (q *classPriority) Grow(capacity int) {
+	q.globals.(Grower).Grow(capacity)
+	q.locals.(Grower).Grow(capacity)
 }

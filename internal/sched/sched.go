@@ -42,6 +42,16 @@ type Resetter interface {
 	Reset()
 }
 
+// Grower is implemented by queues that can pre-size their backing arrays,
+// so a fresh queue reaches its expected working capacity without growth
+// allocations mid-run. All queues returned by New implement it; like
+// Resetter it is optional for external implementations.
+type Grower interface {
+	// Grow ensures capacity for at least the given number of queued
+	// tasks without further allocation.
+	Grow(capacity int)
+}
+
 // Policy selects a queue implementation by name.
 type Policy string
 

@@ -75,15 +75,66 @@ func TestMLFOrdersByLaxity(t *testing.T) {
 }
 
 func TestFCFSOrder(t *testing.T) {
+	// Tasks are pushed in arrival (seq) order — as the generators do —
+	// and must pop in that order regardless of deadlines.
 	q := NewFCFS()
-	q.Push(mkTask(3, task.Local, 1, 1)) // earliest deadline, latest arrival
 	q.Push(mkTask(1, task.Local, 99, 1))
 	q.Push(mkTask(2, task.Local, 50, 1))
+	q.Push(mkTask(3, task.Local, 1, 1)) // earliest deadline, latest arrival
 	got := drain(q, 0)
 	for i, tk := range got {
 		if tk.Seq != uint64(i+1) {
 			t.Fatalf("FCFS out of arrival order: pop %d has seq %d", i, tk.Seq)
 		}
+	}
+}
+
+func TestFCFSPreemptRequeue(t *testing.T) {
+	// A preemptive node re-queues the task it suspends; its seq is below
+	// everything queued, so it must resume its place at the ring's front
+	// (exactly what the previous seq-keyed heap produced).
+	q := NewFCFS()
+	for seq := uint64(1); seq <= 5; seq++ {
+		q.Push(mkTask(seq, task.Local, 10, 1))
+	}
+	first := q.Pop(0)
+	if first.Seq != 1 {
+		t.Fatalf("first pop seq %d, want 1", first.Seq)
+	}
+	q.Push(first) // preemption re-queue
+	want := []uint64{1, 2, 3, 4, 5}
+	for i, tk := range drain(q, 0) {
+		if tk.Seq != want[i] {
+			t.Fatalf("pop %d has seq %d, want %d", i, tk.Seq, want[i])
+		}
+	}
+}
+
+func TestFCFSWrapAround(t *testing.T) {
+	// Interleaved pushes and pops march head around the ring across
+	// growth boundaries without losing FIFO order.
+	q := NewFCFS()
+	seq, expect := uint64(0), uint64(0)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3; i++ {
+			seq++
+			q.Push(mkTask(seq, task.Local, 10, 1))
+		}
+		for i := 0; i < 2; i++ {
+			expect++
+			if tk := q.Pop(0); tk == nil || tk.Seq != expect {
+				t.Fatalf("round %d: pop = %v, want seq %d", round, tk, expect)
+			}
+		}
+	}
+	for tk := q.Pop(0); tk != nil; tk = q.Pop(0) {
+		expect++
+		if tk.Seq != expect {
+			t.Fatalf("drain pop has seq %d, want %d", tk.Seq, expect)
+		}
+	}
+	if expect != seq {
+		t.Fatalf("drained %d tasks, pushed %d", expect, seq)
 	}
 }
 

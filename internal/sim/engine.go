@@ -11,12 +11,16 @@
 // scheduling order.
 //
 // The implementation is built for paper-scale horizons (millions of events
-// per replication): events are stored by value in the heap and recycled
-// through an engine-owned free list, so steady-state scheduling performs
-// zero heap allocations. Hot callers register a Callback once and schedule
-// with a payload word (ScheduleCall) instead of allocating a capturing
-// closure per event; the closure-based Schedule/At remain for one-shot and
-// test use.
+// per replication) and for large topologies: events are stored by value
+// and recycled through an engine-owned free list, so steady-state
+// scheduling performs zero heap allocations, and the pending-event
+// structure sits behind an eventQueue seam with two implementations that
+// pop in exactly the same (time, seq) order — the reference binary heap
+// and a two-level ladder queue whose O(1) amortized schedule/pop wins at
+// large pending-event counts (see QueueKind). Hot callers register a
+// Callback once and schedule with a payload word (ScheduleCall) instead
+// of allocating a capturing closure per event; the closure-based
+// Schedule/At remain for one-shot and test use.
 package sim
 
 import (
@@ -47,7 +51,7 @@ type Event struct {
 	gen  uint32
 }
 
-// event is the in-heap representation, stored by value.
+// event is the in-queue representation, stored by value.
 type event struct {
 	time    float64
 	seq     uint64 // tie-break: FIFO among equal times
@@ -57,10 +61,14 @@ type event struct {
 }
 
 // slotRec tracks one recyclable event slot: the generation its current
-// handle must match and the event's heap index (-1 while the slot is
-// idle).
+// handle must match, and the active queue's position bookkeeping — pos
+// is the event's index within its queue tier (-1 while the slot is
+// idle), aux is the ladder queue's packed (tier, rung, bucket) location.
+// Keeping all three in one record means every queue operation touches a
+// single cache line per slot.
 type slotRec struct {
 	gen uint32
+	aux int32
 	pos int32
 }
 
@@ -72,7 +80,14 @@ type Engine struct {
 	fired   uint64
 	stopped bool
 
-	heap      []event
+	// The active queue is lad when non-nil, the binary heap otherwise;
+	// hot paths dispatch with that one branch instead of an interface
+	// call. kind is the configured QueueKind (QueueAuto promotes
+	// heap -> ladder lazily, see maybePromote).
+	heap []event
+	lad  *ladderQueue
+	kind QueueKind
+
 	slots     []slotRec
 	freeSlots []int32
 	callbacks []func(any)
@@ -85,24 +100,102 @@ func runClosure(payload any) { payload.(func())() }
 // funcCallback is the reserved Callback id of runClosure.
 const funcCallback Callback = 0
 
-// New returns an engine with the clock at zero.
+// New returns an engine with the clock at zero and the default
+// (QueueAuto) event queue.
 func New() *Engine {
+	return NewWithQueue(QueueAuto)
+}
+
+// NewWithQueue returns an engine using the given event-queue kind.
+// Results are byte-identical across kinds; see QueueKind for the
+// performance trade-offs. An unknown kind panics — validate user input
+// with ParseQueueKind first.
+func NewWithQueue(kind QueueKind) *Engine {
 	e := &Engine{}
 	e.callbacks = append(e.callbacks, runClosure)
+	e.setQueueKind(kind)
 	return e
+}
+
+// setQueueKind installs the empty queue for kind.
+func (e *Engine) setQueueKind(kind QueueKind) {
+	switch kind {
+	case QueueAuto, QueueHeap:
+		e.lad = nil
+	case QueueLadder:
+		e.lad = &ladderQueue{e: e}
+	default:
+		panic(fmt.Sprintf("sim: unknown queue kind %q", kind))
+	}
+	e.kind = kind
+}
+
+// QueueKind reports the queue implementation currently in use ("heap" or
+// "ladder") — under QueueAuto this flips to "ladder" once the engine
+// promotes.
+func (e *Engine) QueueKind() QueueKind {
+	if e.lad != nil {
+		return QueueLadder
+	}
+	return QueueHeap
+}
+
+// maybePromote switches an auto-mode engine from the heap to the ladder
+// once the pending count crosses promoteThreshold. The migration moves
+// every pending event once; pop order (and therefore every simulation
+// result) is unaffected.
+func (e *Engine) promote() {
+	lad := &ladderQueue{e: e}
+	for i := range e.heap {
+		lad.push(e.heap[i])
+		e.heap[i] = event{}
+	}
+	e.heap = e.heap[:0]
+	e.lad = lad
+}
+
+// Queue dispatch helpers for the cold paths; the hot paths (CallAt,
+// Step, Run) branch on e.lad inline.
+
+func (e *Engine) qRemoveSlot(slot int32) bool {
+	if e.lad != nil {
+		return e.lad.removeSlot(slot)
+	}
+	return e.heapRemoveSlot(slot)
+}
+
+func (e *Engine) qTimeOf(slot int32) (float64, bool) {
+	if e.lad != nil {
+		return e.lad.timeOf(slot)
+	}
+	return e.heapTimeOf(slot)
+}
+
+func (e *Engine) qSize() int {
+	if e.lad != nil {
+		return e.lad.size()
+	}
+	return len(e.heap)
+}
+
+func (e *Engine) qReset() {
+	if e.lad != nil {
+		e.lad.reset()
+		return
+	}
+	e.heapReset()
 }
 
 // Reset returns the engine to its initial state — clock at zero, no
 // pending events, no registered callbacks — while keeping the capacity of
 // its internal buffers, so a reused engine reaches steady state without
-// re-growing its heap and slot arrays. Handles issued before the reset are
-// invalidated.
+// re-growing its queue and slot arrays. Handles issued before the reset
+// are invalidated. A promoted QueueAuto engine stays on the ladder: the
+// next run is expected to be the same scale, and queue choice never
+// affects results.
 func (e *Engine) Reset() {
 	e.now, e.seq, e.fired, e.stopped = 0, 0, 0, false
-	for i := range e.heap {
-		e.heap[i] = event{} // release payload references
-	}
-	e.heap = e.heap[:0]
+	e.qReset()
 	e.freeSlots = e.freeSlots[:0]
 	for i := range e.slots {
 		e.slots[i].gen++ // stale handles from the previous run go dead
@@ -134,7 +227,7 @@ func (e *Engine) Now() float64 { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events currently scheduled.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return e.qSize() }
 
 // Schedule registers fn to run after delay time units. A negative or NaN
 // delay returns ErrEventInPast. Each call allocates a closure; hot paths
@@ -161,7 +254,7 @@ func (e *Engine) At(t float64, fn func()) (Event, error) {
 
 // ScheduleCall schedules the registered callback cb to fire with payload
 // after delay time units. It performs no heap allocation: the event lives
-// by value in the engine's heap and payload is carried as-is (a pointer
+// by value in the engine's queue and payload is carried as-is (a pointer
 // payload does not escape to the heap).
 func (e *Engine) ScheduleCall(delay float64, cb Callback, payload any) (Event, error) {
 	return e.CallAt(e.now+delay, cb, payload)
@@ -187,7 +280,17 @@ func (e *Engine) CallAt(t float64, cb Callback, payload any) (Event, error) {
 	slot := e.takeSlot()
 	ev := event{time: t, seq: e.seq, payload: payload, cb: cb, slot: slot}
 	e.seq++
-	e.push(ev)
+	if e.lad != nil {
+		e.lad.push(ev)
+	} else {
+		e.heapPush(ev)
+		// Auto mode promotes to the ladder once the pending count
+		// crosses the large-topology threshold; the migration moves
+		// every pending event once and never changes pop order.
+		if e.kind == QueueAuto && len(e.heap) > promoteThreshold {
+			e.promote()
+		}
+	}
 	return Event{slot: slot + 1, gen: e.slots[slot].gen}, nil
 }
 
@@ -195,16 +298,13 @@ func (e *Engine) CallAt(t float64, cb Callback, payload any) (Event, error) {
 // already-cancelled, or zero handle is a no-op and reports false.
 func (e *Engine) Cancel(ev Event) bool {
 	i := int(ev.slot) - 1
-	if i < 0 || i >= len(e.slots) {
+	if i < 0 || i >= len(e.slots) || e.slots[i].gen != ev.gen {
 		return false
 	}
-	s := &e.slots[i]
-	if s.gen != ev.gen || s.pos < 0 {
+	if !e.qRemoveSlot(int32(i)) {
 		return false
 	}
-	pos := s.pos
 	e.releaseSlot(int32(i))
-	e.remove(pos)
 	return true
 }
 
@@ -212,19 +312,18 @@ func (e *Engine) Cancel(ev Event) bool {
 // whether the handle still refers to a pending event.
 func (e *Engine) EventTime(ev Event) (float64, bool) {
 	i := int(ev.slot) - 1
-	if i < 0 || i >= len(e.slots) {
+	if i < 0 || i >= len(e.slots) || e.slots[i].gen != ev.gen {
 		return 0, false
 	}
-	s := e.slots[i]
-	if s.gen != ev.gen || s.pos < 0 {
-		return 0, false
-	}
-	return e.heap[s.pos].time, true
+	return e.qTimeOf(int32(i))
 }
 
 // Step executes the next pending event, advancing the clock to its time.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
+	if e.lad != nil {
+		return e.stepLadder()
+	}
 	if len(e.heap) == 0 {
 		return false
 	}
@@ -232,7 +331,20 @@ func (e *Engine) Step() bool {
 	// Release the slot before invoking so the callback can schedule into
 	// it; the generation bump makes the fired event's handle stale.
 	e.releaseSlot(ev.slot)
-	e.remove(0)
+	e.heapRemoveAt(0)
+	e.now = ev.time
+	e.fired++
+	e.callbacks[ev.cb](ev.payload)
+	return true
+}
+
+// stepLadder is Step's ladder-queue path.
+func (e *Engine) stepLadder() bool {
+	ev, ok := e.lad.pop()
+	if !ok {
+		return false
+	}
+	e.releaseSlot(ev.slot)
 	e.now = ev.time
 	e.fired++
 	e.callbacks[ev.cb](ev.payload)
@@ -246,8 +358,17 @@ func (e *Engine) Step() bool {
 // that was not stopped early.
 func (e *Engine) Run(horizon float64) {
 	e.stopped = false
-	for len(e.heap) > 0 && !e.stopped {
-		if e.heap[0].time > horizon {
+	for !e.stopped {
+		var (
+			next float64
+			ok   bool
+		)
+		if e.lad != nil {
+			next, ok = e.lad.peek()
+		} else {
+			next, ok = e.heapPeek()
+		}
+		if !ok || next > horizon {
 			break
 		}
 		e.Step()
@@ -260,8 +381,7 @@ func (e *Engine) Run(horizon float64) {
 // RunAll executes events until none remain or Stop is called.
 func (e *Engine) RunAll() {
 	e.stopped = false
-	for len(e.heap) > 0 && !e.stopped {
-		e.Step()
+	for !e.stopped && e.Step() {
 	}
 }
 
@@ -280,87 +400,11 @@ func (e *Engine) takeSlot() int32 {
 	return int32(len(e.slots) - 1)
 }
 
-// releaseSlot retires a slot's current generation and returns it to the
-// free list.
+// releaseSlot retires a slot's current generation, marks it idle, and
+// returns it to the free list.
 func (e *Engine) releaseSlot(slot int32) {
 	s := &e.slots[slot]
 	s.gen++
 	s.pos = -1
 	e.freeSlots = append(e.freeSlots, slot)
-}
-
-// before reports whether event a fires before event b: earlier time, or
-// FIFO order at equal times.
-func before(a, b *event) bool {
-	if a.time != b.time {
-		return a.time < b.time
-	}
-	return a.seq < b.seq
-}
-
-// push inserts an event into the binary heap.
-func (e *Engine) push(ev event) {
-	i := int32(len(e.heap))
-	e.heap = append(e.heap, ev)
-	e.slots[ev.slot].pos = i
-	e.up(int(i))
-}
-
-// remove deletes the heap element at index i. The caller has already
-// released the element's slot.
-func (e *Engine) remove(i int32) {
-	last := int32(len(e.heap)) - 1
-	if i != last {
-		e.heap[i] = e.heap[last]
-		e.slots[e.heap[i].slot].pos = i
-	}
-	e.heap[last] = event{} // release the payload reference
-	e.heap = e.heap[:last]
-	if i < last {
-		if !e.up(int(i)) {
-			e.down(int(i))
-		}
-	}
-}
-
-// up restores the heap property moving index i toward the root; reports
-// whether the element moved.
-func (e *Engine) up(i int) bool {
-	moved := false
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !before(&e.heap[i], &e.heap[parent]) {
-			break
-		}
-		e.swap(i, parent)
-		i = parent
-		moved = true
-	}
-	return moved
-}
-
-// down restores the heap property moving index i toward the leaves.
-func (e *Engine) down(i int) {
-	n := len(e.heap)
-	for {
-		left := 2*i + 1
-		if left >= n {
-			return
-		}
-		least := left
-		if right := left + 1; right < n && before(&e.heap[right], &e.heap[left]) {
-			least = right
-		}
-		if !before(&e.heap[least], &e.heap[i]) {
-			return
-		}
-		e.swap(i, least)
-		i = least
-	}
-}
-
-func (e *Engine) swap(i, j int) {
-	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
-	e.slots[e.heap[i].slot].pos = int32(i)
-	e.slots[e.heap[j].slot].pos = int32(j)
 }

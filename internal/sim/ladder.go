@@ -1,0 +1,512 @@
+package sim
+
+import "math"
+
+// ladderQueue is a two-level ladder/calendar event queue built for large
+// pending-event counts (big topologies), where the binary heap's
+// O(log n) sift chains become cache-hostile.
+//
+// Structure:
+//
+//   - A small sorted "near" tier (an indexed binary heap) holds every
+//     event below the nearEnd boundary and feeds pops directly. It stays
+//     small (a transfer batch plus stragglers), so its sifts touch a
+//     couple of cache lines.
+//   - Bucketed "rungs" hold the near-to-mid future: rung buckets are
+//     unsorted slices, so scheduling into them is a bounds computation
+//     plus an append — O(1), no comparisons, no sifting. When the near
+//     tier drains, the next non-empty bucket of the deepest rung is
+//     either moved wholesale into the near heap (small buckets) or
+//     spread across a new, finer rung (crowded buckets) — sorting work
+//     is deferred until the simulation clock actually approaches the
+//     events, and is amortized O(1) per event.
+//   - An unsorted "over" tier catches everything beyond the last rung.
+//     When the rungs drain, over is re-bucketed across a fresh rung
+//     spanning its actual [min, max] time range, with the bucket count
+//     scaled to the population (the calendar-queue "resize with n" rule,
+//     applied lazily) so transfer batches stay small and cache-resident
+//     at any scale.
+//
+// Determinism: the only ordering decisions are made by the near heap's
+// (time, seq) comparison. Equal-time events always meet in the same
+// bucket (bucket membership is a pure function of time) or are separated
+// only in push order (later pushes carry larger seqs and strictly later
+// tiers), so pops are in exactly the same (time, seq) order as the
+// reference heap — simulation results are byte-identical.
+//
+// Tier invariants, maintained by every operation:
+//
+//  1. Every event in a rung or in over has time >= nearEnd, and every
+//     event in near entered with time < the nearEnd in force afterwards
+//     (so near's minimum is the global minimum whenever near is
+//     non-empty).
+//  2. Rung ranges are contiguous and ascending from the deepest rung:
+//     rungs[len-1] covers times up to its endT, each shallower rung
+//     covers times from the deeper rung's endT, and over holds times at
+//     or beyond the shallowest (oldest) rung's endT.
+//  3. nearEnd never decreases within a run.
+//
+// Floating-point rigor: each rung precomputes a monotone boundary array
+// (bounds[b] is bucket b's inclusive lower edge) and an exclusive upper
+// bound endT. Bucket membership is corrected against bounds, push
+// routing compares against endT, and nearEnd advances to
+// min(bounds[b+1], endT) — every comparison uses values from the same
+// monotone array, so the invariants hold exactly, not just up to
+// rounding, no matter how the reciprocal-multiply index estimate rounds.
+//
+// Each event's location is recorded in the engine's slot table: pos is
+// the index within its tier's slice (-1 when absent) and aux packs
+// (tier, rung, bucket).
+type ladderQueue struct {
+	e       *Engine
+	near    []event // indexed min-heap by (time, seq)
+	nearEnd float64 // far events are all >= nearEnd
+
+	rungs []ladderRung // rungs[len-1] is the deepest (soonest, finest)
+
+	over    []event
+	overMin float64
+	overMax float64
+}
+
+const (
+	// ladderBucketTarget is the bucket occupancy a rebuild aims for: the
+	// over tier is spread across ~len(over)/target buckets, so transfer
+	// batches into the near heap stay small no matter how large the
+	// pending set grows.
+	ladderBucketTarget = 16
+	// ladderMinBuckets / ladderMaxBuckets bound a rung's bucket count:
+	// at least enough spread to be worth bucketing at all, at most a
+	// bounded slice-header array so empty-bucket scans stay cheap.
+	ladderMinBuckets = 128
+	ladderMaxBuckets = 16384
+	// ladderSpreadBuckets is the bucket count used when re-spreading one
+	// crowded bucket across a finer rung.
+	ladderSpreadBuckets = 128
+	// ladderSpreadMax is the bucket size above which a bucket is spread
+	// across a finer rung instead of being pushed into the near heap.
+	ladderSpreadMax = 48
+	// ladderMaxRungs bounds the refinement depth; a bucket at the
+	// bottom is pushed to the near heap regardless of size.
+	ladderMaxRungs = 8
+)
+
+// aux encoding: tier in bits 0-1, rung in bits 2-5, bucket from bit 6.
+const (
+	tierNear int32 = iota + 1
+	tierRung
+	tierOver
+)
+
+func packLoc(tier, rung, bucket int32) int32 { return tier | rung<<2 | bucket<<6 }
+
+func locTier(aux int32) int32   { return aux & 3 }
+func locRung(aux int32) int32   { return (aux >> 2) & 15 }
+func locBucket(aux int32) int32 { return aux >> 6 }
+
+// ladderRung is one bucketed band of the far future. Bucket b holds
+// events with bounds[b] <= time < bounds[b+1] (monotone by
+// construction); endT is the rung's exclusive upper routing bound. inv
+// caches 1/width so bucket selection is a multiply whose estimate is
+// then corrected against bounds.
+type ladderRung struct {
+	start  float64
+	inv    float64   // 1 / nominal bucket width
+	endT   float64   // exclusive upper bound of the rung's range
+	bounds []float64 // len(bkts)+1 monotone bucket edges
+	cur    int       // next bucket to consume; buckets below cur are empty
+	count  int       // events currently in this rung
+	bkts   [][]event
+}
+
+func (q *ladderQueue) push(ev event) {
+	if ev.time < q.nearEnd {
+		q.nearPush(ev)
+		return
+	}
+	// Deepest rung first: rung ranges ascend toward shallower rungs. A
+	// drained rung (cur past its last bucket — possible while it waits
+	// to be popped, since endT can exceed its top bucket edge by a
+	// rounding step) is skipped: the event lands in the next shallower
+	// rung's current bucket, which is consumed next, or in over when no
+	// rung can take it — both keep pops ordered, because the receiving
+	// batch reaches the near heap before the clock reaches the event.
+	for j := len(q.rungs) - 1; j >= 0; j-- {
+		r := &q.rungs[j]
+		if ev.time < r.endT && r.cur < len(r.bkts) {
+			q.pushRung(int32(j), ev)
+			return
+		}
+	}
+	q.pushOver(ev)
+}
+
+// pushRung appends ev to the bucket of rung j whose bounds contain its
+// time.
+func (q *ladderQueue) pushRung(j int32, ev event) {
+	r := &q.rungs[j]
+	nb := int32(len(r.bkts))
+	b := int32((ev.time - r.start) * r.inv)
+	if b > nb-1 {
+		b = nb - 1
+	}
+	if b < int32(r.cur) {
+		b = int32(r.cur)
+	}
+	// Correct the estimate against the monotone bounds; at most a step
+	// or two. An event below bucket r.cur's edge (possible when nearEnd
+	// was capped by a finer rung's endT) stays in r.cur: that bucket is
+	// consumed next, so early delivery there is always ordered.
+	for b > int32(r.cur) && ev.time < r.bounds[b] {
+		b--
+	}
+	for b < nb-1 && ev.time >= r.bounds[b+1] {
+		b++
+	}
+	s := &q.e.slots[ev.slot]
+	s.aux = packLoc(tierRung, j, b)
+	s.pos = int32(len(r.bkts[b]))
+	r.bkts[b] = append(r.bkts[b], ev)
+	r.count++
+}
+
+// pushOver appends ev to the unsorted far-far tier.
+func (q *ladderQueue) pushOver(ev event) {
+	if len(q.over) == 0 {
+		q.overMin, q.overMax = ev.time, ev.time
+	} else {
+		if ev.time < q.overMin {
+			q.overMin = ev.time
+		}
+		if ev.time > q.overMax {
+			q.overMax = ev.time
+		}
+	}
+	s := &q.e.slots[ev.slot]
+	s.aux = tierOver
+	s.pos = int32(len(q.over))
+	q.over = append(q.over, ev)
+}
+
+func (q *ladderQueue) pop() (event, bool) {
+	for {
+		if len(q.near) > 0 {
+			ev := q.near[0]
+			q.e.slots[ev.slot].pos = -1
+			q.nearRemoveAt(0)
+			return ev, true
+		}
+		if !q.advance() {
+			return event{}, false
+		}
+	}
+}
+
+func (q *ladderQueue) peek() (float64, bool) {
+	for len(q.near) == 0 {
+		if !q.advance() {
+			return 0, false
+		}
+	}
+	return q.near[0].time, true
+}
+
+// advance refills the near tier from the rungs (or rebuilds the rungs
+// from over), reporting whether any events remain.
+func (q *ladderQueue) advance() bool {
+	for len(q.rungs) > 0 {
+		j := len(q.rungs) - 1
+		r := &q.rungs[j]
+		nb := len(r.bkts)
+		for r.cur < nb && len(r.bkts[r.cur]) == 0 {
+			r.cur++
+		}
+		if r.cur >= nb || r.count == 0 {
+			// Rung exhausted; keep its bucket arrays for reuse.
+			q.rungs = q.rungs[:j]
+			continue
+		}
+		b := r.bkts[r.cur]
+		ns := r.bounds[r.cur]
+		ne := r.endT
+		if v := r.bounds[r.cur+1]; v < ne {
+			ne = v
+		}
+		nw := (ne - ns) / ladderSpreadBuckets
+		if len(b) <= ladderSpreadMax || len(q.rungs) >= ladderMaxRungs || !(nw > 0) || ns+nw == ns {
+			// Transfer the bucket into the near heap; its upper bound
+			// becomes the new near/far boundary. The width guards stop
+			// the refinement once a finer rung could no longer separate
+			// times (equal-time or denormal-width buckets); the near
+			// heap handles an occasional oversized batch just fine.
+			for i := range b {
+				q.nearPush(b[i])
+				b[i] = event{} // release the payload reference
+			}
+			r.count -= len(b)
+			r.bkts[r.cur] = b[:0]
+			q.nearEnd = ne
+			r.cur++
+			return true
+		}
+		// Crowded bucket: spread it across a finer rung and try again.
+		// The child's endT is the parent bucket's own upper edge, so the
+		// contiguity invariant is exact by construction.
+		nr := q.growRung(ladderSpreadBuckets)
+		nr.init(ns, nw, ne)
+		for i := range b {
+			q.pushRung(int32(len(q.rungs)-1), b[i])
+			b[i] = event{}
+		}
+		r = &q.rungs[j] // growRung may have reallocated q.rungs
+		r.count -= len(b)
+		r.bkts[r.cur] = b[:0]
+		r.cur++
+	}
+	return q.rebuild()
+}
+
+// growRung appends a rung with the given bucket count (reusing a
+// previously allocated rung's backing arrays when available) and returns
+// it with count/cur zeroed. The caller must init it.
+func (q *ladderQueue) growRung(buckets int) *ladderRung {
+	n := len(q.rungs)
+	if n < cap(q.rungs) {
+		q.rungs = q.rungs[:n+1]
+	} else {
+		q.rungs = append(q.rungs, ladderRung{})
+	}
+	r := &q.rungs[n]
+	r.cur, r.count = 0, 0
+	if cap(r.bkts) < buckets {
+		bkts := make([][]event, buckets)
+		copy(bkts, r.bkts[:cap(r.bkts)])
+		r.bkts = bkts
+	} else {
+		r.bkts = r.bkts[:buckets]
+	}
+	for i := range r.bkts {
+		r.bkts[i] = r.bkts[i][:0]
+	}
+	return r
+}
+
+// init fixes the rung's range [start, endT) and builds the monotone
+// bucket-edge array from the nominal width.
+func (r *ladderRung) init(start, width, endT float64) {
+	nb := len(r.bkts)
+	r.start = start
+	r.inv = 1 / width
+	r.endT = endT
+	if cap(r.bounds) < nb+1 {
+		r.bounds = make([]float64, nb+1)
+	} else {
+		r.bounds = r.bounds[:nb+1]
+	}
+	prev := start
+	r.bounds[0] = start
+	for i := 1; i <= nb; i++ {
+		v := start + float64(i)*width
+		if v < prev {
+			v = prev // enforce monotonicity under rounding
+		}
+		r.bounds[i] = v
+		prev = v
+	}
+}
+
+// rebuild turns the over tier into a fresh rung spanning its actual time
+// range (or moves it straight to near when it is small or degenerate),
+// with the bucket count scaled to the population. Reports whether any
+// events remain.
+func (q *ladderQueue) rebuild() bool {
+	if len(q.over) == 0 {
+		return false
+	}
+	buckets := ladderMinBuckets
+	for buckets < ladderMaxBuckets && buckets*ladderBucketTarget < len(q.over) {
+		buckets *= 2
+	}
+	width := (q.overMax - q.overMin) / float64(buckets)
+	if len(q.over) <= ladderSpreadMax || !(width > 0) || q.overMin+width == q.overMin {
+		for i := range q.over {
+			q.nearPush(q.over[i])
+			q.over[i] = event{}
+		}
+		q.over = q.over[:0]
+		// Later same-time pushes route to over (time >= nearEnd) with
+		// larger seqs and pop after the near tier drains — still FIFO.
+		q.nearEnd = q.overMax
+		return true
+	}
+	// endT must lie strictly beyond every held event so the top bucket's
+	// membership stays inside the rung's routing range.
+	end := q.overMin + width*float64(buckets)
+	if end <= q.overMax {
+		end = math.Nextafter(q.overMax, math.Inf(1))
+	}
+	r := q.growRung(buckets)
+	r.init(q.overMin, width, end)
+	j := int32(len(q.rungs) - 1)
+	for i := range q.over {
+		q.pushRung(j, q.over[i])
+		q.over[i] = event{}
+	}
+	q.over = q.over[:0]
+	return true
+}
+
+func (q *ladderQueue) removeSlot(slot int32) bool {
+	s := &q.e.slots[slot]
+	if s.pos < 0 {
+		return false
+	}
+	idx := s.pos
+	switch locTier(s.aux) {
+	case tierNear:
+		s.pos = -1
+		q.nearRemoveAt(idx)
+	case tierRung:
+		r := &q.rungs[locRung(s.aux)]
+		bi := locBucket(s.aux)
+		b := r.bkts[bi]
+		last := int32(len(b)) - 1
+		if idx != last {
+			b[idx] = b[last]
+			q.e.slots[b[idx].slot].pos = idx
+		}
+		b[last] = event{}
+		r.bkts[bi] = b[:last]
+		r.count--
+		s.pos = -1
+	case tierOver:
+		last := int32(len(q.over)) - 1
+		if idx != last {
+			q.over[idx] = q.over[last]
+			q.e.slots[q.over[idx].slot].pos = idx
+		}
+		q.over[last] = event{}
+		q.over = q.over[:last]
+		// overMin/overMax may now be conservative; that only widens the
+		// next rebuild's span, it never breaks ordering.
+		s.pos = -1
+	default:
+		return false
+	}
+	return true
+}
+
+func (q *ladderQueue) timeOf(slot int32) (float64, bool) {
+	s := q.e.slots[slot]
+	if s.pos < 0 {
+		return 0, false
+	}
+	switch locTier(s.aux) {
+	case tierNear:
+		return q.near[s.pos].time, true
+	case tierRung:
+		return q.rungs[locRung(s.aux)].bkts[locBucket(s.aux)][s.pos].time, true
+	case tierOver:
+		return q.over[s.pos].time, true
+	}
+	return 0, false
+}
+
+func (q *ladderQueue) size() int {
+	n := len(q.near) + len(q.over)
+	for i := range q.rungs {
+		n += q.rungs[i].count
+	}
+	return n
+}
+
+func (q *ladderQueue) reset() {
+	for i := range q.near {
+		q.near[i] = event{}
+	}
+	q.near = q.near[:0]
+	q.nearEnd = 0
+	for i := range q.rungs {
+		r := &q.rungs[i]
+		for bi := range r.bkts {
+			b := r.bkts[bi]
+			for k := range b {
+				b[k] = event{}
+			}
+			r.bkts[bi] = b[:0]
+		}
+		r.cur, r.count = 0, 0
+	}
+	q.rungs = q.rungs[:0]
+	for i := range q.over {
+		q.over[i] = event{}
+	}
+	q.over = q.over[:0]
+}
+
+// The near tier: a plain indexed binary heap over (time, seq), kept
+// small by the rung transfers, with positions recorded in the engine's
+// slot table.
+
+func (q *ladderQueue) nearPush(ev event) {
+	i := int32(len(q.near))
+	q.near = append(q.near, ev)
+	s := &q.e.slots[ev.slot]
+	s.aux = tierNear
+	s.pos = i
+	q.nearUp(int(i))
+}
+
+func (q *ladderQueue) nearRemoveAt(i int32) {
+	last := int32(len(q.near)) - 1
+	if i != last {
+		q.near[i] = q.near[last]
+		q.e.slots[q.near[i].slot].pos = i
+	}
+	q.near[last] = event{}
+	q.near = q.near[:last]
+	if i < last {
+		if !q.nearUp(int(i)) {
+			q.nearDown(int(i))
+		}
+	}
+}
+
+func (q *ladderQueue) nearUp(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !before(&q.near[i], &q.near[parent]) {
+			break
+		}
+		q.nearSwap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (q *ladderQueue) nearDown(i int) {
+	n := len(q.near)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && before(&q.near[right], &q.near[left]) {
+			least = right
+		}
+		if !before(&q.near[least], &q.near[i]) {
+			return
+		}
+		q.nearSwap(i, least)
+		i = least
+	}
+}
+
+func (q *ladderQueue) nearSwap(i, j int) {
+	q.near[i], q.near[j] = q.near[j], q.near[i]
+	q.e.slots[q.near[i].slot].pos = int32(i)
+	q.e.slots[q.near[j].slot].pos = int32(j)
+}

@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fireRec is one observed event execution.
+type fireRec struct {
+	at  float64
+	tag int
+}
+
+// crossEngine wraps one engine with recording state for the cross-check
+// driver.
+type crossEngine struct {
+	eng     *Engine
+	cb      Callback
+	fired   []fireRec
+	handles []Event
+}
+
+func newCrossEngine(kind QueueKind) *crossEngine {
+	c := &crossEngine{eng: NewWithQueue(kind)}
+	c.registerCB()
+	return c
+}
+
+func (c *crossEngine) registerCB() {
+	c.cb = c.eng.Register(func(p any) {
+		c.fired = append(c.fired, fireRec{at: c.eng.Now(), tag: p.(int)})
+	})
+}
+
+// crossCheck drives every engine through the same operation stream and
+// asserts identical observable behaviour: fire order (time, payload),
+// Cancel results (including stale handles after slot reuse), EventTime
+// results, and pending counts. ops is consumed byte-wise, so it doubles
+// as a fuzz corpus format.
+func crossCheck(t *testing.T, ops []byte) {
+	t.Helper()
+	engines := []*crossEngine{
+		newCrossEngine(QueueHeap),
+		newCrossEngine(QueueLadder),
+		newCrossEngine(QueueAuto),
+	}
+	names := []string{"heap", "ladder", "auto"}
+	tag := 0
+	next := func(i int) byte {
+		if i >= len(ops) {
+			return 0
+		}
+		return ops[i]
+	}
+	for i := 0; i < len(ops); i++ {
+		op := ops[i]
+		switch op % 5 {
+		case 0, 1: // schedule: delay from the next two bytes
+			delay := float64(next(i+1))/16 + float64(next(i+2))/4096
+			i += 2
+			tag++
+			for _, c := range engines {
+				c.handles = append(c.handles, c.eng.MustScheduleCall(delay, c.cb, tag))
+			}
+		case 2: // cancel a handle (possibly already fired or cancelled)
+			if len(engines[0].handles) == 0 {
+				continue
+			}
+			hi := int(next(i+1)) % len(engines[0].handles)
+			i++
+			r0 := engines[0].eng.Cancel(engines[0].handles[hi])
+			for ei := 1; ei < len(engines); ei++ {
+				if r := engines[ei].eng.Cancel(engines[ei].handles[hi]); r != r0 {
+					t.Fatalf("op %d: Cancel(handle %d) = %v on %s, %v on heap",
+						i, hi, r, names[ei], r0)
+				}
+			}
+		case 3: // run a bounded horizon forward
+			h := engines[0].eng.Now() + float64(next(i+1))/8
+			i++
+			for _, c := range engines {
+				c.eng.Run(h)
+			}
+		case 4: // occasionally reset, mostly probe EventTime
+			if next(i+1)%7 == 0 {
+				for _, c := range engines {
+					c.eng.Reset()
+					c.fired = c.fired[:0]
+					c.handles = c.handles[:0]
+					c.registerCB()
+				}
+				i++
+				continue
+			}
+			if len(engines[0].handles) == 0 {
+				continue
+			}
+			hi := int(next(i+1)) % len(engines[0].handles)
+			i++
+			t0, ok0 := engines[0].eng.EventTime(engines[0].handles[hi])
+			for ei := 1; ei < len(engines); ei++ {
+				if tt, ok := engines[ei].eng.EventTime(engines[ei].handles[hi]); tt != t0 || ok != ok0 {
+					t.Fatalf("op %d: EventTime(handle %d) = (%v, %v) on %s, (%v, %v) on heap",
+						i, hi, tt, ok, names[ei], t0, ok0)
+				}
+			}
+		}
+		p0 := engines[0].eng.Pending()
+		for ei := 1; ei < len(engines); ei++ {
+			if p := engines[ei].eng.Pending(); p != p0 {
+				t.Fatalf("op %d: Pending = %d on %s, %d on heap", i, p, names[ei], p0)
+			}
+		}
+	}
+	for _, c := range engines {
+		c.eng.RunAll()
+	}
+	for ei := 1; ei < len(engines); ei++ {
+		compareFired(t, names[ei], engines[ei].fired, engines[0].fired)
+	}
+}
+
+func compareFired(t *testing.T, name string, got, want []fireRec) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s fired %d events, heap fired %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s fire %d = %+v, heap fired %+v", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestQueueCrossCheckRandom drives the ladder, the heap, and the
+// auto-promoting engine with identical random schedule/cancel/Run/Reset
+// sequences and requires identical pop order and Cancel/EventTime
+// semantics — including Cancel no-ops on stale handles after slot reuse,
+// which the stream generates constantly by cancelling old handle
+// indices.
+func TestQueueCrossCheckRandom(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		ops := make([]byte, 2000)
+		r.Read(ops)
+		crossCheck(t, ops)
+	}
+}
+
+// FuzzQueueCrossCheck lets the fuzzer search for operation streams where
+// the ladder queue diverges from the reference heap.
+func FuzzQueueCrossCheck(f *testing.F) {
+	f.Add([]byte{0, 200, 13, 0, 3, 1, 17, 250, 2, 0, 4, 7, 0, 9, 9, 3, 255})
+	f.Add([]byte("schedule-cancel-run-reset"))
+	seed := make([]byte, 512)
+	rand.New(rand.NewSource(99)).Read(seed)
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+		crossCheck(t, ops)
+	})
+}
+
+// TestLadderBulkOrder pushes a large batch of far-future events (forcing
+// rung builds, spreads, and rebuilds) and checks exact (time, seq) pop
+// order against the heap.
+func TestLadderBulkOrder(t *testing.T) {
+	const n = 20000
+	r := rand.New(rand.NewSource(7))
+	heap := newCrossEngine(QueueHeap)
+	lad := newCrossEngine(QueueLadder)
+	for i := 0; i < n; i++ {
+		var d float64
+		switch i % 3 {
+		case 0:
+			d = r.Float64() * 1000 // broad horizon: exercises over + rebuild
+		case 1:
+			d = r.Float64() // near horizon
+		case 2:
+			d = float64(r.Intn(50)) // heavy time ties: FIFO order must hold
+		}
+		tag := i
+		heap.eng.MustScheduleCall(d, heap.cb, tag)
+		lad.eng.MustScheduleCall(d, lad.cb, tag)
+	}
+	heap.eng.RunAll()
+	lad.eng.RunAll()
+	compareFired(t, "ladder", lad.fired, heap.fired)
+}
+
+// TestLadderBoundaryWindowPush regresses a routing hole: with evenly
+// spaced integer times, rebuild() bumps the rung's endT one float step
+// past the top bucket edge, so after the last bucket is consumed the
+// drained rung still claims a sliver of time range. Scheduling into
+// that sliver (e.g. exactly the previous maximum time) must not panic
+// and must still fire in time order.
+func TestLadderBoundaryWindowPush(t *testing.T) {
+	c := newCrossEngine(QueueLadder)
+	const n = 4096
+	for i := 0; i < n; i++ {
+		c.eng.MustScheduleCall(float64(i), c.cb, i)
+	}
+	for i := 0; i < n-1; i++ {
+		if !c.eng.Step() {
+			t.Fatalf("queue empty after %d steps", i)
+		}
+	}
+	// The deepest rung is drained but not yet popped, and its endT sits
+	// one float step above the old maximum time: scheduling at exactly
+	// that maximum lands in the drained rung's boundary sliver.
+	c.eng.MustScheduleCall(float64(n-1)-c.eng.Now(), c.cb, n)
+	c.eng.RunAll()
+	if len(c.fired) != n+1 {
+		t.Fatalf("fired %d events, want %d", len(c.fired), n+1)
+	}
+	for i := 1; i < len(c.fired); i++ {
+		if c.fired[i].at < c.fired[i-1].at {
+			t.Fatalf("fire %d at %v before fire %d at %v", i, c.fired[i].at, i-1, c.fired[i-1].at)
+		}
+	}
+}
+
+// TestLadderPromotion checks that an auto engine actually promotes past
+// the threshold and that promotion preserves already-scheduled events.
+func TestLadderPromotion(t *testing.T) {
+	c := newCrossEngine(QueueAuto)
+	if got := c.eng.QueueKind(); got != QueueHeap {
+		t.Fatalf("fresh auto engine on %q, want heap", got)
+	}
+	for i := 0; i <= promoteThreshold; i++ {
+		c.eng.MustScheduleCall(float64(i), c.cb, i)
+	}
+	if got := c.eng.QueueKind(); got != QueueLadder {
+		t.Fatalf("auto engine on %q after %d pending events, want ladder",
+			got, promoteThreshold+1)
+	}
+	c.eng.RunAll()
+	if len(c.fired) != promoteThreshold+1 {
+		t.Fatalf("fired %d events, want %d", len(c.fired), promoteThreshold+1)
+	}
+	for i, f := range c.fired {
+		if f.tag != i {
+			t.Fatalf("fire %d has tag %d after promotion, want %d", i, f.tag, i)
+		}
+	}
+	// Reset keeps the promoted ladder (same-scale reuse).
+	c.eng.Reset()
+	if got := c.eng.QueueKind(); got != QueueLadder {
+		t.Fatalf("auto engine demoted to %q by Reset", got)
+	}
+}
+
+// TestLadderSteadyStateZeroAlloc pins the allocation invariant for the
+// ladder path: once buckets, rungs, and the loc table have grown to
+// working size, scheduling, firing, and cancelling allocate nothing.
+func TestLadderSteadyStateZeroAlloc(t *testing.T) {
+	e := NewWithQueue(QueueLadder)
+	cb := e.Register(func(any) {})
+	r := rand.New(rand.NewSource(3))
+	warm := func(rounds int) {
+		for i := 0; i < rounds; i++ {
+			for j := 0; j < 64; j++ {
+				e.MustScheduleCall(r.Float64()*64, cb, nil)
+			}
+			ev := e.MustScheduleCall(1+r.Float64(), cb, nil)
+			e.Cancel(ev)
+			e.Run(e.Now() + 16)
+		}
+		e.RunAll()
+	}
+	warm(64)
+
+	allocs := testing.AllocsPerRun(200, func() { warm(4) })
+	if allocs != 0 {
+		t.Fatalf("ladder steady state allocated %v times per run, want 0", allocs)
+	}
+}

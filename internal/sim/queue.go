@@ -1,0 +1,165 @@
+package sim
+
+import "fmt"
+
+// QueueKind selects the engine's pending-event structure. All kinds pop
+// events in exactly the same (time, seq) order, so simulation results are
+// byte-identical across kinds; only the constant factors differ.
+type QueueKind string
+
+const (
+	// QueueAuto starts on the binary heap and promotes the engine to the
+	// ladder queue once the pending-event count crosses promoteThreshold
+	// (large topologies). Paper-scale runs never promote, so they keep
+	// the heap's minimal constant factors. This is the default.
+	QueueAuto QueueKind = ""
+	// QueueHeap pins the reference binary heap: O(log n) per operation,
+	// the implementation every other queue is cross-checked against.
+	QueueHeap QueueKind = "heap"
+	// QueueLadder pins the two-level ladder queue: a small sorted
+	// near-future tier feeding execution plus bucketed far-future rungs
+	// that spread lazily, giving O(1) amortized schedule/pop at large
+	// pending-event counts.
+	QueueLadder QueueKind = "ladder"
+)
+
+// promoteThreshold is the pending-event count at which QueueAuto switches
+// from the heap to the ladder. Paper-scale systems (k=6: tens of pending
+// events) stay far below it; a k>=512 topology crosses it during setup.
+const promoteThreshold = 512
+
+// ParseQueueKind validates a queue-kind string ("", "auto", "heap",
+// "ladder"), for CLI flags and configuration.
+func ParseQueueKind(s string) (QueueKind, error) {
+	switch s {
+	case "", "auto":
+		return QueueAuto, nil
+	case string(QueueHeap):
+		return QueueHeap, nil
+	case string(QueueLadder):
+		return QueueLadder, nil
+	default:
+		return "", fmt.Errorf("sim: unknown event queue %q (want auto, heap, or ladder)", s)
+	}
+}
+
+// This file is the reference implementation of the event-queue seam: an
+// indexed binary min-heap ordered by (time, seq), implemented directly
+// on the engine's fields so the paper-scale hot path compiles to the
+// same tight code it had before the seam existed. ladder.go holds the
+// large-topology implementation; the engine dispatches between the two
+// with a single branch (qPush and friends in engine.go), and the
+// cross-check fuzz tests require identical observable behaviour from
+// both.
+
+// before reports whether event a fires before event b: earlier time, or
+// FIFO order at equal times.
+func before(a, b *event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+// heapPush inserts an event into the binary heap.
+func (e *Engine) heapPush(ev event) {
+	i := int32(len(e.heap))
+	e.heap = append(e.heap, ev)
+	e.slots[ev.slot].pos = i
+	e.heapUp(int(i))
+}
+
+// heapPeek returns the minimum pending time.
+func (e *Engine) heapPeek() (float64, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].time, true
+}
+
+// heapRemoveSlot cancels the pending event occupying slot.
+func (e *Engine) heapRemoveSlot(slot int32) bool {
+	i := e.slots[slot].pos
+	if i < 0 {
+		return false
+	}
+	e.slots[slot].pos = -1
+	e.heapRemoveAt(i)
+	return true
+}
+
+// heapTimeOf returns the fire time of the pending event in slot.
+func (e *Engine) heapTimeOf(slot int32) (float64, bool) {
+	i := e.slots[slot].pos
+	if i < 0 {
+		return 0, false
+	}
+	return e.heap[i].time, true
+}
+
+// heapReset drops all events, keeping capacity.
+func (e *Engine) heapReset() {
+	for i := range e.heap {
+		e.heap[i] = event{} // release payload references
+	}
+	e.heap = e.heap[:0]
+}
+
+// heapRemoveAt deletes the heap element at index i. The caller has
+// already cleared the element's slot position.
+func (e *Engine) heapRemoveAt(i int32) {
+	last := int32(len(e.heap)) - 1
+	if i != last {
+		e.heap[i] = e.heap[last]
+		e.slots[e.heap[i].slot].pos = i
+	}
+	e.heap[last] = event{} // release the payload reference
+	e.heap = e.heap[:last]
+	if i < last {
+		if !e.heapUp(int(i)) {
+			e.heapDown(int(i))
+		}
+	}
+}
+
+// heapUp restores the heap property moving index i toward the root;
+// reports whether the element moved.
+func (e *Engine) heapUp(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !before(&e.heap[i], &e.heap[parent]) {
+			break
+		}
+		e.heapSwap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+// heapDown restores the heap property moving index i toward the leaves.
+func (e *Engine) heapDown(i int) {
+	n := len(e.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && before(&e.heap[right], &e.heap[left]) {
+			least = right
+		}
+		if !before(&e.heap[least], &e.heap[i]) {
+			return
+		}
+		e.heapSwap(i, least)
+		i = least
+	}
+}
+
+func (e *Engine) heapSwap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.slots[e.heap[i].slot].pos = int32(i)
+	e.slots[e.heap[j].slot].pos = int32(j)
+}

@@ -1,0 +1,58 @@
+package system
+
+import (
+	"testing"
+)
+
+// TestWorkspaceWarmReplicationAllocs64 extends the PR-3 allocation
+// guards to a large topology: on a warm workspace, a 64-node
+// replication's allocations are per-run setup only (one source, stream,
+// and callback registration per node — a small constant times the node
+// count), not warm-up growth. Queues, the node group, the engine's
+// event queue, and the task pools are all reused, and fresh queues are
+// pre-sized from Config.Nodes, so the budget below has no term for
+// growing buffers; if a reuse path is lost this fails long before any
+// throughput benchmark notices.
+func TestWorkspaceWarmReplicationAllocs64(t *testing.T) {
+	cfg := Baseline()
+	cfg.Nodes = 64
+	cfg.Horizon = 200
+	ws := NewWorkspace()
+	if _, err := RunWith(cfg, ws); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := RunWith(cfg, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	budget := float64(cfg.Nodes*14 + 256)
+	if allocs > budget {
+		t.Fatalf("warm 64-node replication allocated %v times, budget %v (per-node setup only)", allocs, budget)
+	}
+}
+
+// TestWorkspaceWarmReplicationScalesWithNodes pins the per-node setup
+// coefficient: doubling the node count must not much more than double a
+// warm replication's allocations (anything superlinear means a buffer
+// is being regrown per run).
+func TestWorkspaceWarmReplicationScalesWithNodes(t *testing.T) {
+	measure := func(nodes int) float64 {
+		cfg := Baseline()
+		cfg.Nodes = nodes
+		cfg.Horizon = 200
+		ws := NewWorkspace()
+		if _, err := RunWith(cfg, ws); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(10, func() {
+			if _, err := RunWith(cfg, ws); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	a32, a64 := measure(32), measure(64)
+	if a64 > 2.5*a32+64 {
+		t.Fatalf("allocations grew superlinearly with nodes: 32 -> %v, 64 -> %v", a32, a64)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/scenario"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -92,6 +93,13 @@ type Config struct {
 	// one is tested against, and a diagnostic switch should a
 	// use-after-release ever be suspected.
 	DisablePooling bool
+	// EventQueue selects the engine's pending-event structure:
+	// sim.QueueAuto (the zero value; binary heap, promoted to the ladder
+	// queue at large pending-event counts), sim.QueueHeap (pin the
+	// reference binary heap), or sim.QueueLadder (pin the ladder queue).
+	// Every choice pops events in the same (time, seq) order, so results
+	// are byte-identical; only speed differs with topology size.
+	EventQueue sim.QueueKind
 	// Seed seeds every random stream of the run.
 	Seed uint64
 	// Trace optionally records per-task lifecycle events (submit,
@@ -181,6 +189,9 @@ func (c *Config) Validate() error {
 		return err
 	}
 	if _, err := sched.New(c.Scheduler, false); err != nil {
+		return err
+	}
+	if _, err := sim.ParseQueueKind(string(c.EventQueue)); err != nil {
 		return err
 	}
 	if c.Scenario != nil {

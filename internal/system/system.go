@@ -18,16 +18,19 @@ import (
 )
 
 // Workspace carries the reusable state of a simulation replication: the
-// engine (heap and slot arrays), the task free list, and the per-node
-// ready queues. Reusing one workspace across the sequential replications
-// of a runner worker lets every run after the first start at its working
-// capacity instead of re-growing from zero. A Workspace is single-
-// threaded — one per worker — and results are bit-identical with or
-// without one.
+// engine (event queue and slot arrays), the task free list, the node
+// group (one contiguous array of per-node server state), and the
+// per-node ready queues. Reusing one workspace across the sequential
+// replications of a runner worker lets every run after the first start
+// at its working capacity instead of re-growing from zero. A Workspace
+// is single-threaded — one per worker — and results are bit-identical
+// with or without one.
 type Workspace struct {
 	eng      *sim.Engine
+	engKind  sim.QueueKind // kind eng was created with
 	pool     *task.Pool
 	graphs   *task.GraphPool
+	group    *node.Group
 	queues   []sched.Queue
 	queueKey string
 	stageCap int // observed stage-index breadth, to pre-size Metrics
@@ -35,6 +38,12 @@ type Workspace struct {
 
 // NewWorkspace returns an empty workspace; the first run populates it.
 func NewWorkspace() *Workspace { return &Workspace{} }
+
+// initialQueueDepth is the per-node ready-queue capacity pre-allocated
+// for fresh queues. Typical occupancy at the paper's loads is a handful
+// of tasks; pre-sizing turns the append-growth ladder into one
+// allocation per queue.
+const initialQueueDepth = 16
 
 // Run executes one simulation replication and returns its metrics. It is
 // deterministic: equal configs (including Seed) produce identical
@@ -66,14 +75,19 @@ func RunWith(cfg Config, ws *Workspace) (*Metrics, error) {
 	if cfg.DisablePooling {
 		ws = nil
 	}
+	queueKind, err := sim.ParseQueueKind(string(cfg.EventQueue))
+	if err != nil {
+		return nil, err
+	}
 	var (
 		eng    *sim.Engine
 		pool   *task.Pool
 		graphs *task.GraphPool
 	)
 	if ws != nil {
-		if ws.eng == nil {
-			ws.eng = sim.New()
+		if ws.eng == nil || ws.engKind != queueKind {
+			ws.eng = sim.NewWithQueue(queueKind)
+			ws.engKind = queueKind
 		} else {
 			ws.eng.Reset()
 		}
@@ -83,7 +97,7 @@ func RunWith(cfg Config, ws *Workspace) (*Metrics, error) {
 		}
 		eng, pool, graphs = ws.eng, ws.pool, ws.graphs
 	} else {
-		eng = sim.New()
+		eng = sim.NewWithQueue(queueKind)
 		if !cfg.DisablePooling {
 			pool = &task.Pool{}
 			graphs = &task.GraphPool{}
@@ -98,6 +112,11 @@ func RunWith(cfg Config, ws *Workspace) (*Metrics, error) {
 		nextSeq = func() uint64 { seq++; return seq }
 		nextID  = func() uint64 { taskID++; return taskID }
 	)
+	if ws != nil && ws.stageCap == 0 && cfg.M > 0 {
+		// Seed the stage-accumulator breadth from the configured subtask
+		// count so even the first replication pre-sizes its metrics.
+		ws.stageCap = cfg.M
+	}
 	if ws != nil && ws.stageCap > 0 {
 		metrics.StageMissByIndex = make([]stats.Ratio, 0, ws.stageCap)
 		metrics.StageSlackByIndex = make([]stats.Welford, 0, ws.stageCap)
@@ -171,39 +190,50 @@ func RunWith(cfg Config, ws *Workspace) (*Metrics, error) {
 	globalsFirst := core.NeedsClassPriority(parallel)
 	queueKey := fmt.Sprintf("%s|%t", cfg.Scheduler, globalsFirst)
 	reuseQueues := ws != nil && ws.queueKey == queueKey && len(ws.queues) == cfg.Nodes
-	if ws != nil && !reuseQueues {
-		ws.queues, ws.queueKey = make([]sched.Queue, 0, cfg.Nodes), queueKey
-	}
-	nodes := make([]*node.Node, cfg.Nodes)
-	for i := range nodes {
-		var q sched.Queue
-		if reuseQueues {
-			q = ws.queues[i]
+	var queues []sched.Queue
+	if reuseQueues {
+		queues = ws.queues
+		for _, q := range queues {
 			q.(sched.Resetter).Reset()
-		} else {
-			q, err = sched.New(cfg.Scheduler, globalsFirst)
+		}
+	} else {
+		queues = make([]sched.Queue, 0, cfg.Nodes)
+		for i := 0; i < cfg.Nodes; i++ {
+			q, err := sched.New(cfg.Scheduler, globalsFirst)
 			if err != nil {
 				return nil, err
 			}
-			if ws != nil {
-				ws.queues = append(ws.queues, q)
-			}
+			// Pre-size each ready queue to its expected working depth,
+			// so first-replication warm-up growth does not scale with
+			// the node count.
+			q.(sched.Grower).Grow(initialQueueDepth)
+			queues = append(queues, q)
 		}
-		n, err := node.New(node.Config{
-			ID:         i,
-			Engine:     eng,
-			Queue:      q,
-			Policy:     cfg.tardyPolicy(),
-			Preemptive: cfg.Preemptive,
-			OnDone:     onTaskDone,
-			OnAbort:    onTaskAbort,
-			Observer:   observer,
-		})
-		if err != nil {
-			return nil, err
+		if ws != nil {
+			ws.queues, ws.queueKey = queues, queueKey
 		}
-		nodes[i] = n
 	}
+	// All per-node server state lives in one contiguous group, reused
+	// across a workspace's replications.
+	group := &node.Group{}
+	if ws != nil {
+		if ws.group == nil {
+			ws.group = group
+		}
+		group = ws.group
+	}
+	if err := group.Configure(node.GroupConfig{
+		Engine:     eng,
+		Queues:     queues,
+		Policy:     cfg.tardyPolicy(),
+		Preemptive: cfg.Preemptive,
+		OnDone:     onTaskDone,
+		OnAbort:    onTaskAbort,
+		Observer:   observer,
+	}); err != nil {
+		return nil, err
+	}
+	nodes := group.Nodes()
 
 	mgr, err = procmgr.New(procmgr.Config{
 		Engine:   eng,
