@@ -1,0 +1,64 @@
+// Package cliflags holds the flag plumbing shared by the simulation
+// CLIs (cmd/sdasim, cmd/sdascn): the worker-pool bound, the event-queue
+// selector, the topology override, and the profiling switches — one
+// registration, one validation, one profiling starter, instead of each
+// command repeating them.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/profiling"
+	"repro/internal/sim"
+)
+
+// Common carries the shared flag values after parsing.
+type Common struct {
+	// Parallel is the worker-pool bound (-parallel): 0 = all cores,
+	// 1 = sequential. Results are identical at every setting.
+	Parallel int
+	// Queue names the event-queue implementation (-queue): "" or
+	// "auto", "heap", "ladder". Results are byte-identical across kinds.
+	Queue string
+	// Nodes overrides the node count k (-nodes); 0 keeps the default.
+	Nodes int
+	// CPUProfile and MemProfile are the profiling output paths.
+	CPUProfile, MemProfile string
+}
+
+// Register installs the shared flags on fs and returns the value
+// holder; read it after fs.Parse.
+func Register(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	fs.IntVar(&c.Parallel, "parallel", 0,
+		"worker-pool size: 0 = all cores, 1 = sequential (results are identical either way)")
+	fs.StringVar(&c.Queue, "queue", "",
+		"event-queue implementation: auto (default; heap, ladder-promoted at scale), heap, or ladder — results are byte-identical, only speed differs")
+	fs.IntVar(&c.Nodes, "nodes", 0,
+		"override the node count k for every replication (default: the run's own setting, Table 1: 6)")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "",
+		"write a CPU profile of the run to this file (inspect with `go tool pprof`)")
+	fs.StringVar(&c.MemProfile, "memprofile", "",
+		"write an allocation profile taken at exit to this file")
+	return c
+}
+
+// QueueKind validates and parses the -queue flag.
+func (c *Common) QueueKind() (sim.QueueKind, error) {
+	return sim.ParseQueueKind(c.Queue)
+}
+
+// ValidateNodes rejects a negative -nodes override.
+func (c *Common) ValidateNodes() error {
+	if c.Nodes < 0 {
+		return fmt.Errorf("-nodes %d, want > 0 (or omit for the default)", c.Nodes)
+	}
+	return nil
+}
+
+// StartProfiling starts the requested profiles and returns the stop
+// function to defer.
+func (c *Common) StartProfiling() (func(), error) {
+	return profiling.Start(c.CPUProfile, c.MemProfile)
+}

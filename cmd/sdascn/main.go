@@ -9,6 +9,7 @@
 //	sdascn -preset burst                        # built-in 3x overload burst
 //	sdascn -spec storm.json -reps 8 -parallel 8
 //	sdascn -preset outage -ssp EQF -psp DIV-1 -load 0.7 -out series.csv
+//	sdascn -preset churn -nodes 1024 -churn-rate 2   # generated per-node faults
 //
 // The spec file is JSON:
 //
@@ -27,12 +28,20 @@
 //	  "demand": {"dist": "pareto", "alpha": 2.5}
 //	}
 //
-// Replications fan out across cores (-parallel: 0 = all cores, 1 =
-// sequential); the merged CSV is byte-identical at every worker count,
-// which the CI determinism job asserts.
+// The churn preset is generated rather than hand-written: every node
+// gets its own Poisson fault schedule (-churn-rate faults per node on
+// average across the run, a -churn-slow fraction of them slowdowns), so
+// 1024-node churn runs need no 1024-entry spec file. The schedule is a
+// pure function of (-nodes, -seed, churn flags).
+//
+// The run executes through a repro.Session; replications fan out across
+// cores (-parallel: 0 = all cores, 1 = sequential) and the merged CSV is
+// byte-identical at every worker count, which the CI determinism job
+// asserts.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -40,8 +49,7 @@ import (
 	"strings"
 
 	"repro"
-	"repro/internal/profiling"
-	"repro/internal/sim"
+	"repro/cmd/internal/cliflags"
 )
 
 func main() {
@@ -51,31 +59,33 @@ func main() {
 	}
 }
 
+// churnPreset is the generated preset name handled outside the static
+// preset table.
+const churnPreset = "churn"
+
 func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("sdascn", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		list     = fs.Bool("list", false, "list built-in scenario presets and exit")
-		specPath = fs.String("spec", "", "path to a JSON scenario spec")
-		preset   = fs.String("preset", "", "built-in scenario name (see -list)")
-		horizon  = fs.Float64("horizon", 50000, "simulated time units per replication")
-		reps     = fs.Int("reps", 2, "independent replications to merge")
-		seed     = fs.Uint64("seed", 1, "base random seed (replication i uses seed+i)")
-		parallel = fs.Int("parallel", 0, "worker-pool size: 0 = all cores, 1 = sequential (output is identical either way)")
-		load     = fs.Float64("load", 0, "nominal system load (default: Table 1's 0.5)")
-		nodes    = fs.Int("nodes", 0, "node count k (default: Table 1's 6); scenarios whose fault events target node ids >= k are rejected")
-		queue    = fs.String("queue", "", "event-queue implementation: auto (default; heap, ladder-promoted at scale), heap, or ladder — output is byte-identical, only speed differs")
-		ssp      = fs.String("ssp", "", "serial strategy: UD, ED, EQS, EQF, ... (default UD)")
-		psp      = fs.String("psp", "", "parallel strategy: UD, DIV-<x>, GF, ... (default UD)")
-		outPath  = fs.String("out", "", "write the CSV here instead of stdout")
-		quiet    = fs.Bool("quiet", false, "suppress the summary line on stderr")
-		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
-		memProf  = fs.String("memprofile", "", "write an allocation profile taken at exit to this file")
+		list      = fs.Bool("list", false, "list built-in scenario presets and exit")
+		specPath  = fs.String("spec", "", "path to a JSON scenario spec")
+		preset    = fs.String("preset", "", "built-in scenario name (see -list)")
+		horizon   = fs.Float64("horizon", 50000, "simulated time units per replication")
+		reps      = fs.Int("reps", 2, "independent replications to merge")
+		seed      = fs.Uint64("seed", 1, "base random seed (replication i uses seed+i; also seeds -preset churn)")
+		load      = fs.Float64("load", 0, "nominal system load (default: Table 1's 0.5)")
+		ssp       = fs.String("ssp", "", "serial strategy: UD, ED, EQS, EQF, ... (default UD)")
+		psp       = fs.String("psp", "", "parallel strategy: UD, DIV-<x>, GF, ... (default UD)")
+		churnRate = fs.Float64("churn-rate", 2, "churn preset: mean faults per node across the run")
+		churnSlow = fs.Float64("churn-slow", 0.25, "churn preset: fraction of faults that are slowdowns instead of outages")
+		outPath   = fs.String("out", "", "write the CSV here instead of stdout")
+		quiet     = fs.Bool("quiet", false, "suppress the summary line on stderr")
+		common    = cliflags.Register(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	stopProf, err := common.StartProfiling()
 	if err != nil {
 		return err
 	}
@@ -85,6 +95,8 @@ func run(args []string, out, errOut io.Writer) error {
 		for _, line := range repro.ScenarioPresets() {
 			fmt.Fprintln(out, line)
 		}
+		fmt.Fprintf(out, "%-10s %s\n", churnPreset,
+			"generated per-node fault schedules (uses -nodes, -seed, -churn-rate, -churn-slow)")
 		return nil
 	}
 	if (*specPath == "") == (*preset == "") {
@@ -94,35 +106,22 @@ func run(args []string, out, errOut io.Writer) error {
 	if *horizon <= 0 {
 		return fmt.Errorf("-horizon %v, want > 0", *horizon)
 	}
-
-	var sc *repro.Scenario
-	if *specPath != "" {
-		data, rerr := os.ReadFile(*specPath)
-		if rerr != nil {
-			return rerr
-		}
-		sc, err = repro.ParseScenario(data)
-	} else {
-		sc, err = repro.ScenarioPreset(*preset, *horizon)
-	}
+	queueKind, err := common.QueueKind()
 	if err != nil {
 		return err
 	}
-
-	queueKind, err := sim.ParseQueueKind(*queue)
-	if err != nil {
+	if err := common.ValidateNodes(); err != nil {
 		return err
 	}
 
 	cfg := repro.BaselineConfig()
 	cfg.Horizon = *horizon
 	cfg.Seed = *seed
-	cfg.EventQueue = queueKind
 	if *load > 0 {
 		cfg.Load = *load
 	}
-	if *nodes > 0 {
-		cfg.Nodes = *nodes
+	if common.Nodes > 0 {
+		cfg.Nodes = common.Nodes
 	}
 	if *ssp != "" {
 		cfg.SSP = *ssp
@@ -131,7 +130,27 @@ func run(args []string, out, errOut io.Writer) error {
 		cfg.PSP = *psp
 	}
 
-	res, err := repro.RunScenario(cfg, sc, *reps, *parallel)
+	var sc *repro.Scenario
+	switch {
+	case *specPath != "":
+		data, rerr := os.ReadFile(*specPath)
+		if rerr != nil {
+			return rerr
+		}
+		sc, err = repro.ParseScenario(data)
+	case *preset == churnPreset:
+		sc, err = repro.ChurnScenario(cfg.Nodes, *churnRate, *horizon,
+			repro.ChurnOptions{Seed: *seed, SlowdownFrac: *churnSlow})
+	default:
+		sc, err = repro.ScenarioPreset(*preset, *horizon)
+	}
+	if err != nil {
+		return err
+	}
+
+	sess := repro.NewSession(repro.WithParallelism(common.Parallel), repro.WithEventQueue(queueKind))
+	defer sess.Close()
+	res, err := sess.RunScenario(context.Background(), cfg, sc, *reps)
 	if err != nil {
 		return err
 	}

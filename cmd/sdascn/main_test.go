@@ -158,3 +158,43 @@ func TestErrors(t *testing.T) {
 		})
 	}
 }
+
+// TestChurnPresetGeneratesAndRuns: the generated churn preset runs
+// end-to-end, is listed, deterministic for one seed, and different for
+// another.
+func TestChurnPreset(t *testing.T) {
+	list, _, err := runCmd(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(list, "churn") {
+		t.Fatalf("-list missing churn preset:\n%s", list)
+	}
+	out1, errOut, err := runCmd(t, "-preset", "churn", "-horizon", "3000",
+		"-reps", "2", "-nodes", "16", "-churn-rate", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out1, "t_start,t_end,") {
+		t.Fatalf("churn preset emitted no CSV:\n%s", out1)
+	}
+	if !strings.Contains(errOut, "churn-16") {
+		t.Errorf("summary line missing generated scenario name:\n%s", errOut)
+	}
+	out2, _, err := runCmd(t, "-preset", "churn", "-horizon", "3000",
+		"-reps", "2", "-nodes", "16", "-churn-rate", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1 != out2 {
+		t.Error("churn preset is not deterministic for one seed")
+	}
+	out3, _, err := runCmd(t, "-preset", "churn", "-horizon", "3000",
+		"-reps", "2", "-nodes", "16", "-churn-rate", "3", "-seed", "9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1 == out3 {
+		t.Error("churn preset ignored the seed")
+	}
+}

@@ -11,8 +11,10 @@
 //	sdasim -exp abl-hot -nodes 1024         # scale the topology
 //	sdasim -exp fig2b -queue ladder         # pin an event queue
 //
-// Sweeps fan their (curve, data-point) cells out across cores; -parallel
-// bounds the worker pool (0 = GOMAXPROCS, 1 = sequential). Results are
+// Every experiment runs through one repro.Session, so consecutive
+// experiments share warm per-worker workspaces. Sweeps fan their
+// (curve, data-point) cells out across cores; -parallel bounds the
+// worker pool (0 = GOMAXPROCS, 1 = sequential). Results are
 // bit-identical regardless of parallelism: each replication derives its
 // own RNG substreams from its seed.
 //
@@ -28,6 +30,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -36,9 +39,9 @@ import (
 	"strings"
 	"time"
 
+	"repro"
+	"repro/cmd/internal/cliflags"
 	"repro/internal/experiment"
-	"repro/internal/profiling"
-	"repro/internal/sim"
 )
 
 func main() {
@@ -51,26 +54,23 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sdasim", flag.ContinueOnError)
 	var (
-		list     = fs.Bool("list", false, "list experiments and exit")
-		expID    = fs.String("exp", "", "experiment id, or 'all'")
-		horizon  = fs.Float64("horizon", 0, "simulated time units per replication (default 50000; paper: 1e6)")
-		reps     = fs.Int("reps", 0, "replications per data point (default 2)")
-		seed     = fs.Uint64("seed", 0, "base random seed (default 1)")
-		target   = fs.Float64("targetci", 0, "add replications (up to -maxreps) until every 95% half-width is at or below this many percentage points (paper protocol: 0.35); 0 disables")
-		maxReps  = fs.Int("maxreps", 0, "replication cap for -targetci (default 10)")
-		parallel = fs.Int("parallel", 0, "worker-pool size for sweep cells: 0 = all cores, 1 = sequential (results are identical either way)")
-		nodes    = fs.Int("nodes", 0, "override the node count k for every replication (default: each experiment's setting, Table 1: 6); experiments that pin node-dependent parameters reject incompatible overrides")
-		queue    = fs.String("queue", "", "event-queue implementation: auto (default; heap, ladder-promoted at scale), heap, or ladder — results are byte-identical, only speed differs")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		expID   = fs.String("exp", "", "experiment id, or 'all'")
+		horizon = fs.Float64("horizon", 0, "simulated time units per replication (default 50000; paper: 1e6)")
+		reps    = fs.Int("reps", 0, "replications per data point (default 2)")
+		seed    = fs.Uint64("seed", 0, "base random seed (default 1)")
+		target  = fs.Float64("targetci", 0, "add replications (up to -maxreps) until every 95% half-width is at or below this many percentage points (paper protocol: 0.35); 0 disables")
+		maxReps = fs.Int("maxreps", 0, "replication cap for -targetci (default 10)")
+		common  = cliflags.Register(fs)
+
 		progress = fs.Bool("progress", false, "print a per-experiment progress meter to stderr")
 		format   = fs.String("format", "table", "output format: table, chart, csv, json, or all")
 		outDir   = fs.String("out", "", "write per-experiment files to this directory instead of stdout")
-		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
-		memProf  = fs.String("memprofile", "", "write an allocation profile taken at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	stopProf, err := common.StartProfiling()
 	if err != nil {
 		return err
 	}
@@ -112,13 +112,18 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	queueKind, err := sim.ParseQueueKind(*queue)
+	queueKind, err := common.QueueKind()
 	if err != nil {
 		return err
 	}
-	if *nodes < 0 {
-		return fmt.Errorf("-nodes %d, want > 0 (or omit for the experiment default)", *nodes)
+	if err := common.ValidateNodes(); err != nil {
+		return err
 	}
+
+	// One session serves every experiment of the invocation: warm
+	// workspaces carry over between sweeps.
+	sess := repro.NewSession()
+	defer sess.Close()
 
 	opts := experiment.Options{
 		Horizon:     *horizon,
@@ -126,8 +131,8 @@ func run(args []string, out io.Writer) error {
 		Seed:        *seed,
 		TargetCI:    *target,
 		MaxReps:     *maxReps,
-		Parallelism: *parallel,
-		Nodes:       *nodes,
+		Parallelism: common.Parallel,
+		Nodes:       common.Nodes,
 		EventQueue:  queueKind,
 	}
 	for _, e := range exps {
@@ -135,7 +140,7 @@ func run(args []string, out io.Writer) error {
 			opts.Progress = experiment.ProgressPrinter(os.Stderr, e.ID)
 		}
 		started := time.Now()
-		res, err := e.Run(opts)
+		res, err := sess.Experiment(context.Background(), e.ID, opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}

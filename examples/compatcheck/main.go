@@ -1,0 +1,125 @@
+// Compatcheck builds against every deprecated free function of the
+// pre-Session API and verifies each one still emits byte-identical
+// results to its Session replacement. CI runs it as the API-compat job:
+// if a facade change breaks a deprecated wrapper — its signature or its
+// output — this program fails to compile or exits non-zero.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compatcheck: every deprecated wrapper matches its Session replacement byte for byte")
+}
+
+func run() error {
+	sess := repro.NewSession()
+	defer sess.Close()
+	ctx := context.Background()
+
+	// Simulate == Session.Run (1 rep).
+	cfg := repro.BaselineConfig()
+	cfg.Horizon = 3000
+	old, err := repro.Simulate(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := sess.Run(ctx, repro.Job{Config: cfg})
+	if err != nil {
+		return err
+	}
+	if err := sameMetrics("Simulate", old, res.Runs[0]); err != nil {
+		return err
+	}
+
+	// SimulateReplications(Parallel) == Session.Run (N reps).
+	repOld, err := repro.SimulateReplicationsParallel(cfg, 3, 2)
+	if err != nil {
+		return err
+	}
+	repNew, err := sess.Run(ctx, repro.Job{Config: cfg, Reps: 3}, repro.WithParallelism(2))
+	if err != nil {
+		return err
+	}
+	if len(repOld.Runs) != len(repNew.Runs) {
+		return fmt.Errorf("SimulateReplicationsParallel: %d runs vs %d", len(repOld.Runs), len(repNew.Runs))
+	}
+	for i := range repOld.Runs {
+		if err := sameMetrics(fmt.Sprintf("SimulateReplicationsParallel[%d]", i),
+			repOld.Runs[i], repNew.Runs[i]); err != nil {
+			return err
+		}
+	}
+	if repOld.LocalMD != repNew.LocalMD || repOld.GlobalMD != repNew.GlobalMD {
+		return fmt.Errorf("SimulateReplicationsParallel: estimates diverged")
+	}
+
+	// RunScenario == Session.RunScenario, compared as CSV bytes.
+	sc, err := repro.ScenarioPreset("burst", cfg.Horizon)
+	if err != nil {
+		return err
+	}
+	scOld, err := repro.RunScenario(cfg, sc, 3, 2)
+	if err != nil {
+		return err
+	}
+	scNew, err := sess.RunScenario(ctx, cfg, sc, 3, repro.WithParallelism(2))
+	if err != nil {
+		return err
+	}
+	oldCSV, err := seriesCSV(scOld)
+	if err != nil {
+		return err
+	}
+	newCSV, err := seriesCSV(scNew)
+	if err != nil {
+		return err
+	}
+	if oldCSV != newCSV {
+		return fmt.Errorf("RunScenario: merged series CSV diverged from Session.RunScenario")
+	}
+
+	// RunExperiment == Session.Experiment, compared as rendered CSV.
+	expOpts := repro.ExperimentOptions{Horizon: 1000, Reps: 2}
+	expOld, err := repro.RunExperiment("fig2b", expOpts)
+	if err != nil {
+		return err
+	}
+	expNew, err := sess.Experiment(ctx, "fig2b", expOpts)
+	if err != nil {
+		return err
+	}
+	if repro.RenderCSV(expOld.Figure) != repro.RenderCSV(expNew.Figure) {
+		return fmt.Errorf("RunExperiment: rendered CSV diverged from Session.Experiment")
+	}
+	return nil
+}
+
+func sameMetrics(label string, a, b *repro.SimMetrics) error {
+	sig := func(m *repro.SimMetrics) string {
+		return fmt.Sprintf("%d %d %d %d %v %v %v %v",
+			m.LocalGenerated, m.LocalDone, m.GlobalGenerated, m.GlobalDone,
+			m.MDLocal(), m.MDGlobal(), m.LocalResponse.Mean(), m.GlobalResponse.Mean())
+	}
+	if sig(a) != sig(b) {
+		return fmt.Errorf("%s: %s vs %s", label, sig(a), sig(b))
+	}
+	return nil
+}
+
+func seriesCSV(res *repro.ScenarioResult) (string, error) {
+	var b strings.Builder
+	if err := res.Series.WriteCSV(&b); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

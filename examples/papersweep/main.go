@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -18,6 +19,10 @@ func main() {
 }
 
 func run() error {
+	// Experiments run through a Session: warm per-worker workspaces
+	// persist across every sweep issued on it.
+	sess := repro.NewSession()
+	defer sess.Close()
 	opts := repro.ExperimentOptions{
 		Horizon:     40000, // paper: 1,000,000; the shape is stable far below that
 		Reps:        2,
@@ -25,7 +30,7 @@ func run() error {
 		Parallelism: 0, // all cores; the result is identical at any setting
 		Progress:    repro.ProgressPrinter(os.Stderr, "fig2b"),
 	}
-	res, err := repro.RunExperiment("fig2b", opts)
+	res, err := sess.Experiment(context.Background(), "fig2b", opts)
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -30,15 +31,21 @@ func run() error {
 	fmt.Println("(PSP baseline: slack U[1.25,5.0], load 0.5, EDF at every replica)")
 	fmt.Println()
 
+	// One session runs all four strategies; after the first run the
+	// workspace is warm, so the remaining runs re-create no per-node
+	// setup objects.
+	sess := repro.NewSession(repro.WithParallelism(1))
+	defer sess.Close()
 	fmt.Printf("%-8s %16s %16s\n", "strategy", "query miss (%)", "local miss (%)")
 	for _, psp := range []string{"UD", "DIV-1", "DIV-2", "GF"} {
 		cfg := repro.PSPBaselineConfig()
 		cfg.PSP = psp
 		cfg.Horizon = 40000
-		m, err := repro.Simulate(cfg)
+		res, err := sess.Run(context.Background(), repro.Job{Config: cfg})
 		if err != nil {
 			return err
 		}
+		m := res.Runs[0]
 		fmt.Printf("%-8s %16.2f %16.2f\n", psp, m.MDGlobal(), m.MDLocal())
 	}
 	fmt.Println("\nUD: queries are second-class citizens. DIV-1 equalizes the classes;")

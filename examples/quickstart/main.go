@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,16 +54,20 @@ func run() error {
 		fmt.Printf("  %-8s deadline %5.2f\n", p.Leaf.Name, p.Deadline)
 	}
 
-	// One baseline simulation run (Table 1) comparing the two.
+	// One baseline simulation run (Table 1) comparing the two, through
+	// the Session run API.
+	sess := repro.NewSession()
+	defer sess.Close()
 	fmt.Println("\nBaseline simulation (load 0.5, k=6, m=4 serial subtasks):")
 	for _, ssp := range []string{"UD", "EQF"} {
 		cfg := repro.BaselineConfig()
 		cfg.SSP = ssp
 		cfg.Horizon = 30000
-		m, err := repro.Simulate(cfg)
+		res, err := sess.Run(context.Background(), repro.Job{Config: cfg})
 		if err != nil {
 			return err
 		}
+		m := res.Runs[0]
 		fmt.Printf("  SSP=%-4s  missed deadlines: local %5.2f%%  global %5.2f%%\n",
 			ssp, m.MDLocal(), m.MDGlobal())
 	}

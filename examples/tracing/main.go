@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,9 +28,12 @@ func run() error {
 	cfg.SSP = "UD"
 	cfg.Horizon = 2000
 	rec := repro.NewTraceRecorder(0) // unbounded: short horizon
-	cfg.Trace = rec
 
-	if _, err := repro.Simulate(cfg); err != nil {
+	// WithTrace attaches the recorder; a shared recorder forces the
+	// sequential path, so the event order is deterministic.
+	sess := repro.NewSession()
+	defer sess.Close()
+	if _, err := sess.Run(context.Background(), repro.Job{Config: cfg}, repro.WithTrace(rec)); err != nil {
 		return err
 	}
 	events := rec.Events()

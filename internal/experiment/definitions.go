@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/runner"
 	"repro/internal/sched"
+	"repro/internal/session"
 	"repro/internal/stats"
 	"repro/internal/system"
 	"repro/internal/workload"
@@ -78,31 +79,38 @@ func diagStagesExp() Experiment {
 				ID: "diag-stages", Title: "Per-stage virtual-deadline misses (load 0.5, m=4)",
 				XLabel: "stage (1-based)", YLabel: "virtual-deadline misses (%)",
 			}
-			// Fan the (ssp, rep) runs out like sweep does, then merge in
-			// rep order so the aggregates stay bit-identical to the
-			// sequential path.
+			// One session Job per SSP strategy, the jobs themselves fanned
+			// out like sweep cells (so all ssps*Reps replications can run
+			// concurrently, as before the session port); results are
+			// merged in rep order so the aggregates stay bit-identical to
+			// the sequential path.
 			ssps := []string{"UD", "ED", "EQF"}
 			runs := make([][]*system.Metrics, len(ssps))
-			for i := range runs {
-				runs[i] = make([]*system.Metrics, o.Reps)
-			}
 			total := len(ssps) * o.Reps
+			sess, release := o.session()
+			defer release()
 			var done atomic.Int64
-			err := runner.New(o.Parallelism).Run(total, func(u int) error {
-				si, rep := u/o.Reps, u%o.Reps
+			_, err := runner.New(o.Parallelism).RunWorkersContext(o.ctx(), len(ssps), func(_, si int) error {
 				cfg := system.Baseline()
-				o.applyTo(&cfg, rep)
+				o.applyTo(&cfg, 0)
 				cfg.SSP = ssps[si]
-				m, err := system.Run(cfg)
+				opts := []session.Option{session.WithParallelism(o.Parallelism)}
+				if o.Progress != nil {
+					progress := o.Progress
+					opts = append(opts, session.WithProgress(func(_, _ int) {
+						progress(int(done.Add(1)), total)
+					}))
+				}
+				res, err := sess.Run(o.ctx(), session.Job{Config: cfg, Reps: o.Reps}, opts...)
 				if err != nil {
 					return err
 				}
-				runs[si][rep] = m
-				if o.Progress != nil {
-					o.Progress(int(done.Add(1)), total)
-				}
+				runs[si] = res.Runs
 				return nil
 			})
+			if err == nil {
+				err = o.ctx().Err()
+			}
 			if err != nil {
 				return nil, err
 			}

@@ -6,11 +6,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
 
 	"repro/internal/runner"
+	"repro/internal/session"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/system"
@@ -59,6 +61,36 @@ type Options struct {
 	// "" or "auto" (heap, ladder-promoted at scale), "heap", "ladder".
 	// Results are byte-identical across kinds.
 	EventQueue sim.QueueKind
+	// Context, when non-nil, bounds the run: once it is cancelled no new
+	// sweep cell or replication starts and the experiment returns the
+	// context's error. Experiments report whole figures only — a
+	// cancelled sweep is an error, not a partial artifact (use the
+	// session API directly for seed-prefix partial results).
+	Context context.Context
+	// Session, when non-nil, supplies the warm-workspace run layer the
+	// sweep's replication cells execute on, so consecutive experiments
+	// issued through one session reuse engines, pools, queues and
+	// workload sources. Nil uses a run-private session. Results are
+	// bit-identical either way.
+	Session *session.Session
+}
+
+// ctx returns the bounding context.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+// session returns the run session plus a release function for the
+// private-session case.
+func (o Options) session() (*session.Session, func()) {
+	if o.Session != nil {
+		return o.Session, func() {}
+	}
+	s := session.New()
+	return s, func() { s.Close() }
 }
 
 // applyTo writes the option overrides shared by every experiment into a
@@ -162,10 +194,15 @@ func bothClasses(name string, configure func(*system.Config)) variant {
 // each derives its own seed substreams and owns its run slice — so they
 // fan out across o.Parallelism workers; the figure is assembled from the
 // per-cell results in sweep order afterwards, which keeps the output
-// bit-identical to the sequential path.
+// bit-identical to the sequential path. Each cell's replications execute
+// as one session Job on the shared warm-workspace session, and the cell
+// fan-out is context-bounded: cancellation stops new cells and fails the
+// sweep with the context's error.
 func sweep(o Options, fig *stats.Figure, base func() system.Config,
 	xs []float64, setX func(*system.Config, float64), variants []variant) (*stats.Figure, error) {
 	o = o.withDefaults()
+	sess, release := o.session()
+	defer release()
 
 	for _, v := range variants {
 		for _, c := range v.curves {
@@ -186,8 +223,8 @@ func sweep(o Options, fig *stats.Figure, base func() system.Config,
 	}
 	results := make([][]*system.Metrics, len(cells))
 	var done atomic.Int64
-	err := runner.New(o.Parallelism).Run(len(cells), func(ci int) error {
-		runs, err := runCell(o, fig.ID, base, cells[ci].x, setX, cells[ci].v)
+	_, err := runner.New(o.Parallelism).RunWorkersContext(o.ctx(), len(cells), func(_, ci int) error {
+		runs, err := runCell(o.ctx(), sess, o, fig.ID, base, cells[ci].x, setX, cells[ci].v)
 		if err != nil {
 			return err
 		}
@@ -197,6 +234,9 @@ func sweep(o Options, fig *stats.Figure, base func() system.Config,
 		}
 		return nil
 	})
+	if err == nil {
+		err = o.ctx().Err() // a cancelled sweep is an error, not a partial figure
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -226,29 +266,30 @@ func sweep(o Options, fig *stats.Figure, base func() system.Config,
 }
 
 // runCell executes one (x, variant) cell: the initial o.Reps replications
-// plus the adaptive TargetCI loop. It touches no state outside its own
-// run slice, so distinct cells may execute concurrently.
-func runCell(o Options, figID string, base func() system.Config,
-	x float64, setX func(*system.Config, float64), v variant) ([]*system.Metrics, error) {
-	var runs []*system.Metrics
-	runOne := func(rep int) error {
+// plus the adaptive TargetCI loop, all as session Jobs (one job for the
+// initial batch, one single-replication job per adaptive extension; a
+// job's replication i runs with seed Config.Seed + i, which is exactly
+// the pre-session per-rep seed derivation). It touches no state outside
+// its own run slice, so distinct cells may execute concurrently; the
+// session's workspace pool hands each a private warm workspace.
+func runCell(ctx context.Context, sess *session.Session, o Options, figID string,
+	base func() system.Config, x float64, setX func(*system.Config, float64), v variant) ([]*system.Metrics, error) {
+	job := func(firstRep, reps int) ([]*system.Metrics, error) {
 		cfg := base()
-		o.applyTo(&cfg, rep)
+		o.applyTo(&cfg, firstRep)
 		setX(&cfg, x)
 		if v.configure != nil {
 			v.configure(&cfg)
 		}
-		m, err := system.Run(cfg)
+		res, err := sess.Run(ctx, session.Job{Config: cfg, Reps: reps}, session.WithParallelism(1))
 		if err != nil {
-			return fmt.Errorf("experiment %s: x=%v: %w", figID, x, err)
+			return nil, fmt.Errorf("experiment %s: x=%v: %w", figID, x, err)
 		}
-		runs = append(runs, m)
-		return nil
+		return res.Runs, nil
 	}
-	for rep := 0; rep < o.Reps; rep++ {
-		if err := runOne(rep); err != nil {
-			return nil, err
-		}
+	runs, err := job(0, o.Reps)
+	if err != nil {
+		return nil, err
 	}
 	// Adaptive replication: keep adding seeds until every curve of this
 	// variant meets the target half-width (the paper reports ±0.35 pp
@@ -264,9 +305,11 @@ func runCell(o Options, figID string, base func() system.Config,
 		if worst <= o.TargetCI {
 			break
 		}
-		if err := runOne(len(runs)); err != nil {
+		more, err := job(len(runs), 1)
+		if err != nil {
 			return nil, err
 		}
+		runs = append(runs, more...)
 	}
 	return runs, nil
 }

@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/scenario"
+	"repro/internal/session"
 	"repro/internal/stats"
 	"repro/internal/system"
 )
@@ -26,33 +28,45 @@ type ScenarioResult struct {
 }
 
 // RunScenario executes reps independent replications of cfg under the
-// scenario with seeds Seed, Seed+1, ... on the PR-1 worker pool
-// (parallelism <= 0 uses GOMAXPROCS, 1 forces the sequential path) and
-// merges the per-window time series across replications. The fan-out is
-// system.RunReplicationsParallel — same seed derivation, same
-// trace-forces-sequential rule — so every replication owns its RNG
+// scenario with seeds Seed, Seed+1, ... (parallelism <= 0 uses
+// GOMAXPROCS, 1 forces the sequential path) and merges the per-window
+// time series across replications. It delegates to the session layer —
+// same seed derivation, same trace-forces-sequential rule as the
+// pre-session implementation — so every replication owns its RNG
 // substreams and the seed-order merge makes the result, including the
 // merged series' CSV bytes, identical at every parallelism level.
 func RunScenario(cfg system.Config, sc *scenario.Scenario, reps, parallelism int) (*ScenarioResult, error) {
+	return RunScenarioWith(context.Background(), nil, cfg, sc, reps,
+		session.WithParallelism(parallelism))
+}
+
+// RunScenarioWith is RunScenario on an existing session under ctx with
+// arbitrary run options; a nil session uses a run-private one.
+// Cancellation fails the run with ctx's error — callers that want
+// seed-prefix partial results should run the scenario Job through the
+// session API directly. This is the one implementation behind
+// repro.RunScenario, repro.Session.RunScenario, and the scenario CLI.
+func RunScenarioWith(ctx context.Context, sess *session.Session,
+	cfg system.Config, sc *scenario.Scenario, reps int, opts ...session.Option) (*ScenarioResult, error) {
 	if sc == nil {
 		return nil, fmt.Errorf("experiment: RunScenario with nil scenario")
 	}
-	cfg.Scenario = sc
-	rep, err := system.RunReplicationsParallel(cfg, reps, parallelism)
+	if reps <= 0 {
+		return nil, fmt.Errorf("experiment: reps = %d, want > 0", reps)
+	}
+	if sess == nil {
+		sess = session.New()
+		defer sess.Close()
+	}
+	res, err := sess.Run(ctx, session.Job{Config: cfg, Scenario: sc, Reps: reps}, opts...)
 	if err != nil {
 		return nil, err
 	}
-	out := &ScenarioResult{
+	return &ScenarioResult{
 		Scenario: sc,
-		Runs:     rep.Runs,
-		LocalMD:  rep.LocalMD,
-		GlobalMD: rep.GlobalMD,
-	}
-	out.Series = rep.Runs[0].Series.Clone()
-	for _, m := range rep.Runs[1:] {
-		if err := out.Series.Merge(m.Series); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+		Series:   res.Series,
+		Runs:     res.Runs,
+		LocalMD:  res.LocalMD,
+		GlobalMD: res.GlobalMD,
+	}, nil
 }

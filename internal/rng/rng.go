@@ -34,11 +34,36 @@ func New(seed uint64) *Source {
 // all practical purposes; the same (seed, label) pair always produces the
 // same stream.
 func NewStream(seed uint64, label string) *Source {
-	h := fnv64a(label)
+	var src Source
+	src.ReseedStream(seed, StreamHash(label))
+	return &src
+}
+
+// StreamHash returns the label hash NewStream mixes into the seed. The
+// hash depends only on the label, so callers that reseed the same stream
+// every run (a warm simulation workspace) can compute it once and avoid
+// re-formatting and re-hashing the label per run.
+func StreamHash(label string) uint64 { return fnv64a(label) }
+
+// Reseed re-derives the source's state from seed in place, exactly as
+// New(seed) would, without allocating. The source must not be shared with
+// another goroutine while reseeding.
+func (r *Source) Reseed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		sm, r.s[i] = splitMix64(sm)
+	}
+}
+
+// ReseedStream re-derives the substream state for (seed, hash) in place,
+// producing exactly the sequence of NewStream(seed, label) for
+// hash = StreamHash(label). It lets a reused Source take on a new
+// replication's seed without a fresh allocation.
+func (r *Source) ReseedStream(seed, hash uint64) {
 	// Mix the label hash into the seed before expanding the state so that
 	// streams do not share any prefix of the SplitMix64 sequence.
-	mixed, _ := splitMix64(seed ^ h)
-	return New(mixed ^ h)
+	mixed, _ := splitMix64(seed ^ hash)
+	r.Reseed(mixed ^ hash)
 }
 
 // Uint64 returns the next 64-bit value from the xoshiro256** sequence.

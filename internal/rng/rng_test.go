@@ -352,3 +352,44 @@ func BenchmarkExponential(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestReseedMatchesNew pins the in-place reseeding contract: a reused
+// Source reseeded for a new run must produce exactly the sequence a
+// freshly constructed one would.
+func TestReseedMatchesNew(t *testing.T) {
+	reused := New(1)
+	for i := 0; i < 17; i++ {
+		reused.Uint64() // desync the state from any fresh source
+	}
+	for _, seed := range []uint64{0, 1, 42, 1 << 60} {
+		reused.Reseed(seed)
+		fresh := New(seed)
+		for i := 0; i < 64; i++ {
+			if got, want := reused.Uint64(), fresh.Uint64(); got != want {
+				t.Fatalf("seed %d draw %d: Reseed gave %d, New gave %d", seed, i, got, want)
+			}
+		}
+	}
+}
+
+// TestReseedStreamMatchesNewStream pins the substream variant, including
+// the cached-hash path a warm workspace uses.
+func TestReseedStreamMatchesNewStream(t *testing.T) {
+	reused := New(9)
+	for _, tc := range []struct {
+		seed  uint64
+		label string
+	}{
+		{1, "global"}, {1, "local-0"}, {7, "local-63"}, {1 << 40, "churn-node-1023"},
+	} {
+		h := StreamHash(tc.label)
+		reused.ReseedStream(tc.seed, h)
+		fresh := NewStream(tc.seed, tc.label)
+		for i := 0; i < 64; i++ {
+			if got, want := reused.Uint64(), fresh.Uint64(); got != want {
+				t.Fatalf("(%d,%q) draw %d: ReseedStream gave %d, NewStream gave %d",
+					tc.seed, tc.label, i, got, want)
+			}
+		}
+	}
+}

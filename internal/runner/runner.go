@@ -11,6 +11,7 @@
 package runner
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -56,26 +57,55 @@ func (r *Runner) Run(n int, fn func(i int) error) error {
 // workspace, a scratch buffer — handed out by worker index needs no
 // locking. Unit results must still not depend on which worker ran them.
 func (r *Runner) RunWorkers(n int, fn func(worker, unit int) error) error {
+	_, err := r.RunWorkersContext(context.Background(), n, fn)
+	return err
+}
+
+// RunWorkersContext is RunWorkers bounded by ctx. Workers claim unit
+// indices in ascending order and stop claiming once ctx is done; units
+// already claimed run to completion (a unit is never interrupted
+// mid-flight, so its result stays a pure function of its inputs). The
+// completed units therefore always form the exact prefix [0, completed),
+// which is what makes cancellation deterministic-safe for seed-ordered
+// batches: every finished unit's result is identical to the uncancelled
+// run's, and the only thing timing decides is how many there are.
+//
+// When ctx ends the run early, RunWorkersContext returns the prefix
+// length alongside ctx's error; if every unit finished before the
+// cancellation was observed it returns (n, nil). A unit error takes
+// precedence over cancellation and keeps RunWorkers' semantics — the
+// recorded error with the lowest unit index is returned and completed is
+// 0, because an errored batch has no usable prefix.
+func (r *Runner) RunWorkersContext(ctx context.Context, n int, fn func(worker, unit int) error) (completed int, err error) {
 	if n <= 0 {
-		return nil
+		return 0, nil
 	}
+	done := ctx.Done()
 	workers := r.workers
 	if workers > n {
 		workers = n
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return i, ctx.Err()
+				default:
+				}
+			}
 			if err := fn(0, i); err != nil {
-				return err
+				return 0, err
 			}
 		}
-		return nil
+		return n, nil
 	}
 
 	var (
-		next   atomic.Int64
-		failed atomic.Bool
-		wg     sync.WaitGroup
+		next      atomic.Int64
+		failed    atomic.Bool
+		cancelled atomic.Bool
+		wg        sync.WaitGroup
 
 		mu       sync.Mutex
 		firstIdx = -1
@@ -94,6 +124,14 @@ func (r *Runner) RunWorkers(n int, fn func(worker, unit int) error) error {
 		go func(worker int) {
 			defer wg.Done()
 			for !failed.Load() {
+				if done != nil {
+					select {
+					case <-done:
+						cancelled.Store(true)
+						return
+					default:
+					}
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -106,5 +144,17 @@ func (r *Runner) RunWorkers(n int, fn func(worker, unit int) error) error {
 		}(w)
 	}
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	claimed := int(next.Load())
+	if claimed >= n {
+		// Every unit was claimed (and, with no error, completed): the
+		// cancellation, if any, arrived too late to matter.
+		return n, nil
+	}
+	if cancelled.Load() {
+		return claimed, ctx.Err()
+	}
+	return claimed, nil
 }

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -137,5 +138,106 @@ func TestRunHammer(t *testing.T) {
 				t.Fatalf("round %d: results[%d] = %d, want %d", round, i, r, i*i)
 			}
 		}
+	}
+}
+
+// TestRunWorkersContextCancelPrefix pins the cancellation contract:
+// completed units form the exact prefix [0, completed) — no holes, no
+// unit past the prefix — because indices are claimed in order and
+// claimed units run to completion.
+func TestRunWorkersContextCancelPrefix(t *testing.T) {
+	const n = 200
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran [n]atomic.Bool
+	var fired atomic.Int64
+	completed, err := New(4).RunWorkersContext(ctx, n, func(_, i int) error {
+		if fired.Add(1) == 20 {
+			cancel() // cancel mid-batch, from inside a unit
+		}
+		time.Sleep(50 * time.Microsecond)
+		ran[i].Store(true)
+		return nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if completed <= 0 || completed >= n {
+		t.Fatalf("completed = %d, want a strict mid-batch prefix", completed)
+	}
+	for i := 0; i < completed; i++ {
+		if !ran[i].Load() {
+			t.Fatalf("unit %d inside the prefix did not run (completed = %d)", i, completed)
+		}
+	}
+	for i := completed; i < n; i++ {
+		if ran[i].Load() {
+			t.Fatalf("unit %d beyond the prefix ran (completed = %d)", i, completed)
+		}
+	}
+}
+
+// TestRunWorkersContextCancelSequential covers the workers == 1 path.
+func TestRunWorkersContextCancelSequential(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int
+	completed, err := New(1).RunWorkersContext(ctx, 100, func(_, i int) error {
+		ran++
+		if i == 6 {
+			cancel()
+		}
+		return nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if completed != 7 || ran != 7 {
+		t.Fatalf("completed = %d, ran = %d, want 7 (units 0..6)", completed, ran)
+	}
+}
+
+// TestRunWorkersContextPreCancelled runs nothing at all.
+func TestRunWorkersContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		completed, err := New(workers).RunWorkersContext(ctx, 50, func(_, i int) error {
+			t.Fatalf("workers=%d: unit %d ran under a pre-cancelled context", workers, i)
+			return nil
+		})
+		if completed != 0 || err != context.Canceled {
+			t.Fatalf("workers=%d: (%d, %v), want (0, context.Canceled)", workers, completed, err)
+		}
+	}
+}
+
+// TestRunWorkersContextLateCancelIsComplete: cancellation observed only
+// after every unit was claimed yields the full batch and a nil error.
+func TestRunWorkersContextLateCancelIsComplete(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	completed, err := New(8).RunWorkersContext(ctx, 64, func(_, i int) error { return nil })
+	if completed != 64 || err != nil {
+		t.Fatalf("(%d, %v), want (64, nil)", completed, err)
+	}
+}
+
+// TestRunWorkersContextUnitErrorWins: a unit failure reports the
+// lowest-index error exactly like RunWorkers, even when the context is
+// also cancelled.
+func TestRunWorkersContextUnitErrorWins(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	completed, err := New(4).RunWorkersContext(ctx, 100, func(_, i int) error {
+		if i == 3 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want the unit error", err)
+	}
+	if completed != 0 {
+		t.Fatalf("completed = %d, want 0 on unit failure", completed)
 	}
 }

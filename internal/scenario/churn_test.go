@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestChurnDeterministic: the generated schedule is a pure function of
+// its inputs.
+func TestChurnDeterministic(t *testing.T) {
+	a, err := ChurnSpec(32, 2, 10000, ChurnOptions{Seed: 7, SlowdownFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChurnSpec(32, 2, 10000, ChurnOptions{Seed: 7, SlowdownFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same inputs produced different churn schedules")
+	}
+	c, err := ChurnSpec(32, 2, 10000, ChurnOptions{Seed: 8, SlowdownFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical churn schedules")
+	}
+}
+
+// TestChurnCompilesAndValidates: the generated spec passes the same
+// validation as a hand-written one, at small and large node counts, and
+// its event population tracks nodes x rate.
+func TestChurnCompilesAndValidates(t *testing.T) {
+	for _, nodes := range []int{1, 6, 1024} {
+		sc, err := Churn(nodes, 2, 50000, ChurnOptions{Seed: 1, SlowdownFrac: 0.3})
+		if err != nil {
+			t.Fatalf("nodes=%d: %v", nodes, err)
+		}
+		if err := sc.CheckNodes(nodes); err != nil {
+			t.Fatalf("nodes=%d: generated event out of range: %v", nodes, err)
+		}
+		got := len(sc.Events())
+		want := float64(nodes) * 2
+		if float64(got) < want*0.5 || float64(got) > want*1.6 {
+			t.Fatalf("nodes=%d: %d events, want about %v (rate 2 per node)", nodes, got, want)
+		}
+		slowdowns := 0
+		for _, ev := range sc.Events() {
+			if ev.At < 0 || ev.At >= 50000 {
+				t.Fatalf("nodes=%d: event at %v outside the horizon", nodes, ev.At)
+			}
+			if ev.Kind == KindSlowdown {
+				slowdowns++
+				if !(ev.Factor > 0 && ev.Factor < 1) {
+					t.Fatalf("slowdown factor %v out of (0,1)", ev.Factor)
+				}
+			}
+		}
+		if nodes >= 1024 && slowdowns == 0 {
+			t.Error("SlowdownFrac 0.3 produced no slowdowns at 1024 nodes")
+		}
+	}
+}
+
+// TestChurnRejectsBadInputs.
+func TestChurnRejectsBadInputs(t *testing.T) {
+	cases := []struct {
+		nodes   int
+		rate, h float64
+		o       ChurnOptions
+	}{
+		{0, 1, 1000, ChurnOptions{}},
+		{4, 0, 1000, ChurnOptions{}},
+		{4, 1, 0, ChurnOptions{}},
+		{4, 1, 1000, ChurnOptions{SlowdownFrac: 1.5}},
+		{4, 1, 1000, ChurnOptions{MeanDuration: -1}},
+	}
+	for i, c := range cases {
+		if _, err := Churn(c.nodes, c.rate, c.h, c.o); err == nil {
+			t.Errorf("case %d accepted invalid inputs", i)
+		}
+	}
+}

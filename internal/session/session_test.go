@@ -1,0 +1,338 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+// shortCfg returns a fast baseline configuration.
+func shortCfg(horizon float64) system.Config {
+	cfg := system.Baseline()
+	cfg.Horizon = horizon
+	return cfg
+}
+
+// metricsSig fingerprints a run's aggregate counters and ratios.
+func metricsSig(m *system.Metrics) string {
+	return fmt.Sprintf("lg=%d ld=%d gg=%d gd=%d mdl=%v mdg=%v lr=%v gr=%v",
+		m.LocalGenerated, m.LocalDone, m.GlobalGenerated, m.GlobalDone,
+		m.MDLocal(), m.MDGlobal(), m.LocalResponse.Mean(), m.GlobalResponse.Mean())
+}
+
+// TestRunMatchesLegacyReplications pins the compatibility contract: a
+// session job equals system.RunReplicationsParallel run for run and in
+// its aggregates, at sequential and parallel settings.
+func TestRunMatchesLegacyReplications(t *testing.T) {
+	cfg := shortCfg(2500)
+	const reps = 4
+	want, err := system.RunReplicationsParallel(cfg, reps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		s := New(WithParallelism(par))
+		res, err := s.Run(context.Background(), Job{Config: cfg, Reps: reps})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		s.Close()
+		if res.Partial || len(res.Runs) != reps {
+			t.Fatalf("parallelism %d: partial=%t runs=%d", par, res.Partial, len(res.Runs))
+		}
+		for i := range res.Runs {
+			if got, w := metricsSig(res.Runs[i]), metricsSig(want.Runs[i]); got != w {
+				t.Fatalf("parallelism %d rep %d diverged:\n got %s\nwant %s", par, i, got, w)
+			}
+		}
+		if res.LocalMD != want.LocalMD || res.GlobalMD != want.GlobalMD {
+			t.Fatalf("parallelism %d: estimates diverged: %+v vs %+v", par, res.LocalMD, want.LocalMD)
+		}
+	}
+}
+
+// TestStreamMatchesBatch pins the streaming contract: items arrive in
+// seed order, and their concatenation — metrics and merged scenario
+// series alike — is bit-identical to the batch result.
+func TestStreamMatchesBatch(t *testing.T) {
+	cfg := shortCfg(6000)
+	sc, err := scenario.Preset("burst", cfg.Horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := Job{Config: cfg, Scenario: sc, Reps: 5}
+
+	s := New(WithParallelism(4))
+	defer s.Close()
+	batch, err := s.Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := s.Stream(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var items []Item
+	for it := range st.Items() {
+		items = append(items, it)
+	}
+	streamed, err := st.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(items) != len(batch.Runs) {
+		t.Fatalf("streamed %d items, batch ran %d", len(items), len(batch.Runs))
+	}
+	for i, it := range items {
+		if it.Index != i || it.Seed != cfg.Seed+uint64(i) {
+			t.Fatalf("item %d out of seed order: index=%d seed=%d", i, it.Index, it.Seed)
+		}
+		if got, want := metricsSig(it.Metrics), metricsSig(batch.Runs[i]); got != want {
+			t.Fatalf("item %d diverged from batch:\n got %s\nwant %s", i, got, want)
+		}
+	}
+	var batchCSV, streamCSV strings.Builder
+	if err := batch.Series.WriteCSV(&batchCSV); err != nil {
+		t.Fatal(err)
+	}
+	if err := streamed.Series.WriteCSV(&streamCSV); err != nil {
+		t.Fatal(err)
+	}
+	if batchCSV.String() != streamCSV.String() {
+		t.Fatal("merged series CSV differs between Stream and Run")
+	}
+}
+
+// TestCancelMidRunIsSeedPrefixDeterministic is the cancellation
+// acceptance test: cancelling mid-job yields a Partial result covering
+// an exact seed prefix whose every replication is bit-identical to the
+// uncancelled run's, with no goroutine leaks.
+func TestCancelMidRunIsSeedPrefixDeterministic(t *testing.T) {
+	cfg := shortCfg(4000)
+	const reps = 24
+	s := New(WithParallelism(4))
+	defer s.Close()
+
+	full, err := s.Run(context.Background(), Job{Config: cfg, Reps: reps})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel as soon as a few replications have finished. (Progress may
+	// fire concurrently; done is delivered under the hook's own lock.)
+	res, err := s.Run(ctx, Job{Config: cfg, Reps: reps}, WithProgress(func(done, total int) {
+		if done == 3 {
+			cancel()
+		}
+	}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || !res.Partial {
+		t.Fatalf("cancelled run returned res=%v, want a partial result", res)
+	}
+	if len(res.Runs) == 0 || len(res.Runs) >= reps {
+		t.Fatalf("partial covered %d of %d replications, want a strict prefix", len(res.Runs), reps)
+	}
+	for i, m := range res.Runs {
+		if res.Seeds[i] != cfg.Seed+uint64(i) {
+			t.Fatalf("partial seed %d = %d, not the prefix seed %d", i, res.Seeds[i], cfg.Seed+uint64(i))
+		}
+		if got, want := metricsSig(m), metricsSig(full.Runs[i]); got != want {
+			t.Fatalf("partial rep %d diverged from the full run:\n got %s\nwant %s", i, got, want)
+		}
+	}
+
+	// No goroutine leaks: the pool's workers exit after wg.Wait.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// TestStreamCancelDeliversPrefix: a cancelled stream closes its channel
+// after delivering the finished prefix, and Result reports the same
+// partial aggregate.
+func TestStreamCancelDeliversPrefix(t *testing.T) {
+	cfg := shortCfg(3000)
+	const reps = 16
+	s := New(WithParallelism(2))
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	st, err := s.Stream(ctx, Job{Config: cfg, Reps: reps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var items []Item
+	for it := range st.Items() {
+		items = append(items, it)
+		if len(items) == 2 {
+			cancel()
+		}
+	}
+	res, err := st.Result()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || !res.Partial {
+		t.Fatal("cancelled stream lost its partial result")
+	}
+	if len(items) != len(res.Runs) {
+		t.Fatalf("stream delivered %d items, result holds %d runs", len(items), len(res.Runs))
+	}
+	for i, it := range items {
+		if it.Index != i {
+			t.Fatalf("item %d carries index %d", i, it.Index)
+		}
+	}
+}
+
+// TestRunOptionOverrides: per-call options override session defaults,
+// and the queue/pooling knobs never change results.
+func TestRunOptionOverrides(t *testing.T) {
+	cfg := shortCfg(2000)
+	s := New(WithParallelism(1))
+	defer s.Close()
+	base, err := s.Run(context.Background(), Job{Config: cfg, Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ladder, err := s.Run(context.Background(), Job{Config: cfg, Reps: 2},
+		WithEventQueue("ladder"), WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noPool, err := s.Run(context.Background(), Job{Config: cfg, Reps: 2}, WithPoolingDisabled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Runs {
+		if metricsSig(base.Runs[i]) != metricsSig(ladder.Runs[i]) {
+			t.Fatalf("rep %d: ladder queue changed the result", i)
+		}
+		if metricsSig(base.Runs[i]) != metricsSig(noPool.Runs[i]) {
+			t.Fatalf("rep %d: pooling changed the result", i)
+		}
+	}
+}
+
+// TestWithTraceForcesSequential: a shared recorder must serialize the
+// batch, and the recorder sees every replication's events.
+func TestWithTraceForcesSequential(t *testing.T) {
+	cfg := shortCfg(600)
+	rec := trace.NewRecorder(0)
+	s := New(WithParallelism(8))
+	defer s.Close()
+	if _, err := s.Run(context.Background(), Job{Config: cfg, Reps: 3}, WithTrace(rec)); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events()) == 0 {
+		t.Fatal("trace recorder captured nothing")
+	}
+}
+
+// TestJobRepsDefaultsToOne and negative reps rejection.
+func TestJobRepsValidation(t *testing.T) {
+	s := New()
+	defer s.Close()
+	res, err := s.Run(context.Background(), Job{Config: shortCfg(500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 1 {
+		t.Fatalf("zero Reps ran %d replications, want 1", len(res.Runs))
+	}
+	if _, err := s.Run(context.Background(), Job{Config: shortCfg(500), Reps: -1}); err == nil {
+		t.Fatal("negative Reps accepted")
+	}
+}
+
+// TestClosedSessionRejectsRuns.
+func TestClosedSessionRejectsRuns(t *testing.T) {
+	s := New()
+	s.Close()
+	if _, err := s.Run(context.Background(), Job{Config: shortCfg(500)}); err == nil {
+		t.Fatal("closed session accepted a run")
+	}
+	if _, err := s.Stream(context.Background(), Job{Config: shortCfg(500)}); err == nil {
+		t.Fatal("closed session accepted a stream")
+	}
+}
+
+// countingBackend wraps the in-process pool, proving the Backend seam
+// composes: a session on a custom backend behaves identically.
+type countingBackend struct {
+	inner  Backend
+	shards int
+}
+
+func (b *countingBackend) Run(ctx context.Context, shard Shard) (ShardResult, error) {
+	b.shards++
+	return b.inner.Run(ctx, shard)
+}
+
+// TestCustomBackendSeam runs a job through a wrapping backend and
+// requires identical results to the in-process pool.
+func TestCustomBackendSeam(t *testing.T) {
+	cfg := shortCfg(1500)
+	ref := New(WithParallelism(1))
+	defer ref.Close()
+	want, err := ref.Run(context.Background(), Job{Config: cfg, Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cb := &countingBackend{inner: NewPool()}
+	s := NewWithBackend(cb, WithParallelism(2))
+	got, err := s.Run(context.Background(), Job{Config: cfg, Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.shards != 1 {
+		t.Fatalf("backend saw %d shards, want 1", cb.shards)
+	}
+	for i := range want.Runs {
+		if metricsSig(got.Runs[i]) != metricsSig(want.Runs[i]) {
+			t.Fatalf("rep %d diverged through the custom backend", i)
+		}
+	}
+}
+
+// TestRunFailureReturnsError: an invalid config surfaces as an error,
+// not a partial result.
+func TestRunFailureReturnsError(t *testing.T) {
+	cfg := shortCfg(1000)
+	cfg.Load = 1.5 // invalid: must be < 1
+	s := New()
+	defer s.Close()
+	if _, err := s.Run(context.Background(), Job{Config: cfg}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	st, err := s.Stream(context.Background(), Job{Config: cfg})
+	if err != nil {
+		t.Fatal(err) // the failure surfaces through Result
+	}
+	for range st.Items() {
+	}
+	if _, err := st.Result(); err == nil {
+		t.Fatal("stream swallowed the run error")
+	}
+}

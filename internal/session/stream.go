@@ -1,0 +1,126 @@
+package session
+
+import (
+	"context"
+
+	"repro/internal/system"
+)
+
+// Item is one streamed replication result: the replication's index
+// within the job (0-based), its seed, and its metrics — including the
+// per-window scenario series chunk when the job has a scenario (each
+// replication's Metrics.Series is its own unmerged time series).
+type Item struct {
+	Index   int
+	Seed    uint64
+	Metrics *system.Metrics
+}
+
+// Stream is an in-flight streaming run: consume Items for
+// per-replication results in seed order, then Result for the final
+// aggregate.
+type Stream struct {
+	items chan Item
+	done  chan struct{}
+	res   *Result
+	err   error
+}
+
+// Items returns the result channel. Items arrive in seed order as
+// workers finish — replication i is delivered as soon as replications
+// 0..i have all completed — and the channel closes when the run ends
+// (normally, by error, or by cancellation). Concatenating the items'
+// metrics reproduces Result().Runs exactly; streaming never changes
+// what is computed, only when it becomes visible.
+func (st *Stream) Items() <-chan Item { return st.items }
+
+// Result blocks until the run finishes and returns the same aggregate
+// Run would have: on cancellation a Partial result of the finished seed
+// prefix alongside ctx's error, on failure a nil result and the error.
+func (st *Stream) Result() (*Result, error) {
+	<-st.done
+	return st.res, st.err
+}
+
+// Stream starts the job and returns immediately with a Stream yielding
+// per-replication results in seed order as workers finish. The job,
+// options, cancellation semantics and final aggregate are exactly
+// Run's; Stream only adds incremental delivery. The stream owns no
+// goroutine-visible state after its channel closes, so abandoning a
+// cancelled stream leaks nothing.
+func (s *Session) Stream(ctx context.Context, job Job, opts ...Option) (*Stream, error) {
+	o, err := s.resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	reps, err := job.reps()
+	if err != nil {
+		return nil, err
+	}
+	st := &Stream{
+		items: make(chan Item, reps),
+		done:  make(chan struct{}),
+	}
+	shard := Shard{
+		Config:      job.config(o),
+		Seeds:       seedRange(job.Config.Seed, reps),
+		Parallelism: o.parallelism,
+	}
+
+	// Workers report completions (out of order) through arrived; the
+	// emitter below reorders into seed order. Both channels are buffered
+	// to the full replication count, so neither the workers nor the
+	// emitter can block on a slow or departed consumer: a stream that is
+	// never drained still terminates and frees its goroutines.
+	type arrival struct {
+		i int
+		m *system.Metrics
+	}
+	arrived := make(chan arrival, reps)
+	progress := o.progress
+	var progressCount func(int, *system.Metrics)
+	if progress != nil {
+		progressCount = progressHook(progress, reps)
+	}
+	shard.OnResult = func(i int, m *system.Metrics) {
+		if progressCount != nil {
+			progressCount(i, m)
+		}
+		arrived <- arrival{i: i, m: m}
+	}
+
+	// The emitter reorders completions into seed order concurrently with
+	// the run, so items become visible as soon as their seed prefix is
+	// complete. st.items is buffered to the full replication count, so
+	// the emitter never blocks on the consumer.
+	emitDone := make(chan struct{})
+	go func() {
+		defer close(emitDone)
+		defer close(st.items)
+		pending := make(map[int]*system.Metrics)
+		next := 0
+		for a := range arrived {
+			pending[a.i] = a.m
+			for m, ok := pending[next]; ok; m, ok = pending[next] {
+				delete(pending, next)
+				st.items <- Item{Index: next, Seed: shard.Seeds[next], Metrics: m}
+				next++
+			}
+		}
+	}()
+	go func() {
+		res, rerr := s.backend.Run(ctx, shard)
+		close(arrived)
+		<-emitDone // every emitted item precedes done
+
+		if rerr != nil && !isCancellation(rerr) {
+			st.err = rerr
+		} else if out, aerr := aggregate(shard, res); aerr != nil {
+			st.err = aerr
+		} else {
+			st.res, st.err = out, rerr
+		}
+		close(st.done)
+	}()
+	return st, nil
+}

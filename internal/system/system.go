@@ -19,12 +19,15 @@ import (
 
 // Workspace carries the reusable state of a simulation replication: the
 // engine (event queue and slot arrays), the task free list, the node
-// group (one contiguous array of per-node server state), and the
-// per-node ready queues. Reusing one workspace across the sequential
-// replications of a runner worker lets every run after the first start
-// at its working capacity instead of re-growing from zero. A Workspace
-// is single-threaded — one per worker — and results are bit-identical
-// with or without one.
+// group (one contiguous array of per-node server state), the per-node
+// ready queues, and — since the warm-setup work of PR 5 — the workload
+// sources themselves (one local source per node plus the global source,
+// with their RNG streams reseeded and the sources reconfigured in place
+// each run). Reusing one workspace across the sequential replications of
+// a runner worker lets every run after the first start at its working
+// capacity instead of re-growing from zero, and pays no per-node setup
+// allocations. A Workspace is single-threaded — one per worker — and
+// results are bit-identical with or without one.
 type Workspace struct {
 	eng      *sim.Engine
 	engKind  sim.QueueKind // kind eng was created with
@@ -34,10 +37,139 @@ type Workspace struct {
 	queues   []sched.Queue
 	queueKey string
 	stageCap int // observed stage-index breadth, to pre-size Metrics
+
+	// Warm per-run setup. The stable callbacks below never capture
+	// run-local variables: they indirect through env, which RunWith
+	// repoints at the current run's state, so one set of closures (and
+	// one source object per node) serves every replication.
+	env       runEnv
+	nextID    func() uint64
+	nextSeq   func() uint64
+	onDone    func(*task.Task)
+	onAbort   func(*task.Task)
+	onGlobal  func(workload.Spec)
+	submits   []func(*task.Task)
+	locals    []*workload.LocalSource
+	localRng  []*rng.Source
+	localHash []uint64 // cached rng.StreamHash("local-<i>")
+	global    *workload.GlobalSource
+	globalRng *rng.Source
+	srcEng    *sim.Engine // engine the warm sources are registered on
 }
 
 // NewWorkspace returns an empty workspace; the first run populates it.
 func NewWorkspace() *Workspace { return &Workspace{} }
+
+// globalStreamHash is rng.StreamHash("global"), hoisted so warm runs
+// reseed the global stream without re-hashing the label.
+var globalStreamHash = rng.StreamHash("global")
+
+// runEnv is the per-run mutable state behind a workspace's stable
+// callbacks: the metrics and manager of the current replication, the
+// node view, and the run-scoped counters. For unpooled runs a fresh
+// runEnv serves the same role with per-run method values.
+type runEnv struct {
+	metrics *Metrics
+	mgr     *procmgr.Manager
+	nodes   []*node.Node
+	pool    *task.Pool
+	warmup  float64
+	seq     uint64
+	taskID  uint64
+	instID  uint64
+}
+
+func (env *runEnv) nextSeqFn() uint64 { env.seq++; return env.seq }
+func (env *runEnv) nextIDFn() uint64  { env.taskID++; return env.taskID }
+
+// taskDone is the node-group completion callback shared by every run
+// that uses this env.
+func (env *runEnv) taskDone(t *task.Task) {
+	if t.Class == task.Global {
+		if t.Arrival >= env.warmup {
+			// Stage metrics use the subtask's own release time.
+			env.metrics.StageMiss.Observe(t.Missed())
+			env.metrics.observeStage(t.Stage, t.Missed(), t.Deadline-t.Arrival-t.Pex)
+		}
+		// The manager recycles the subtask; t is dead past this call.
+		if err := env.mgr.Complete(t); err != nil {
+			panic(fmt.Sprintf("system: %v", err))
+		}
+		return
+	}
+	env.metrics.LocalDone++
+	if t.Arrival >= env.warmup {
+		env.metrics.LocalMiss.Observe(t.Missed())
+		env.metrics.LocalResponse.Add(t.Finish - t.Arrival)
+	}
+	if env.metrics.Series != nil {
+		env.metrics.Series.ObserveLocal(t.Finish, t.Missed())
+	}
+	env.pool.Put(t)
+}
+
+// taskAbort is the node-group abort callback shared by every run that
+// uses this env.
+func (env *runEnv) taskAbort(t *task.Task) {
+	if t.Class == task.Global {
+		// The manager recycles the subtask; t is dead past this call.
+		if err := env.mgr.Abort(t); err != nil {
+			panic(fmt.Sprintf("system: %v", err))
+		}
+		return
+	}
+	// An aborted local task is a missed deadline by definition.
+	env.metrics.LocalAborted++
+	env.metrics.LocalDone++
+	if t.Arrival >= env.warmup {
+		env.metrics.LocalMiss.Observe(true)
+	}
+	if env.metrics.Series != nil {
+		env.metrics.Series.ObserveLocal(t.Finish, true)
+	}
+	env.pool.Put(t)
+}
+
+// globalSpec wraps a sampled global task into a manager instance.
+func (env *runEnv) globalSpec(sp workload.Spec) {
+	env.instID++
+	env.metrics.GlobalGenerated++
+	inst := env.mgr.NewInstance()
+	inst.ID = env.instID
+	inst.Graph = sp.Graph
+	inst.Arrival = sp.Arrival
+	inst.Deadline = sp.Deadline
+	env.mgr.Start(inst)
+}
+
+// instanceDone records one finished global instance.
+func (env *runEnv) instanceDone(inst *procmgr.Instance) {
+	m := env.metrics
+	m.GlobalDone++
+	if inst.Aborted {
+		m.GlobalAborted++
+	}
+	if m.Series != nil {
+		if inst.Aborted {
+			// Binned by abort time; a discarded instance has no
+			// meaningful lateness.
+			m.Series.ObserveGlobalAbort(inst.Finish)
+		} else {
+			m.Series.ObserveGlobal(inst.Finish, inst.Missed(), inst.Finish-inst.Deadline)
+		}
+	}
+	if inst.Arrival < env.warmup {
+		return
+	}
+	m.GlobalMiss.Observe(inst.Missed())
+	if !inst.Aborted {
+		m.GlobalResponse.Add(inst.Finish - inst.Arrival)
+		if inst.Missed() {
+			m.GlobalTardiness.Add(inst.Finish - inst.Deadline)
+		}
+		m.InheritedSlack.Add(inst.InheritedSlack)
+	}
+}
 
 // initialQueueDepth is the per-node ready-queue capacity pre-allocated
 // for fresh queues. Typical occupancy at the paper's loads is a handful
@@ -104,14 +236,7 @@ func RunWith(cfg Config, ws *Workspace) (*Metrics, error) {
 		}
 	}
 
-	var (
-		metrics = &Metrics{}
-		warmup  = cfg.warmup()
-		seq     uint64
-		taskID  uint64
-		nextSeq = func() uint64 { seq++; return seq }
-		nextID  = func() uint64 { taskID++; return taskID }
-	)
+	metrics := &Metrics{}
 	if ws != nil && ws.stageCap == 0 && cfg.M > 0 {
 		// Seed the stage-accumulator breadth from the configured subtask
 		// count so even the first replication pre-sizes its metrics.
@@ -125,51 +250,36 @@ func RunWith(cfg Config, ws *Workspace) (*Metrics, error) {
 		metrics.Series = scenario.NewSeries(cfg.Scenario.Interval(cfg.Horizon), cfg.Horizon)
 	}
 
-	// The manager is created after the nodes but node callbacks need
-	// it; declare first and close over the variable.
-	var mgr *procmgr.Manager
-
-	onTaskDone := func(t *task.Task) {
-		if t.Class == task.Global {
-			if t.Arrival >= warmup {
-				// Stage metrics use the subtask's own release time.
-				metrics.StageMiss.Observe(t.Missed())
-				metrics.observeStage(t.Stage, t.Missed(), t.Deadline-t.Arrival-t.Pex)
-			}
-			// The manager recycles the subtask; t is dead past this call.
-			if err := mgr.Complete(t); err != nil {
-				panic(fmt.Sprintf("system: %v", err))
-			}
-			return
-		}
-		metrics.LocalDone++
-		if t.Arrival >= warmup {
-			metrics.LocalMiss.Observe(t.Missed())
-			metrics.LocalResponse.Add(t.Finish - t.Arrival)
-		}
-		if metrics.Series != nil {
-			metrics.Series.ObserveLocal(t.Finish, t.Missed())
-		}
-		pool.Put(t)
+	// env carries the run's mutable state; the callbacks routed through
+	// it are either the workspace's stable set (warm path — created once,
+	// reused every run) or per-run method values (cold path). env.mgr is
+	// filled in after the manager exists but before any event fires.
+	var env *runEnv
+	if ws != nil {
+		env = &ws.env
+		*env = runEnv{}
+	} else {
+		env = &runEnv{}
 	}
-	onTaskAbort := func(t *task.Task) {
-		if t.Class == task.Global {
-			// The manager recycles the subtask; t is dead past this call.
-			if err := mgr.Abort(t); err != nil {
-				panic(fmt.Sprintf("system: %v", err))
-			}
-			return
+	env.metrics, env.pool, env.warmup = metrics, pool, cfg.warmup()
+
+	var (
+		nextSeq, nextID func() uint64
+		onTaskDone      func(*task.Task)
+		onTaskAbort     func(*task.Task)
+		onGlobal        func(workload.Spec)
+	)
+	if ws != nil {
+		if ws.nextSeq == nil {
+			ws.nextSeq, ws.nextID = env.nextSeqFn, env.nextIDFn
+			ws.onDone, ws.onAbort = env.taskDone, env.taskAbort
+			ws.onGlobal = env.globalSpec
 		}
-		// An aborted local task is a missed deadline by definition.
-		metrics.LocalAborted++
-		metrics.LocalDone++
-		if t.Arrival >= warmup {
-			metrics.LocalMiss.Observe(true)
-		}
-		if metrics.Series != nil {
-			metrics.Series.ObserveLocal(t.Finish, true)
-		}
-		pool.Put(t)
+		nextSeq, nextID = ws.nextSeq, ws.nextID
+		onTaskDone, onTaskAbort, onGlobal = ws.onDone, ws.onAbort, ws.onGlobal
+	} else {
+		nextSeq, nextID = env.nextSeqFn, env.nextIDFn
+		onTaskDone, onTaskAbort, onGlobal = env.taskDone, env.taskAbort, env.globalSpec
 	}
 
 	var observer node.Observer
@@ -234,37 +344,13 @@ func RunWith(cfg Config, ws *Workspace) (*Metrics, error) {
 		return nil, err
 	}
 	nodes := group.Nodes()
+	env.nodes = nodes
 
-	mgr, err = procmgr.New(procmgr.Config{
-		Engine:   eng,
-		Nodes:    nodes,
-		Assigner: core.NewAssigner(serial, parallel),
-		OnDone: func(inst *procmgr.Instance) {
-			metrics.GlobalDone++
-			if inst.Aborted {
-				metrics.GlobalAborted++
-			}
-			if metrics.Series != nil {
-				if inst.Aborted {
-					// Binned by abort time; a discarded instance has no
-					// meaningful lateness.
-					metrics.Series.ObserveGlobalAbort(inst.Finish)
-				} else {
-					metrics.Series.ObserveGlobal(inst.Finish, inst.Missed(), inst.Finish-inst.Deadline)
-				}
-			}
-			if inst.Arrival < warmup {
-				return
-			}
-			metrics.GlobalMiss.Observe(inst.Missed())
-			if !inst.Aborted {
-				metrics.GlobalResponse.Add(inst.Finish - inst.Arrival)
-				if inst.Missed() {
-					metrics.GlobalTardiness.Add(inst.Finish - inst.Deadline)
-				}
-				metrics.InheritedSlack.Add(inst.InheritedSlack)
-			}
-		},
+	mgr, err := procmgr.New(procmgr.Config{
+		Engine:     eng,
+		Nodes:      nodes,
+		Assigner:   core.NewAssigner(serial, parallel),
+		OnDone:     env.instanceDone,
 		NextSeq:    nextSeq,
 		NextTaskID: nextID,
 		Pool:       pool,
@@ -272,6 +358,29 @@ func RunWith(cfg Config, ws *Workspace) (*Metrics, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	env.mgr = mgr
+
+	// The warm path reuses the workspace's per-node sources, RNG streams
+	// and submit closures; (re)build them when the node count or the
+	// engine changed (a fresh engine invalidates the sources' callback
+	// bindings for good — re-registration per run is handled inside
+	// Reconfigure, which must see the same engine object).
+	if ws != nil && (ws.srcEng != eng || len(ws.locals) != cfg.Nodes) {
+		ws.srcEng = eng
+		ws.locals = make([]*workload.LocalSource, cfg.Nodes)
+		ws.localRng = make([]*rng.Source, cfg.Nodes)
+		ws.localHash = make([]uint64, cfg.Nodes)
+		ws.submits = make([]func(*task.Task), cfg.Nodes)
+		for i := range ws.submits {
+			i := i
+			ws.localHash[i] = rng.StreamHash(fmt.Sprintf("local-%d", i))
+			ws.submits[i] = func(t *task.Task) {
+				env.metrics.LocalGenerated++
+				env.nodes[i].Submit(t)
+			}
+		}
+		ws.global, ws.globalRng = nil, nil
 	}
 
 	// Local streams: one per node, each with its own substream. Rate
@@ -288,20 +397,39 @@ func RunWith(cfg Config, ws *Workspace) (*Metrics, error) {
 		if multipliers != nil {
 			rate = rates.LocalPerNode * multipliers[i] * float64(cfg.Nodes) / multSum
 		}
+		params := workload.LocalParams{
+			Rate:     rate,
+			MeanExec: 1 / cfg.MuLocal,
+			SlackMin: cfg.SlackMin,
+			SlackMax: cfg.SlackMax,
+			Pex:      workload.PexModel{RelErr: cfg.PexRelErr},
+			Demand:   cfg.scenarioDemand(),
+			Mod:      cfg.scenarioMod(),
+			Pool:     pool,
+		}
+		if ws != nil {
+			if ws.localRng[i] == nil {
+				ws.localRng[i] = rng.New(0)
+			}
+			ws.localRng[i].ReseedStream(cfg.Seed, ws.localHash[i])
+			if ws.locals[i] == nil {
+				ws.locals[i], err = workload.NewLocalSource(eng, ws.localRng[i], params,
+					nextID, nextSeq, ws.submits[i])
+			} else {
+				err = ws.locals[i].Reconfigure(ws.localRng[i], params,
+					nextID, nextSeq, ws.submits[i])
+			}
+			if err != nil {
+				return nil, err
+			}
+			ws.locals[i].Start()
+			continue
+		}
 		nodeRef := n
 		src, err := workload.NewLocalSource(
 			eng,
 			rng.NewStream(cfg.Seed, fmt.Sprintf("local-%d", i)),
-			workload.LocalParams{
-				Rate:     rate,
-				MeanExec: 1 / cfg.MuLocal,
-				SlackMin: cfg.SlackMin,
-				SlackMax: cfg.SlackMax,
-				Pex:      workload.PexModel{RelErr: cfg.PexRelErr},
-				Demand:   cfg.scenarioDemand(),
-				Mod:      cfg.scenarioMod(),
-				Pool:     pool,
-			},
+			params,
 			nextID, nextSeq,
 			func(t *task.Task) {
 				metrics.LocalGenerated++
@@ -316,36 +444,38 @@ func RunWith(cfg Config, ws *Workspace) (*Metrics, error) {
 
 	// Global stream.
 	if rates.Global > 0 {
-		var instID uint64
-		src, err := workload.NewGlobalSource(
-			eng,
-			rng.NewStream(cfg.Seed, "global"),
-			cfg.Nodes,
-			workload.GlobalParams{
-				Rate:          rates.Global,
-				Shape:         cfg.shape(),
-				SlackMin:      cfg.SlackMin,
-				SlackMax:      cfg.SlackMax,
-				RelFlex:       cfg.RelFlex,
-				MeanLocalExec: 1 / cfg.MuLocal,
-				Mod:           cfg.scenarioMod(),
-				GraphPool:     graphs,
-			},
-			func(sp workload.Spec) {
-				instID++
-				metrics.GlobalGenerated++
-				inst := mgr.NewInstance()
-				inst.ID = instID
-				inst.Graph = sp.Graph
-				inst.Arrival = sp.Arrival
-				inst.Deadline = sp.Deadline
-				mgr.Start(inst)
-			},
-		)
-		if err != nil {
-			return nil, err
+		params := workload.GlobalParams{
+			Rate:          rates.Global,
+			Shape:         cfg.shape(),
+			SlackMin:      cfg.SlackMin,
+			SlackMax:      cfg.SlackMax,
+			RelFlex:       cfg.RelFlex,
+			MeanLocalExec: 1 / cfg.MuLocal,
+			Mod:           cfg.scenarioMod(),
+			GraphPool:     graphs,
 		}
-		src.Start()
+		if ws != nil {
+			if ws.globalRng == nil {
+				ws.globalRng = rng.New(0)
+			}
+			ws.globalRng.ReseedStream(cfg.Seed, globalStreamHash)
+			if ws.global == nil {
+				ws.global, err = workload.NewGlobalSource(eng, ws.globalRng, cfg.Nodes, params, ws.onGlobal)
+			} else {
+				err = ws.global.Reconfigure(ws.globalRng, cfg.Nodes, params, ws.onGlobal)
+			}
+			if err != nil {
+				return nil, err
+			}
+			ws.global.Start()
+		} else {
+			src, err := workload.NewGlobalSource(eng, rng.NewStream(cfg.Seed, "global"),
+				cfg.Nodes, params, onGlobal)
+			if err != nil {
+				return nil, err
+			}
+			src.Start()
+		}
 	}
 
 	if cfg.Scenario != nil {

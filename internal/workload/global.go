@@ -56,17 +56,11 @@ type GlobalSource struct {
 // arrival. k is the node count (needed for placement).
 func NewGlobalSource(eng *sim.Engine, r *rng.Source, k int, params GlobalParams,
 	start func(Spec)) (*GlobalSource, error) {
-	if eng == nil || r == nil || start == nil {
-		return nil, fmt.Errorf("workload: global source: nil dependency")
+	if eng == nil {
+		return nil, fmt.Errorf("workload: global source: nil engine")
 	}
-	if params.Rate < 0 || params.Shape == nil || params.SlackMax < params.SlackMin ||
-		params.RelFlex < 0 || params.MeanLocalExec <= 0 || k <= 0 {
-		return nil, fmt.Errorf("workload: global source: bad params")
-	}
-	// Fail fast on impossible shapes (e.g. parallel m > k) rather than
-	// mid-run.
-	if _, err := params.Shape.Build(rng.New(0), k); err != nil {
-		return nil, fmt.Errorf("workload: global source: %w", err)
+	if err := validateGlobal(r, k, params, start); err != nil {
+		return nil, err
 	}
 	s := &GlobalSource{eng: eng, r: r, params: params, k: k, start: start}
 	s.pooled, _ = params.Shape.(PooledBuilder)
@@ -76,6 +70,39 @@ func NewGlobalSource(eng *sim.Engine, r *rng.Source, k int, params GlobalParams,
 	}
 	s.arr = arr
 	return s, nil
+}
+
+// validateGlobal checks the per-run inputs shared by construction and
+// reconfiguration.
+func validateGlobal(r *rng.Source, k int, params GlobalParams, start func(Spec)) error {
+	if r == nil || start == nil {
+		return fmt.Errorf("workload: global source: nil dependency")
+	}
+	if params.Rate < 0 || params.Shape == nil || params.SlackMax < params.SlackMin ||
+		params.RelFlex < 0 || params.MeanLocalExec <= 0 || k <= 0 {
+		return fmt.Errorf("workload: global source: bad params")
+	}
+	// Fail fast on impossible shapes (e.g. parallel m > k) rather than
+	// mid-run.
+	if _, err := params.Shape.Build(rng.New(0), k); err != nil {
+		return fmt.Errorf("workload: global source: %w", err)
+	}
+	return nil
+}
+
+// Reconfigure rebinds the source for a fresh replication in place — a
+// reseeded RNG stream, new parameters and start callback — reusing the
+// source object, its arrivals loop, and the loop's pre-allocated engine
+// handler. It must be called after the engine driving the source was
+// Reset and before Start; a reconfigured source samples exactly the
+// stream a freshly constructed one would.
+func (s *GlobalSource) Reconfigure(r *rng.Source, k int, params GlobalParams, start func(Spec)) error {
+	if err := validateGlobal(r, k, params, start); err != nil {
+		return err
+	}
+	s.r, s.params, s.k, s.start = r, params, k, start
+	s.pooled, _ = params.Shape.(PooledBuilder)
+	return s.arr.reconfigure(r, params.Rate, params.Mod)
 }
 
 // Start schedules the first arrival. A zero rate generates nothing.

@@ -49,24 +49,42 @@ type arrivals struct {
 	mod       RateModulator
 	fire      func()
 	cb        sim.Callback
+	handler   func(any) // the one closure behind cb, allocated once
 }
 
 // newArrivals validates the modulator's bound once at construction and
 // registers the self-scheduling callback.
 func newArrivals(eng *sim.Engine, r *rng.Source, rate float64, mod RateModulator, fire func()) (*arrivals, error) {
+	a := &arrivals{eng: eng, fire: fire}
+	a.handler = func(any) { a.candidate() }
+	if err := a.reconfigure(r, rate, mod); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// reconfigure rebinds the arrivals loop for a fresh run in place: a new
+// (typically reseeded) RNG stream, rate and modulator, re-registering the
+// pre-allocated handler on the engine (an engine Reset clears
+// registrations). The fire callback is fixed at construction — it closes
+// over the owning source, which is exactly what reuse preserves. It
+// performs the same validation as construction and allocates nothing
+// after the first run.
+func (a *arrivals) reconfigure(r *rng.Source, rate float64, mod RateModulator) error {
 	maxFactor := 1.0
 	if mod != nil {
 		maxFactor = mod.MaxFactor()
 		if !(maxFactor > 0) || maxFactor != maxFactor {
-			return nil, fmt.Errorf("workload: rate modulator MaxFactor = %v, want > 0", maxFactor)
+			return fmt.Errorf("workload: rate modulator MaxFactor = %v, want > 0", maxFactor)
 		}
 	}
-	a := &arrivals{eng: eng, r: r, rate: rate, maxFactor: maxFactor, mod: mod, fire: fire}
+	a.r, a.rate, a.maxFactor, a.mod = r, rate, maxFactor, mod
+	a.peakMean = 0
 	if rate > 0 {
 		a.peakMean = 1 / (rate * maxFactor)
 	}
-	a.cb = eng.Register(func(any) { a.candidate() })
-	return a, nil
+	a.cb = a.eng.Register(a.handler)
+	return nil
 }
 
 // start schedules the first candidate. A zero rate generates nothing.

@@ -77,13 +77,10 @@ type LocalSource struct {
 // arrival.
 func NewLocalSource(eng *sim.Engine, r *rng.Source, params LocalParams,
 	nextID, nextSeq func() uint64, submit func(*task.Task)) (*LocalSource, error) {
-	if eng == nil || r == nil || submit == nil || nextID == nil || nextSeq == nil {
-		return nil, fmt.Errorf("workload: local source: nil dependency")
+	if eng == nil {
+		return nil, fmt.Errorf("workload: local source: nil engine")
 	}
-	if params.Rate < 0 || params.MeanExec <= 0 || params.SlackMax < params.SlackMin {
-		return nil, fmt.Errorf("workload: local source: bad params %+v", params)
-	}
-	if err := ValidateDemand(params.Demand); err != nil {
+	if err := validateLocal(r, params, nextID, nextSeq, submit); err != nil {
 		return nil, err
 	}
 	s := &LocalSource{
@@ -96,6 +93,36 @@ func NewLocalSource(eng *sim.Engine, r *rng.Source, params LocalParams,
 	}
 	s.arr = arr
 	return s, nil
+}
+
+// validateLocal checks the per-run inputs shared by construction and
+// reconfiguration.
+func validateLocal(r *rng.Source, params LocalParams,
+	nextID, nextSeq func() uint64, submit func(*task.Task)) error {
+	if r == nil || submit == nil || nextID == nil || nextSeq == nil {
+		return fmt.Errorf("workload: local source: nil dependency")
+	}
+	if params.Rate < 0 || params.MeanExec <= 0 || params.SlackMax < params.SlackMin {
+		return fmt.Errorf("workload: local source: bad params %+v", params)
+	}
+	return ValidateDemand(params.Demand)
+}
+
+// Reconfigure rebinds the source for a fresh replication in place — a
+// reseeded RNG stream, new parameters and callbacks — reusing the source
+// object, its arrivals loop, and the loop's pre-allocated engine handler.
+// It must be called after the engine driving the source was Reset (the
+// reset clears callback registrations) and before Start. A reconfigured
+// source generates exactly the stream a freshly constructed one would:
+// reuse is a pure allocation optimization for warm workspaces.
+func (s *LocalSource) Reconfigure(r *rng.Source, params LocalParams,
+	nextID, nextSeq func() uint64, submit func(*task.Task)) error {
+	if err := validateLocal(r, params, nextID, nextSeq, submit); err != nil {
+		return err
+	}
+	s.r, s.params = r, params
+	s.submit, s.nextID, s.nextSq = submit, nextID, nextSeq
+	return s.arr.reconfigure(r, params.Rate, params.Mod)
 }
 
 // Start schedules the first arrival. A zero rate generates nothing.

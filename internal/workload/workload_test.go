@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -376,5 +377,138 @@ func TestGlobalSourceValidation(t *testing.T) {
 	impossible.Shape = ParallelShape{M: 10, MeanExec: 1}
 	if _, err := NewGlobalSource(eng, rng.New(1), 6, impossible, start); err == nil {
 		t.Error("impossible shape accepted")
+	}
+}
+
+// taskSig fingerprints a generated task's every sampled attribute.
+func taskSig(tk *task.Task) [6]float64 {
+	return [6]float64{float64(tk.ID), tk.Arrival, tk.Deadline, tk.Exec, tk.Pex, float64(tk.Seq)}
+}
+
+// TestLocalSourceReconfigureMatchesFresh pins the warm-workspace reuse
+// contract: a source reconfigured in place on a reset engine generates
+// exactly the task stream a freshly built source would, including across
+// a seed change and a rate change.
+func TestLocalSourceReconfigureMatchesFresh(t *testing.T) {
+	type runParams struct {
+		seed uint64
+		rate float64
+	}
+	runs := []runParams{{seed: 1, rate: 2}, {seed: 9, rate: 2}, {seed: 9, rate: 3.5}}
+	const horizon = 2000.0
+
+	params := func(rate float64) LocalParams {
+		return LocalParams{Rate: rate, MeanExec: 1, SlackMin: 0.25, SlackMax: 2.5}
+	}
+	// Reference: a fresh engine + source per run.
+	var want [][][6]float64
+	for _, rp := range runs {
+		eng := sim.New()
+		var sigs [][6]float64
+		var id, seq uint64
+		src, err := NewLocalSource(eng, rng.NewStream(rp.seed, "local-0"), params(rp.rate),
+			func() uint64 { id++; return id },
+			func() uint64 { seq++; return seq },
+			func(tk *task.Task) { sigs = append(sigs, taskSig(tk)) },
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src.Start()
+		eng.Run(horizon)
+		want = append(want, sigs)
+	}
+
+	// Reused: one engine + one source + one reseeded stream across runs.
+	eng := sim.New()
+	stream := rng.New(0)
+	hash := rng.StreamHash("local-0")
+	var src *LocalSource
+	for i, rp := range runs {
+		eng.Reset()
+		stream.ReseedStream(rp.seed, hash)
+		var sigs [][6]float64
+		var id, seq uint64
+		nextID := func() uint64 { id++; return id }
+		nextSeq := func() uint64 { seq++; return seq }
+		submit := func(tk *task.Task) { sigs = append(sigs, taskSig(tk)) }
+		if src == nil {
+			var err error
+			src, err = NewLocalSource(eng, stream, params(rp.rate), nextID, nextSeq, submit)
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else if err := src.Reconfigure(stream, params(rp.rate), nextID, nextSeq, submit); err != nil {
+			t.Fatal(err)
+		}
+		src.Start()
+		eng.Run(horizon)
+		if len(sigs) != len(want[i]) {
+			t.Fatalf("run %d: reused source generated %d tasks, fresh %d", i, len(sigs), len(want[i]))
+		}
+		for j := range sigs {
+			if sigs[j] != want[i][j] {
+				t.Fatalf("run %d task %d: reused %v != fresh %v", i, j, sigs[j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestGlobalSourceReconfigureMatchesFresh is the global-stream variant:
+// sampled graphs, arrivals and deadlines must be identical through
+// in-place reconfiguration.
+func TestGlobalSourceReconfigureMatchesFresh(t *testing.T) {
+	const horizon = 3000.0
+	const k = 6
+	params := GlobalParams{
+		Rate: 0.4, Shape: SerialShape{M: 4, MeanExec: 1},
+		SlackMin: 0.25, SlackMax: 2.5, RelFlex: 1, MeanLocalExec: 1,
+	}
+	sig := func(sp Spec) string {
+		return sp.Graph.String() + "|" + fmt.Sprint(sp.Arrival, sp.Deadline, sp.Slack)
+	}
+
+	fresh := func(seed uint64) []string {
+		eng := sim.New()
+		var sigs []string
+		src, err := NewGlobalSource(eng, rng.NewStream(seed, "global"), k, params,
+			func(sp Spec) { sigs = append(sigs, sig(sp)) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		src.Start()
+		eng.Run(horizon)
+		return sigs
+	}
+
+	eng := sim.New()
+	stream := rng.New(0)
+	hash := rng.StreamHash("global")
+	var src *GlobalSource
+	for _, seed := range []uint64{1, 2, 77} {
+		eng.Reset()
+		stream.ReseedStream(seed, hash)
+		var sigs []string
+		start := func(sp Spec) { sigs = append(sigs, sig(sp)) }
+		if src == nil {
+			var err error
+			src, err = NewGlobalSource(eng, stream, k, params, start)
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else if err := src.Reconfigure(stream, k, params, start); err != nil {
+			t.Fatal(err)
+		}
+		src.Start()
+		eng.Run(horizon)
+		want := fresh(seed)
+		if len(sigs) != len(want) {
+			t.Fatalf("seed %d: reused source generated %d tasks, fresh %d", seed, len(sigs), len(want))
+		}
+		for j := range sigs {
+			if sigs[j] != want[j] {
+				t.Fatalf("seed %d task %d:\nreused %s\nfresh  %s", seed, j, sigs[j], want[j])
+			}
+		}
 	}
 }

@@ -2,7 +2,7 @@
 // Garcia-Molina, "Deadline Assignment in a Distributed Soft Real-Time
 // System" (ICDCS 1993 / IEEE TPDS 1997).
 //
-// The library has three layers:
+// The library has three layers, all executing through one run API:
 //
 //   - Deadline assignment (the paper's contribution): serial-parallel
 //     task graphs (Graph, ParseGraph) and the SDA strategies — SSP: UD,
@@ -11,29 +11,54 @@
 //     or plug the strategies into the simulator or the live runtime for
 //     dynamic assignment at release time.
 //
-//   - Reproduction harness: Simulate runs the paper's discrete-event
-//     model (Table 1 baseline via BaselineConfig / PSPBaselineConfig);
-//     Experiments/RunExperiment regenerate every table and figure of the
-//     evaluation (fig2a, fig2b, fig3, fig4, combined, ablations,
-//     extensions) with confidence intervals; RenderTable, RenderChart
-//     and RenderCSV format the results. Replications and sweep cells fan
-//     out across cores (ExperimentOptions.Parallelism,
-//     SimulateReplicationsParallel) with results bit-identical to the
-//     sequential path: every replication derives its own RNG substreams
-//     from its seed, so only wall-clock time depends on the worker
-//     count.
+//   - Simulation model: SimConfig describes the paper's discrete-event
+//     system (Table 1 baseline via BaselineConfig / PSPBaselineConfig,
+//     every section 4–7 variation as a field), optionally driven by a
+//     declarative Scenario (ParseScenario, ScenarioPreset, ChurnScenario)
+//     with time-varying load, node faults, alternative demand
+//     distributions and windowed time-series metrics.
 //
-//   - Scenario engine: ParseScenario/ScenarioPreset/RunScenario drive
-//     the same model through declarative time-varying scenarios — load
-//     bursts and ramps, node slowdowns and outages, heavy-tailed
-//     demands — and collect windowed time-series metrics that merge
-//     exactly across parallel replications (cmd/sdascn is the CLI).
+//   - Paper artifacts: Experiments/RunExperiment regenerate every table
+//     and figure of the evaluation (fig2a, fig2b, fig3, fig4, combined,
+//     ablations, extensions) with confidence intervals; RenderTable,
+//     RenderChart and RenderCSV format the results.
 //
-//   - Live runtime: NewLiveNode/NewLiveRuntime execute task graphs on
-//     real goroutines with deadline-ordered mailboxes, applying the same
-//     strategies to real work.
+// A fourth, independent piece — the live runtime (NewLiveNode,
+// NewLiveRuntime) — executes task graphs on real goroutines with
+// deadline-ordered mailboxes, applying the same strategies to real work.
 //
-// Quick start:
+// # The Session run API
+//
+// Everything the simulator runs, it runs through a Session: a stateful
+// entry point owning a worker pool whose per-worker warm workspaces
+// (engine, task pools, ready queues, node group, and reconfigurable
+// workload sources) are created once and reused across every call. A
+// Job is the unit of work — a configuration, an optional scenario, and
+// a replication count — and functional options (WithParallelism,
+// WithProgress, WithTrace, WithEventQueue, WithPoolingDisabled) replace
+// positional arguments:
+//
+//	sess := repro.NewSession(repro.WithParallelism(8))
+//	defer sess.Close()
+//	res, err := sess.Run(ctx, repro.Job{Config: repro.BaselineConfig(), Reps: 10})
+//
+// Every run method takes a context. Cancellation is deterministic-safe:
+// replications are claimed in seed order and never interrupted mid-run,
+// so a cancelled Run returns the finished seed prefix as a valid
+// partial RunResult (marked Partial, listing exactly the seeds that
+// finished) alongside the context's error. Session.Stream delivers
+// per-replication results over a channel in seed order as workers
+// finish; Session.Experiment and Session.RunScenario run the paper
+// artifacts and scenario jobs on the same warm pool. The Backend
+// interface (Run(ctx, Shard) (ShardResult, error)) is the seam a
+// distributed runner plugs into via NewSessionWithBackend.
+//
+// The pre-session free functions (Simulate, SimulateReplications,
+// SimulateReplicationsParallel, RunScenario) remain as deprecated thin
+// wrappers over a package-level default session, with byte-identical
+// outputs.
+//
+// Quick start (static planning, no simulation):
 //
 //	g := repro.MustParseGraph("[gather:1 [f1:1 || f2:1.5] decide:2]")
 //	a := repro.NewAssigner(repro.EQF, repro.DIV(1))
@@ -44,6 +69,8 @@
 package repro
 
 import (
+	"context"
+	"fmt"
 	"io"
 
 	"repro/internal/core"
@@ -210,21 +237,50 @@ func BaselineConfig() SimConfig { return system.Baseline() }
 func PSPBaselineConfig() SimConfig { return system.PSPBaseline() }
 
 // Simulate runs one replication of the simulation model.
-func Simulate(cfg SimConfig) (*SimMetrics, error) { return system.Run(cfg) }
+//
+// Deprecated: use Session.Run with a single-replication Job; Simulate
+// delegates to a package-level default session (byte-identical results)
+// but cannot be cancelled and shares its warm state process-wide.
+func Simulate(cfg SimConfig) (*SimMetrics, error) {
+	res, err := defaultSession().Run(context.Background(),
+		Job{Config: cfg, Reps: 1}, WithParallelism(1))
+	if err != nil {
+		return nil, err
+	}
+	return res.Runs[0], nil
+}
 
 // SimulateReplications runs reps independent replications and aggregates
 // miss percentages with 95% confidence intervals. Replications fan out
 // across all cores; results are bit-identical to a sequential run because
 // every replication owns its seed-derived RNG substreams.
+//
+// Deprecated: use Session.Run — the Job's Reps field replaces the
+// positional argument, and the RunResult carries the same runs and
+// estimates (RunResult.Replication converts). This wrapper delegates to
+// the package-level default session with byte-identical outputs.
 func SimulateReplications(cfg SimConfig, reps int) (*SimReplication, error) {
-	return system.RunReplications(cfg, reps)
+	return SimulateReplicationsParallel(cfg, reps, 0)
 }
 
 // SimulateReplicationsParallel is SimulateReplications with an explicit
 // worker bound: parallelism <= 0 uses GOMAXPROCS, 1 forces the
 // sequential path. Attaching a TraceRecorder forces parallelism 1.
+//
+// Deprecated: use Session.Run with WithParallelism, which replaces the
+// positional argument and adds cancellation and streaming. This wrapper
+// delegates to the package-level default session with byte-identical
+// outputs.
 func SimulateReplicationsParallel(cfg SimConfig, reps, parallelism int) (*SimReplication, error) {
-	return system.RunReplicationsParallel(cfg, reps, parallelism)
+	if reps <= 0 {
+		return nil, fmt.Errorf("system: reps = %d, want > 0", reps)
+	}
+	res, err := defaultSession().Run(context.Background(),
+		Job{Config: cfg, Reps: reps}, WithParallelism(parallelism))
+	if err != nil {
+		return nil, err
+	}
+	return res.Replication(), nil
 }
 
 // Scenarios --------------------------------------------------------------
@@ -288,13 +344,33 @@ func ScenarioPreset(name string, horizon float64) (*Scenario, error) {
 // descriptions.
 func ScenarioPresets() []string { return scenario.Presets() }
 
-// RunScenario executes reps replications of cfg under the scenario on
-// the parallel runner (parallelism <= 0 uses GOMAXPROCS, 1 is
-// sequential) and merges the time series across replications. Results —
-// including the merged series' CSV bytes — are identical at every
-// parallelism level.
+// ChurnOptions tunes the node-churn scenario generator (fault
+// durations, slowdown mix, seed).
+type ChurnOptions = scenario.ChurnOptions
+
+// ChurnScenario generates a node-churn scenario: per-node Poisson fault
+// schedules (on average rate faults per node across the horizon) so
+// large-topology churn runs don't hand-write per-node event entries.
+// The schedule is a pure function of (nodes, rate, horizon, options).
+func ChurnScenario(nodes int, rate, horizon float64, o ChurnOptions) (*Scenario, error) {
+	return scenario.Churn(nodes, rate, horizon, o)
+}
+
+// RunScenario executes reps replications of cfg under the scenario
+// (parallelism <= 0 uses GOMAXPROCS, 1 is sequential) and merges the
+// time series across replications. Results — including the merged
+// series' CSV bytes — are identical at every parallelism level.
+//
+// Deprecated: use Session.RunScenario (or Session.Run with a scenario
+// Job, which also offers streaming and cancellation). This wrapper
+// delegates to the package-level default session with byte-identical
+// outputs.
 func RunScenario(cfg SimConfig, sc *Scenario, reps, parallelism int) (*ScenarioResult, error) {
-	return experiment.RunScenario(cfg, sc, reps, parallelism)
+	if reps <= 0 {
+		return nil, fmt.Errorf("system: reps = %d, want > 0", reps)
+	}
+	return defaultSession().RunScenario(context.Background(), cfg, sc, reps,
+		WithParallelism(parallelism))
 }
 
 // Experiments -----------------------------------------------------------
@@ -328,8 +404,14 @@ func Experiments() []Experiment { return experiment.All() }
 // ExperimentByID looks up one experiment ("fig2b", "combined", ...).
 func ExperimentByID(id string) (Experiment, error) { return experiment.ByID(id) }
 
-// RunExperiment runs the experiment with the given id.
+// RunExperiment runs the experiment with the given id. With a zero
+// Options.Session it executes on the package-level default session
+// (warm workspaces shared with the other free functions); prefer
+// Session.Experiment to control the session and the context explicitly.
 func RunExperiment(id string, o ExperimentOptions) (*ExperimentResult, error) {
+	if o.Session == nil {
+		o.Session = defaultSession().Session
+	}
 	e, err := experiment.ByID(id)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,135 @@
+package repro
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/experiment"
+	"repro/internal/session"
+)
+
+// Session API ------------------------------------------------------------
+//
+// The Session/Job API is the unified run layer: one stateful entry point
+// whose warm per-worker workspaces (engine, pools, queues, node group,
+// reconfigurable workload sources) persist across calls, with functional
+// options instead of positional arguments, context-aware cancellation
+// with deterministic seed-prefix partial results, a streaming surface,
+// and a pluggable Backend — the seam a distributed runner implements.
+// The pre-session free functions (Simulate, SimulateReplications,
+// RunScenario, ...) remain as deprecated wrappers over a package-level
+// default session with byte-identical outputs.
+
+// Job describes one run request: a configuration, an optional scenario,
+// and a replication count (0 means one). Replication i uses seed
+// Config.Seed + i.
+type Job = session.Job
+
+// RunOption configures a Session (as a call default) or one run.
+type RunOption = session.Option
+
+// RunResult is a completed or cancelled job: per-replication metrics in
+// seed order, the seeds that finished, class miss-percentage estimates,
+// and the merged scenario series (when the job had one).
+type RunResult = session.Result
+
+// StreamItem is one streamed replication result (index, seed, metrics —
+// including the replication's own scenario series chunk).
+type StreamItem = session.Item
+
+// RunStream is an in-flight streaming run: Items yields per-replication
+// results in seed order as workers finish; Result blocks for the final
+// aggregate.
+type RunStream = session.Stream
+
+// Shard is the unit of work a Backend executes: one configuration plus
+// a seed range, one replication per seed.
+type Shard = session.Shard
+
+// ShardResult is a Backend's seed-ordered answer; on cancellation it
+// covers the finished seed prefix.
+type ShardResult = session.ShardResult
+
+// Backend executes shards — the seam a distributed runner plugs into.
+// The in-process worker pool is the built-in implementation.
+type Backend = session.Backend
+
+// WithParallelism bounds a run's worker pool: 0 uses all cores, 1
+// forces the sequential path. Results are bit-identical at any setting.
+func WithParallelism(n int) RunOption { return session.WithParallelism(n) }
+
+// WithProgress observes per-replication completion (fn may be called
+// concurrently from worker goroutines).
+func WithProgress(fn func(done, total int)) RunOption { return session.WithProgress(fn) }
+
+// WithTrace attaches a lifecycle recorder to every replication; tracing
+// forces the sequential path.
+func WithTrace(rec *TraceRecorder) RunOption { return session.WithTrace(rec) }
+
+// WithEventQueue pins the engine's pending-event structure; results are
+// byte-identical across kinds.
+func WithEventQueue(kind EventQueueKind) RunOption { return session.WithEventQueue(kind) }
+
+// WithPoolingDisabled runs on the pure allocation path (the reference
+// path the pooled one is tested against); results are bit-identical.
+func WithPoolingDisabled() RunOption { return session.WithPoolingDisabled() }
+
+// Session owns the execution resources of the run API: a worker pool
+// whose per-worker warm workspaces persist across every call (or a
+// caller-provided Backend). Create one with NewSession, share it freely
+// (it is safe for concurrent use), and Close it to release the warm
+// state. All run methods take a context; cancelling it stops new
+// replications while finished ones keep their seed-ordered results.
+type Session struct {
+	*session.Session
+}
+
+// NewSession returns a session on the in-process backend; opts become
+// the session-wide defaults (overridable per call).
+func NewSession(opts ...RunOption) *Session {
+	return &Session{session.New(opts...)}
+}
+
+// NewSessionWithBackend returns a session that executes every job
+// through b — the distributed-runner seam. Everything above the Backend
+// (streaming, experiments, the CLIs) works unchanged.
+func NewSessionWithBackend(b Backend, opts ...RunOption) *Session {
+	return &Session{session.NewWithBackend(b, opts...)}
+}
+
+// Experiment runs a registered paper artifact ("fig2b", "combined", ...)
+// through this session: sweep cells execute on the session's warm
+// workspaces and the run is bounded by ctx. Options fields Context and
+// Session are overridden by the method's receiver and argument.
+func (s *Session) Experiment(ctx context.Context, id string, o ExperimentOptions) (*ExperimentResult, error) {
+	o.Context = ctx
+	o.Session = s.Session
+	e, err := experiment.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(o)
+}
+
+// RunScenario executes a scenario job through this session and shapes
+// the outcome as a ScenarioResult (the merged-series result type the
+// scenario CLI and the deprecated free function share). Like every
+// scenario entry point it requires reps > 0; run a scenario Job through
+// Session.Run directly for the Job semantics (0 means one replication,
+// partial results on cancellation).
+func (s *Session) RunScenario(ctx context.Context, cfg SimConfig, sc *Scenario, reps int, opts ...RunOption) (*ScenarioResult, error) {
+	return experiment.RunScenarioWith(ctx, s.Session, cfg, sc, reps, opts...)
+}
+
+// defaultSession backs the deprecated free functions. It is created on
+// first use and lives for the process: repeated Simulate calls reuse the
+// same warm workspaces a Session user would.
+var (
+	defaultSessionOnce sync.Once
+	defaultSessionVal  *Session
+)
+
+func defaultSession() *Session {
+	defaultSessionOnce.Do(func() { defaultSessionVal = NewSession() })
+	return defaultSessionVal
+}

@@ -1,0 +1,175 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Golden-equality tests for the Session redesign: the deprecated free
+// functions are thin wrappers over a default session, and these tests
+// prove old call and new call emit byte-identical artifacts.
+
+// simSig fingerprints a run for byte-level comparison of everything the
+// renderers consume.
+func simSig(m *SimMetrics) string {
+	return fmt.Sprintf("%d %d %d %d %d %d %v %v %v %v %v",
+		m.LocalGenerated, m.LocalDone, m.LocalAborted,
+		m.GlobalGenerated, m.GlobalDone, m.GlobalAborted,
+		m.MDLocal(), m.MDGlobal(), m.LocalResponse.Mean(),
+		m.GlobalResponse.Mean(), m.GlobalTardiness.Mean())
+}
+
+// TestDeprecatedSimulateMatchesSession: Simulate == Session.Run of a
+// one-replication job.
+func TestDeprecatedSimulateMatchesSession(t *testing.T) {
+	cfg := BaselineConfig()
+	cfg.Horizon = 4000
+	old, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession()
+	defer sess.Close()
+	res, err := sess.Run(context.Background(), Job{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simSig(old) != simSig(res.Runs[0]) {
+		t.Fatalf("Simulate diverged from Session.Run:\nold %s\nnew %s",
+			simSig(old), simSig(res.Runs[0]))
+	}
+}
+
+// TestDeprecatedReplicationsMatchSession: SimulateReplicationsParallel
+// == Session.Run at matching parallelism, runs and estimates alike.
+func TestDeprecatedReplicationsMatchSession(t *testing.T) {
+	cfg := PSPBaselineConfig()
+	cfg.Horizon = 2500
+	const reps = 3
+	for _, par := range []int{1, 4} {
+		old, err := SimulateReplicationsParallel(cfg, reps, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess := NewSession(WithParallelism(par))
+		res, err := sess.Run(context.Background(), Job{Config: cfg, Reps: reps})
+		sess.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range old.Runs {
+			if simSig(old.Runs[i]) != simSig(res.Runs[i]) {
+				t.Fatalf("parallelism %d rep %d diverged", par, i)
+			}
+		}
+		if old.LocalMD != res.LocalMD || old.GlobalMD != res.GlobalMD {
+			t.Fatalf("parallelism %d: estimates diverged", par)
+		}
+	}
+}
+
+// TestDeprecatedRunScenarioMatchesSessionCSV is the golden-CSV test:
+// the deprecated RunScenario and Session.RunScenario must emit
+// byte-identical merged time-series CSV, at parallelism 1 and N,
+// pooling on and off.
+func TestDeprecatedRunScenarioMatchesSessionCSV(t *testing.T) {
+	cfg := BaselineConfig()
+	cfg.Horizon = 10000
+	sc, err := ScenarioPreset("storm", cfg.Horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const reps = 3
+	csv := func(res *ScenarioResult) string {
+		var b strings.Builder
+		if err := res.Series.WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	for _, par := range []int{1, 4} {
+		for _, pooling := range []bool{true, false} {
+			c := cfg
+			c.DisablePooling = !pooling
+			old, err := RunScenario(c, sc, reps, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess := NewSession(WithParallelism(par))
+			res, err := sess.RunScenario(context.Background(), c, sc, reps)
+			sess.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if csv(old) != csv(res) {
+				t.Fatalf("par=%d pooling=%t: deprecated RunScenario CSV differs from Session", par, pooling)
+			}
+			if old.LocalMD != res.LocalMD || old.GlobalMD != res.GlobalMD {
+				t.Fatalf("par=%d pooling=%t: estimates diverged", par, pooling)
+			}
+		}
+	}
+}
+
+// TestSessionExperimentMatchesRunExperiment: the session-scoped
+// experiment path renders byte-identical CSV to the package-level one.
+func TestSessionExperimentMatchesRunExperiment(t *testing.T) {
+	opts := ExperimentOptions{Horizon: 1200, Reps: 2, Seed: 3}
+	old, err := RunExperiment("fig2b", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession()
+	defer sess.Close()
+	res, err := sess.Experiment(context.Background(), "fig2b", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RenderCSV(old.Figure) != RenderCSV(res.Figure) {
+		t.Fatal("Session.Experiment CSV differs from RunExperiment")
+	}
+}
+
+// TestStreamConcatenationEqualsBatch at the public API: streaming is
+// pure delivery, never a different computation.
+func TestStreamConcatenationEqualsBatch(t *testing.T) {
+	cfg := BaselineConfig()
+	cfg.Horizon = 3000
+	sess := NewSession(WithParallelism(3))
+	defer sess.Close()
+	job := Job{Config: cfg, Reps: 4}
+	batch, err := sess.Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sess.Stream(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for it := range st.Items() {
+		if it.Index != i || simSig(it.Metrics) != simSig(batch.Runs[i]) {
+			t.Fatalf("stream item %d (index %d) diverged from batch", i, it.Index)
+		}
+		i++
+	}
+	if i != len(batch.Runs) {
+		t.Fatalf("stream delivered %d of %d results", i, len(batch.Runs))
+	}
+}
+
+// TestCancelledExperimentFails: an already-cancelled context fails an
+// experiment cleanly rather than producing a partial figure.
+func TestCancelledExperimentFails(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sess := NewSession()
+	defer sess.Close()
+	_, err := sess.Experiment(ctx, "fig2b", ExperimentOptions{Horizon: 1000, Reps: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
