@@ -1,14 +1,16 @@
 // Package cliflags holds the flag plumbing shared by the simulation
 // CLIs (cmd/sdasim, cmd/sdascn): the worker-pool bound, the event-queue
-// selector, the topology override, and the profiling switches — one
-// registration, one validation, one profiling starter, instead of each
-// command repeating them.
+// selector, the execution backend, the topology override, and the
+// profiling switches — one registration, one validation, one profiling
+// starter, instead of each command repeating them.
 package cliflags
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
+	"repro/internal/distrib"
 	"repro/internal/profiling"
 	"repro/internal/sim"
 )
@@ -23,6 +25,17 @@ type Common struct {
 	Queue string
 	// Nodes overrides the node count k (-nodes); 0 keeps the default.
 	Nodes int
+	// Backend selects the execution backend (-backend): "pool" runs
+	// replications on in-process workers, "proc" fans sub-shards out
+	// across worker processes. Results are byte-identical either way.
+	Backend string
+	// Workers is the -backend proc worker-process count (-workers).
+	Workers int
+	// ShardServer puts the command in shard-worker mode (-shard-server):
+	// serve the distrib protocol on stdin/stdout and exit. The proc
+	// backend spawns its workers by re-executing the current binary with
+	// this flag.
+	ShardServer bool
 	// CPUProfile and MemProfile are the profiling output paths.
 	CPUProfile, MemProfile string
 }
@@ -37,6 +50,12 @@ func Register(fs *flag.FlagSet) *Common {
 		"event-queue implementation: auto (default; heap, ladder-promoted at scale), heap, or ladder — results are byte-identical, only speed differs")
 	fs.IntVar(&c.Nodes, "nodes", 0,
 		"override the node count k for every replication (default: the run's own setting, Table 1: 6)")
+	fs.StringVar(&c.Backend, "backend", "pool",
+		"execution backend: pool (in-process worker pool) or proc (multi-process shard workers; output is byte-identical)")
+	fs.IntVar(&c.Workers, "workers", 0,
+		"worker-process count for -backend proc (0 = default 2)")
+	fs.BoolVar(&c.ShardServer, "shard-server", false,
+		"serve as a shard-worker process on stdin/stdout and exit (spawned by -backend proc; not for interactive use)")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "",
 		"write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 	fs.StringVar(&c.MemProfile, "memprofile", "",
@@ -61,4 +80,31 @@ func (c *Common) ValidateNodes() error {
 // function to defer.
 func (c *Common) StartProfiling() (func(), error) {
 	return profiling.Start(c.CPUProfile, c.MemProfile)
+}
+
+// ServeShardWorker runs the shard-worker protocol on stdin/stdout until
+// the coordinator closes the pipe — the body of -shard-server mode.
+func ServeShardWorker() error {
+	return distrib.ServeWorker(os.Stdin, os.Stdout)
+}
+
+// ProcBackend resolves the -backend/-workers flags: nil means the
+// default in-process pool; a non-nil backend is the multi-process
+// coordinator (Close it when done). Worker processes re-execute the
+// current binary with -shard-server.
+func (c *Common) ProcBackend() (*distrib.ProcBackend, error) {
+	switch c.Backend {
+	case "", "pool":
+		if c.Workers != 0 {
+			return nil, fmt.Errorf("-workers %d requires -backend proc", c.Workers)
+		}
+		return nil, nil
+	case "proc":
+		if c.Workers < 0 {
+			return nil, fmt.Errorf("-workers %d, want >= 0", c.Workers)
+		}
+		return distrib.NewProcBackend(distrib.ProcOptions{Workers: c.Workers}), nil
+	default:
+		return nil, fmt.Errorf("unknown -backend %q (want pool or proc)", c.Backend)
+	}
 }

@@ -10,6 +10,7 @@
 //	sdascn -spec storm.json -reps 8 -parallel 8
 //	sdascn -preset outage -ssp EQF -psp DIV-1 -load 0.7 -out series.csv
 //	sdascn -preset churn -nodes 1024 -churn-rate 2   # generated per-node faults
+//	sdascn -preset burst -backend proc -workers 3    # multi-process execution
 //
 // The spec file is JSON:
 //
@@ -35,9 +36,10 @@
 // pure function of (-nodes, -seed, churn flags).
 //
 // The run executes through a repro.Session; replications fan out across
-// cores (-parallel: 0 = all cores, 1 = sequential) and the merged CSV is
-// byte-identical at every worker count, which the CI determinism job
-// asserts.
+// cores (-parallel: 0 = all cores, 1 = sequential) or, with
+// -backend proc, across -workers worker processes speaking the distrib
+// shard protocol. The merged CSV is byte-identical at every worker
+// count and across backends, which the CI determinism jobs assert.
 package main
 
 import (
@@ -78,12 +80,18 @@ func run(args []string, out, errOut io.Writer) error {
 		psp       = fs.String("psp", "", "parallel strategy: UD, DIV-<x>, GF, ... (default UD)")
 		churnRate = fs.Float64("churn-rate", 2, "churn preset: mean faults per node across the run")
 		churnSlow = fs.Float64("churn-slow", 0.25, "churn preset: fraction of faults that are slowdowns instead of outages")
+		nopool    = fs.Bool("nopool", false, "run on the pure allocation path instead of the pooled one (results are bit-identical)")
 		outPath   = fs.String("out", "", "write the CSV here instead of stdout")
 		quiet     = fs.Bool("quiet", false, "suppress the summary line on stderr")
 		common    = cliflags.Register(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if common.ShardServer {
+		// Worker mode: serve sub-shards over stdin/stdout for a
+		// -backend proc coordinator, then exit.
+		return cliflags.ServeShardWorker()
 	}
 	stopProf, err := common.StartProfiling()
 	if err != nil {
@@ -148,7 +156,21 @@ func run(args []string, out, errOut io.Writer) error {
 		return err
 	}
 
-	sess := repro.NewSession(repro.WithParallelism(common.Parallel), repro.WithEventQueue(queueKind))
+	procBackend, err := common.ProcBackend()
+	if err != nil {
+		return err
+	}
+	sessOpts := []repro.RunOption{repro.WithParallelism(common.Parallel), repro.WithEventQueue(queueKind)}
+	if *nopool {
+		sessOpts = append(sessOpts, repro.WithPoolingDisabled())
+	}
+	var sess *repro.Session
+	if procBackend != nil {
+		defer procBackend.Close()
+		sess = repro.NewSessionWithBackend(procBackend, sessOpts...)
+	} else {
+		sess = repro.NewSession(sessOpts...)
+	}
 	defer sess.Close()
 	res, err := sess.RunScenario(context.Background(), cfg, sc, *reps)
 	if err != nil {

@@ -10,6 +10,7 @@
 //	sdasim -exp all -parallel 8 -progress   # bound the worker pool
 //	sdasim -exp abl-hot -nodes 1024         # scale the topology
 //	sdasim -exp fig2b -queue ladder         # pin an event queue
+//	sdasim -exp fig2b -backend proc -workers 3   # fan out across processes
 //
 // Every experiment runs through one repro.Session, so consecutive
 // experiments share warm per-worker workspaces. Sweeps fan their
@@ -70,6 +71,11 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if common.ShardServer {
+		// Worker mode: serve sub-shards over stdin/stdout for a
+		// -backend proc coordinator, then exit.
+		return cliflags.ServeShardWorker()
+	}
 	stopProf, err := common.StartProfiling()
 	if err != nil {
 		return err
@@ -121,8 +127,19 @@ func run(args []string, out io.Writer) error {
 	}
 
 	// One session serves every experiment of the invocation: warm
-	// workspaces carry over between sweeps.
-	sess := repro.NewSession()
+	// workspaces carry over between sweeps (for -backend proc, each
+	// worker process keeps its own warm pool the same way).
+	procBackend, err := common.ProcBackend()
+	if err != nil {
+		return err
+	}
+	var sess *repro.Session
+	if procBackend != nil {
+		defer procBackend.Close()
+		sess = repro.NewSessionWithBackend(procBackend)
+	} else {
+		sess = repro.NewSession()
+	}
 	defer sess.Close()
 
 	opts := experiment.Options{

@@ -1,0 +1,422 @@
+package distrib
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+
+	"repro/internal/session"
+	"repro/internal/system"
+)
+
+// errWorkerDead marks a sub-shard that failed because its worker
+// process died (or broke protocol): the chunk is re-run on a surviving
+// worker, which is safe because replications are pure functions of
+// (config, seed).
+var errWorkerDead = errors.New("distrib: worker process died")
+
+// ProcOptions configures a ProcBackend.
+type ProcOptions struct {
+	// Workers is the number of worker processes; 0 means 2.
+	Workers int
+	// Command is the worker argv. Empty re-executes the current binary
+	// with -shard-server, which is the mode both CLIs serve.
+	Command []string
+	// Env appends to the inherited environment of worker processes.
+	Env []string
+	// ChunkSize caps seeds per dispatched sub-shard; 0 picks
+	// max(1, seeds/(4·workers)) so work-stealing has slack to balance.
+	ChunkSize int
+	// Stderr receives worker stderr; nil inherits this process's.
+	Stderr io.Writer
+}
+
+// workers resolves the worker-count default.
+func (o ProcOptions) workers() int {
+	if o.Workers <= 0 {
+		return 2
+	}
+	return o.Workers
+}
+
+// procWorker is one spawned worker process.
+type procWorker struct {
+	cmd  *exec.Cmd
+	in   io.Closer
+	fw   *frameWriter
+	br   *bufio.Reader
+	dead bool
+}
+
+// ProcBackend implements session.Backend across worker processes: it
+// splits a shard's seed range into contiguous chunks, work-steals the
+// chunks across N persistent workers (each a ServeWorker process with
+// its own warm workspace pool), and merges results in seed order, so
+// its output is byte-identical to the in-process pool at any worker
+// count. A worker that dies mid-chunk has the chunk re-run on a
+// surviving worker; determinism makes the re-run interchangeable.
+//
+// Configurations that cannot cross a process boundary (ErrNotWirable:
+// an attached trace recorder, an unregistered Shape or Demand) fall
+// back to an embedded in-process pool transparently.
+//
+// Concurrent Run calls are safe but serialize on the worker set.
+type ProcBackend struct {
+	opts ProcOptions
+
+	runMu sync.Mutex // serializes Runs: they lease the whole worker set
+
+	mu       sync.Mutex // guards workers/fallback/closed/nextID
+	workers  []*procWorker
+	fallback *session.Pool
+	closed   bool
+	nextID   uint64
+}
+
+// NewProcBackend returns a backend; worker processes spawn lazily on
+// the first Run that needs them.
+func NewProcBackend(opts ProcOptions) *ProcBackend {
+	return &ProcBackend{opts: opts}
+}
+
+// Close shuts the workers down (closing stdin lets them exit cleanly;
+// they are killed as a backstop) and drops the fallback pool. Close is
+// not safe concurrently with Run.
+func (b *ProcBackend) Close() error {
+	b.mu.Lock()
+	workers := b.workers
+	b.workers, b.closed = nil, true
+	fallback := b.fallback
+	b.fallback = nil
+	b.mu.Unlock()
+	for _, w := range workers {
+		w.in.Close()
+	}
+	for _, w := range workers {
+		if w.cmd.Process != nil {
+			_ = w.cmd.Process.Kill()
+		}
+		_ = w.cmd.Wait()
+	}
+	if fallback != nil {
+		fallback.Close()
+	}
+	return nil
+}
+
+// spawn starts one worker process.
+func (b *ProcBackend) spawn() (*procWorker, error) {
+	argv := b.opts.Command
+	if len(argv) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("distrib: resolve worker binary: %w", err)
+		}
+		argv = []string{exe, "-shard-server"}
+	}
+	cmd := exec.Command(argv[0], argv[1:]...)
+	if len(b.opts.Env) > 0 {
+		cmd.Env = append(os.Environ(), b.opts.Env...)
+	}
+	if b.opts.Stderr != nil {
+		cmd.Stderr = b.opts.Stderr
+	} else {
+		cmd.Stderr = os.Stderr
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("distrib: start worker %q: %w", argv[0], err)
+	}
+	return &procWorker{
+		cmd: cmd,
+		in:  stdin,
+		fw:  newFrameWriter(stdin),
+		br:  bufio.NewReaderSize(stdout, 1<<16),
+	}, nil
+}
+
+// attach returns the live worker set, spawning replacements for dead
+// (or not yet started) workers.
+func (b *ProcBackend) attach() ([]*procWorker, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, errors.New("distrib: backend closed")
+	}
+	live := b.workers[:0]
+	for _, w := range b.workers {
+		if !w.dead {
+			live = append(live, w)
+		}
+	}
+	b.workers = live
+	for len(b.workers) < b.opts.workers() {
+		w, err := b.spawn()
+		if err != nil {
+			if len(b.workers) > 0 {
+				break // run on what we have
+			}
+			return nil, err
+		}
+		b.workers = append(b.workers, w)
+	}
+	return append([]*procWorker(nil), b.workers...), nil
+}
+
+// reap marks a worker dead and reclaims its process.
+func (b *ProcBackend) reap(w *procWorker) {
+	b.mu.Lock()
+	w.dead = true
+	b.mu.Unlock()
+	w.in.Close()
+	if w.cmd.Process != nil {
+		_ = w.cmd.Process.Kill()
+	}
+	go func() { _ = w.cmd.Wait() }()
+}
+
+// localPool returns the embedded in-process fallback pool.
+func (b *ProcBackend) localPool() *session.Pool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.fallback == nil {
+		b.fallback = session.NewPool()
+	}
+	return b.fallback
+}
+
+// chunk is a contiguous [start, end) slice of a shard's seed range.
+type chunk struct{ start, end int }
+
+// chunkSeeds cuts n seeds into in-order chunks of at most size.
+func chunkSeeds(n, size int) []chunk {
+	var out []chunk
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		out = append(out, chunk{start: start, end: end})
+	}
+	return out
+}
+
+// chunkSize resolves the sub-shard granularity.
+func (b *ProcBackend) chunkSize(n, workers int) int {
+	if b.opts.ChunkSize > 0 {
+		return b.opts.ChunkSize
+	}
+	size := n / (4 * workers)
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
+// Run implements session.Backend. Results are merged in seed order;
+// cancellation returns the longest finished contiguous seed prefix
+// together with ctx's error, exactly like the in-process pool. (Unlike
+// the in-process pool, OnResult may additionally have fired for a few
+// completed replications beyond that prefix — chunks cancel
+// independently — which streaming and progress hooks tolerate by
+// construction.)
+func (b *ProcBackend) Run(ctx context.Context, shard session.Shard) (session.ShardResult, error) {
+	if len(shard.Seeds) == 0 {
+		return session.ShardResult{Metrics: []*system.Metrics{}}, ctx.Err()
+	}
+	wc, err := ToWire(shard.Config)
+	if err != nil {
+		if errors.Is(err, ErrNotWirable) {
+			return b.localPool().Run(ctx, shard)
+		}
+		return session.ShardResult{}, err
+	}
+
+	b.runMu.Lock()
+	defer b.runMu.Unlock()
+	workers, err := b.attach()
+	if err != nil {
+		return session.ShardResult{}, err
+	}
+
+	chunks := chunkSeeds(len(shard.Seeds), b.chunkSize(len(shard.Seeds), len(workers)))
+
+	var (
+		mu        sync.Mutex
+		pending   = append([]chunk(nil), chunks...) // FIFO of undispatched chunks
+		finished  int                               // chunks that ended (done or cancelled)
+		live      = len(workers)
+		failErr   error
+		cancelled bool
+	)
+	cond := sync.NewCond(&mu)
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+
+	metrics := make([]*system.Metrics, len(shard.Seeds))
+	delivered := make([]bool, len(shard.Seeds))
+	record := func(i int, m *system.Metrics) {
+		mu.Lock()
+		first := !delivered[i]
+		delivered[i] = true
+		metrics[i] = m
+		mu.Unlock()
+		// A chunk re-run after a worker death replays indices the dead
+		// worker already streamed; OnResult fires once per index.
+		if first && shard.OnResult != nil {
+			shard.OnResult(i, m)
+		}
+	}
+
+	// Propagate caller cancellation into the dispatch state so idle
+	// workers stop waiting for chunks.
+	stopWatch := make(chan struct{})
+	go func() {
+		select {
+		case <-runCtx.Done():
+			mu.Lock()
+			cancelled = true
+			cond.Broadcast()
+			mu.Unlock()
+		case <-stopWatch:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *procWorker) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for len(pending) == 0 && failErr == nil && !cancelled && finished < len(chunks) {
+					cond.Wait()
+				}
+				if failErr != nil || cancelled || finished == len(chunks) || len(pending) == 0 {
+					mu.Unlock()
+					return
+				}
+				c := pending[0]
+				pending = pending[1:]
+				mu.Unlock()
+
+				cerr := b.runChunk(runCtx, w, &wc, shard, c, record)
+				mu.Lock()
+				switch {
+				case cerr == nil || isCancellation(cerr):
+					finished++
+				case errors.Is(cerr, errWorkerDead):
+					pending = append(pending, c)
+					live--
+					if live == 0 && failErr == nil {
+						failErr = fmt.Errorf("distrib: every worker died (last: %v)", cerr)
+						cancelRun()
+					}
+				default:
+					if failErr == nil {
+						failErr = cerr
+						cancelRun()
+					}
+				}
+				cond.Broadcast()
+				dead := errors.Is(cerr, errWorkerDead)
+				mu.Unlock()
+				if dead {
+					b.reap(w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stopWatch)
+
+	if failErr != nil && !isCancellation(failErr) {
+		return session.ShardResult{}, failErr
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		// Longest contiguous finished prefix; chunks cancel
+		// independently, so completions beyond the first hole are
+		// discarded (deterministic re-runs would reproduce them).
+		completed := 0
+		for completed < len(metrics) && metrics[completed] != nil {
+			completed++
+		}
+		for i := completed; i < len(metrics); i++ {
+			metrics[i] = nil
+		}
+		return session.ShardResult{Metrics: metrics, Completed: completed}, cerr
+	}
+	return session.ShardResult{Metrics: metrics, Completed: len(metrics)}, nil
+}
+
+// runChunk dispatches one sub-shard to a worker and consumes its frames
+// until the coded done frame. Transport failures return errWorkerDead;
+// the caller re-queues the chunk.
+func (b *ProcBackend) runChunk(ctx context.Context, w *procWorker, wc *WireConfig,
+	shard session.Shard, c chunk, record func(int, *system.Metrics)) error {
+	b.mu.Lock()
+	b.nextID++
+	id := b.nextID
+	b.mu.Unlock()
+	msg := shardMsg{
+		ID:          id,
+		Config:      *wc,
+		Seeds:       shard.Seeds[c.start:c.end],
+		Parallelism: shard.Parallelism,
+	}
+	if err := w.fw.send(msgShard, msg); err != nil {
+		return fmt.Errorf("%w: send: %v", errWorkerDead, err)
+	}
+	// Forward cancellation as a frame while the read loop below waits
+	// for the worker's (possibly partial) results.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = w.fw.send(msgCancel, cancelMsg{ID: id})
+		case <-watchDone:
+		}
+	}()
+	for {
+		kind, payload, err := readFrame(w.br)
+		if err != nil {
+			return fmt.Errorf("%w: read: %v", errWorkerDead, err)
+		}
+		switch kind {
+		case msgResult:
+			var m resultMsg
+			if err := decodeMsg(payload, &m); err != nil {
+				return fmt.Errorf("%w: %v", errWorkerDead, err)
+			}
+			if m.ID != id || m.Index < 0 || m.Index >= c.end-c.start || m.Metrics == nil {
+				return fmt.Errorf("%w: stray result frame (id %d, index %d)", errWorkerDead, m.ID, m.Index)
+			}
+			record(c.start+m.Index, m.Metrics)
+		case msgDone:
+			var m doneMsg
+			if err := decodeMsg(payload, &m); err != nil {
+				return fmt.Errorf("%w: %v", errWorkerDead, err)
+			}
+			if m.ID != id {
+				return fmt.Errorf("%w: stray done frame (id %d)", errWorkerDead, m.ID)
+			}
+			return m.Code.err(m.Error)
+		default:
+			return fmt.Errorf("%w: unexpected frame kind %d", errWorkerDead, kind)
+		}
+	}
+}

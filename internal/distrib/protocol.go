@@ -1,0 +1,348 @@
+// Package distrib is the multi-process execution backend behind the
+// session.Backend seam: a coordinator (ProcBackend) that spawns N worker
+// processes and work-steals sub-shards across them, and a worker server
+// (ServeWorker) that executes the sub-shards it receives over a
+// length-prefixed binary protocol on stdin/stdout.
+//
+// Every message is one frame:
+//
+//	[uint32 big-endian payload length] [1 byte message kind] [gob payload]
+//
+// Coordinator -> worker: shardMsg (run these seeds), cancelMsg (stop the
+// identified shard at the next replication boundary). Worker ->
+// coordinator: resultMsg (one replication's metrics, streamed as it
+// finishes), doneMsg (the shard's outcome with a structured Code).
+// Closing the worker's stdin shuts it down.
+//
+// Outcomes carry a Code rather than an error string alone because error
+// identity does not survive a process boundary: a worker's
+// context.Canceled arrives at the coordinator as CodeCanceled and is
+// rehydrated into a CanceledError that still satisfies
+// errors.Is(err, context.Canceled), so the run layer's cancellation
+// semantics (partial results remain valid) hold across processes.
+//
+// Simulation results cross the boundary inside system.Metrics via gob,
+// which routes the stats accumulators and scenario series through their
+// exact (IEEE-754 bit) binary encodings — a merged result is
+// bit-identical to one computed in process, and the coordinator merges
+// sub-shards in seed order, so ProcBackend output is byte-identical to
+// the in-process pool at any worker count.
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/scenario"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/workload"
+)
+
+func init() {
+	// The wire configuration carries Shape and Demand as gob interface
+	// values; every concrete type this package can ship is registered
+	// here. ToWire rejects unknown implementations up front.
+	gob.Register(workload.SerialShape{})
+	gob.Register(workload.ParallelShape{})
+	gob.Register(workload.MixedShape{})
+	gob.Register(workload.HeteroSerialShape{})
+	gob.Register(workload.ExponentialDemand{})
+	gob.Register(workload.ParetoDemand{})
+	gob.Register(workload.LognormalDemand{})
+	gob.Register(workload.DeterministicDemand{})
+}
+
+// msgKind tags a frame's payload type.
+type msgKind uint8
+
+const (
+	msgShard  msgKind = iota + 1 // coordinator -> worker: shardMsg
+	msgCancel                    // coordinator -> worker: cancelMsg
+	msgResult                    // worker -> coordinator: resultMsg
+	msgDone                      // worker -> coordinator: doneMsg
+)
+
+// maxFrame bounds a frame payload; anything larger is a protocol error,
+// not data (it protects against reading a corrupted length as a huge
+// allocation).
+const maxFrame = 1 << 30
+
+// Code classifies a shard outcome on the wire.
+type Code uint8
+
+const (
+	// CodeOK: every seed ran; resultMsg frames covered all of them.
+	CodeOK Code = iota
+	// CodeCanceled: the shard was cancelled; Completed counts the seed
+	// prefix that finished. Maps to an error satisfying
+	// errors.Is(err, context.Canceled) on the coordinator side.
+	CodeCanceled
+	// CodeError: a replication failed; the sub-shard has no usable
+	// result.
+	CodeError
+)
+
+// err rehydrates a wire code into the error the in-process backend
+// would have returned.
+func (c Code) err(msg string) error {
+	switch c {
+	case CodeOK:
+		return nil
+	case CodeCanceled:
+		return &CanceledError{Msg: msg}
+	default:
+		return fmt.Errorf("distrib: worker: %s", msg)
+	}
+}
+
+// CanceledError is the coordinator-side image of a cancellation that
+// happened in a worker process. It unwraps to context.Canceled, so the
+// run layer's isCancellation test — errors.Is(err, context.Canceled) —
+// holds even though the cancelled context lived in another process.
+type CanceledError struct{ Msg string }
+
+// Error implements error.
+func (e *CanceledError) Error() string { return "distrib: worker canceled: " + e.Msg }
+
+// Unwrap makes errors.Is(e, context.Canceled) true.
+func (e *CanceledError) Unwrap() error { return context.Canceled }
+
+// isCancellation mirrors the session package's test.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// shardMsg asks a worker to run one sub-shard.
+type shardMsg struct {
+	ID          uint64
+	Config      WireConfig
+	Seeds       []uint64
+	Parallelism int
+}
+
+// cancelMsg asks a worker to stop shard ID at the next replication
+// boundary (claimed replications run to completion, preserving the
+// prefix guarantee).
+type cancelMsg struct{ ID uint64 }
+
+// resultMsg streams one finished replication: Index is the position
+// within the sub-shard's Seeds.
+type resultMsg struct {
+	ID      uint64
+	Index   int
+	Metrics *system.Metrics
+}
+
+// doneMsg ends a shard: Completed is the finished seed-prefix length
+// (== len(Seeds) for CodeOK), Error the message for non-OK codes.
+type doneMsg struct {
+	ID        uint64
+	Completed int
+	Code      Code
+	Error     string
+}
+
+// frameWriter serializes whole frames with a single Write each, so
+// concurrent senders (a streaming result and a cancel frame) never
+// interleave bytes.
+type frameWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf bytes.Buffer
+}
+
+func newFrameWriter(w io.Writer) *frameWriter { return &frameWriter{w: w} }
+
+// send encodes msg and writes one frame.
+func (fw *frameWriter) send(kind msgKind, msg any) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	fw.buf.Reset()
+	fw.buf.Write([]byte{0, 0, 0, 0, byte(kind)})
+	if err := gob.NewEncoder(&fw.buf).Encode(msg); err != nil {
+		return fmt.Errorf("distrib: encode %d: %w", kind, err)
+	}
+	b := fw.buf.Bytes()
+	if len(b)-5 > maxFrame {
+		return fmt.Errorf("distrib: frame of %d bytes exceeds limit", len(b)-5)
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-5))
+	if _, err := fw.w.Write(b); err != nil {
+		return err
+	}
+	return nil
+}
+
+// readFrame reads one frame. io.EOF (clean close between frames) passes
+// through unwrapped.
+func readFrame(r io.Reader) (msgKind, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("distrib: frame length %d exceeds limit", n)
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(r, p); err != nil {
+		return 0, nil, err
+	}
+	return msgKind(hdr[4]), p, nil
+}
+
+// decodeMsg unpacks a frame payload.
+func decodeMsg(p []byte, into any) error {
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(into); err != nil {
+		return fmt.Errorf("distrib: decode: %w", err)
+	}
+	return nil
+}
+
+// ErrNotWirable marks a configuration that cannot cross a process
+// boundary (an attached trace recorder, or a Shape/Demand implementation
+// this package does not know). ProcBackend falls back to in-process
+// execution for such configurations.
+var ErrNotWirable = errors.New("distrib: config cannot cross a process boundary")
+
+// WireConfig is system.Config flattened for the wire: the scenario
+// travels as its declarative Spec (recompiled worker-side), the trace
+// recorder cannot travel at all, and Seed is omitted because the shard's
+// Seeds list overrides it per replication.
+type WireConfig struct {
+	Nodes                int
+	MuSubtask, MuLocal   float64
+	M                    int
+	Load, FracLocal      float64
+	SlackMin, SlackMax   float64
+	RelFlex, PexRelErr   float64
+	Scheduler            string
+	TardyAbort           bool
+	FirmAbort            bool
+	Preemptive           bool
+	SSP, PSP             string
+	Shape                workload.Shape
+	LocalRateMultipliers []float64
+	Horizon, Warmup      float64
+	Scenario             *scenario.Spec
+	DisablePooling       bool
+	EventQueue           string
+}
+
+// shapeDemand extracts the demand of a known shape.
+func shapeDemand(s workload.Shape) (workload.Demand, bool) {
+	switch sh := s.(type) {
+	case workload.SerialShape:
+		return sh.Demand, true
+	case workload.ParallelShape:
+		return sh.Demand, true
+	case workload.MixedShape:
+		return sh.Demand, true
+	case workload.HeteroSerialShape:
+		return sh.Demand, true
+	default:
+		return nil, false
+	}
+}
+
+// wirableDemand reports whether d is a registered concrete demand.
+func wirableDemand(d workload.Demand) bool {
+	switch d.(type) {
+	case nil, workload.ExponentialDemand, workload.ParetoDemand,
+		workload.LognormalDemand, workload.DeterministicDemand:
+		return true
+	default:
+		return false
+	}
+}
+
+// ToWire flattens a configuration for the wire, or reports
+// ErrNotWirable for configurations that must stay in process.
+func ToWire(cfg system.Config) (WireConfig, error) {
+	if cfg.Trace != nil {
+		return WireConfig{}, fmt.Errorf("%w: a trace recorder is attached", ErrNotWirable)
+	}
+	if cfg.Shape != nil {
+		d, known := shapeDemand(cfg.Shape)
+		if !known {
+			return WireConfig{}, fmt.Errorf("%w: unknown shape %T", ErrNotWirable, cfg.Shape)
+		}
+		if !wirableDemand(d) {
+			return WireConfig{}, fmt.Errorf("%w: unknown demand %T", ErrNotWirable, d)
+		}
+	}
+	wc := WireConfig{
+		Nodes:                cfg.Nodes,
+		MuSubtask:            cfg.MuSubtask,
+		MuLocal:              cfg.MuLocal,
+		M:                    cfg.M,
+		Load:                 cfg.Load,
+		FracLocal:            cfg.FracLocal,
+		SlackMin:             cfg.SlackMin,
+		SlackMax:             cfg.SlackMax,
+		RelFlex:              cfg.RelFlex,
+		PexRelErr:            cfg.PexRelErr,
+		Scheduler:            string(cfg.Scheduler),
+		TardyAbort:           cfg.TardyAbort,
+		FirmAbort:            cfg.FirmAbort,
+		Preemptive:           cfg.Preemptive,
+		SSP:                  cfg.SSP,
+		PSP:                  cfg.PSP,
+		Shape:                cfg.Shape,
+		LocalRateMultipliers: cfg.LocalRateMultipliers,
+		Horizon:              cfg.Horizon,
+		Warmup:               cfg.Warmup,
+		DisablePooling:       cfg.DisablePooling,
+		EventQueue:           string(cfg.EventQueue),
+	}
+	if cfg.Scenario != nil {
+		sp := cfg.Scenario.Spec()
+		wc.Scenario = &sp
+	}
+	return wc, nil
+}
+
+// Config rebuilds the runnable configuration worker-side, recompiling
+// the scenario spec.
+func (wc WireConfig) Config() (system.Config, error) {
+	cfg := system.Config{
+		Nodes:                wc.Nodes,
+		MuSubtask:            wc.MuSubtask,
+		MuLocal:              wc.MuLocal,
+		M:                    wc.M,
+		Load:                 wc.Load,
+		FracLocal:            wc.FracLocal,
+		SlackMin:             wc.SlackMin,
+		SlackMax:             wc.SlackMax,
+		RelFlex:              wc.RelFlex,
+		PexRelErr:            wc.PexRelErr,
+		Scheduler:            sched.Policy(wc.Scheduler),
+		TardyAbort:           wc.TardyAbort,
+		FirmAbort:            wc.FirmAbort,
+		Preemptive:           wc.Preemptive,
+		SSP:                  wc.SSP,
+		PSP:                  wc.PSP,
+		Shape:                wc.Shape,
+		LocalRateMultipliers: wc.LocalRateMultipliers,
+		Horizon:              wc.Horizon,
+		Warmup:               wc.Warmup,
+		DisablePooling:       wc.DisablePooling,
+		EventQueue:           sim.QueueKind(wc.EventQueue),
+	}
+	if wc.Scenario != nil {
+		sc, err := scenario.New(*wc.Scenario)
+		if err != nil {
+			return system.Config{}, err
+		}
+		cfg.Scenario = sc
+	}
+	return cfg, nil
+}

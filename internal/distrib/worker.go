@@ -1,0 +1,109 @@
+package distrib
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"sync"
+
+	"repro/internal/session"
+	"repro/internal/system"
+)
+
+// ServeWorker runs the shard-worker side of the protocol: it reads
+// shard and cancel frames from r until EOF and writes result and done
+// frames to w. Each worker process owns one warm session.Pool, so
+// consecutive sub-shards reuse workspaces exactly as the in-process
+// backend does. Shards run concurrently if the coordinator pipelines
+// them (the current coordinator sends one at a time per worker);
+// cancellation stops a shard at its next replication boundary,
+// preserving the seed-prefix guarantee.
+//
+// A clean shutdown — stdin closing between frames — returns nil after
+// in-flight shards finish.
+func ServeWorker(r io.Reader, w io.Writer) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	fw := newFrameWriter(w)
+	pool := session.NewPool()
+	defer pool.Close()
+
+	var (
+		mu      sync.Mutex
+		cancels = make(map[uint64]context.CancelFunc)
+		wg      sync.WaitGroup
+	)
+	defer wg.Wait()
+	for {
+		kind, payload, err := readFrame(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil // coordinator closed the pipe
+			}
+			return err
+		}
+		switch kind {
+		case msgShard:
+			var m shardMsg
+			if err := decodeMsg(payload, &m); err != nil {
+				return err
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			mu.Lock()
+			cancels[m.ID] = cancel
+			mu.Unlock()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() {
+					mu.Lock()
+					delete(cancels, m.ID)
+					mu.Unlock()
+					cancel()
+				}()
+				runWorkerShard(ctx, pool, fw, m)
+			}()
+		case msgCancel:
+			var m cancelMsg
+			if err := decodeMsg(payload, &m); err != nil {
+				return err
+			}
+			mu.Lock()
+			if cancel := cancels[m.ID]; cancel != nil {
+				cancel()
+			}
+			mu.Unlock()
+		default:
+			return errors.New("distrib: worker received an unexpected frame kind")
+		}
+	}
+}
+
+// runWorkerShard executes one sub-shard on the worker's pool, streaming
+// per-replication results and closing with a coded done frame. Write
+// errors are ignored: they mean the coordinator is gone, and the main
+// loop will see the broken pipe on its next frame.
+func runWorkerShard(ctx context.Context, pool *session.Pool, fw *frameWriter, m shardMsg) {
+	cfg, err := m.Config.Config()
+	if err != nil {
+		_ = fw.send(msgDone, doneMsg{ID: m.ID, Code: CodeError, Error: err.Error()})
+		return
+	}
+	shard := session.Shard{
+		Config:      cfg,
+		Seeds:       m.Seeds,
+		Parallelism: m.Parallelism,
+		OnResult: func(i int, met *system.Metrics) {
+			_ = fw.send(msgResult, resultMsg{ID: m.ID, Index: i, Metrics: met})
+		},
+	}
+	res, err := pool.Run(ctx, shard)
+	switch {
+	case err == nil:
+		_ = fw.send(msgDone, doneMsg{ID: m.ID, Completed: res.Completed, Code: CodeOK})
+	case isCancellation(err):
+		_ = fw.send(msgDone, doneMsg{ID: m.ID, Completed: res.Completed, Code: CodeCanceled, Error: err.Error()})
+	default:
+		_ = fw.send(msgDone, doneMsg{ID: m.ID, Code: CodeError, Error: err.Error()})
+	}
+}

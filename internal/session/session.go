@@ -68,6 +68,22 @@ func (j Job) reps() (int, error) {
 	return j.Reps, nil
 }
 
+// seeds resolves the replication count and lists the job's replication
+// seeds. A job whose range Config.Seed .. Config.Seed+reps-1 does not
+// fit in uint64 is rejected: silent wraparound would rerun seeds 0, 1,
+// ... and hand the backend duplicate replications presented as
+// independent ones.
+func (j Job) seeds() ([]uint64, error) {
+	reps, err := j.reps()
+	if err != nil {
+		return nil, err
+	}
+	if base := j.Config.Seed; base > ^uint64(0)-uint64(reps-1) {
+		return nil, fmt.Errorf("session: seed range %d+%d wraps around uint64; lower Config.Seed or Reps", base, reps)
+	}
+	return seedRange(j.Config.Seed, reps), nil
+}
+
 // config resolves the effective per-replication configuration.
 func (j Job) config(o options) system.Config {
 	cfg := j.Config
@@ -350,23 +366,26 @@ func (r *Result) Replication() *system.Replication {
 // seed order and never interrupted mid-run, so on cancellation Run
 // returns the finished seed prefix as a valid partial Result — marked
 // Partial, listing exactly the seeds that finished — alongside ctx's
-// error. Any other error returns a nil Result.
+// error. Any other error returns a nil Result: Run surfaced no
+// intermediate results, so there is no prefix to stand behind (Stream,
+// which has already emitted items, instead returns the emitted prefix
+// as a Partial result alongside the error).
 func (s *Session) Run(ctx context.Context, job Job, opts ...Option) (*Result, error) {
 	o, err := s.resolve(opts)
 	if err != nil {
 		return nil, err
 	}
-	reps, err := job.reps()
+	seeds, err := job.seeds()
 	if err != nil {
 		return nil, err
 	}
 	shard := Shard{
 		Config:      job.config(o),
-		Seeds:       seedRange(job.Config.Seed, reps),
+		Seeds:       seeds,
 		Parallelism: o.parallelism,
 	}
 	if o.progress != nil {
-		shard.OnResult = progressHook(o.progress, reps)
+		shard.OnResult = progressHook(o.progress, len(seeds))
 	}
 	res, err := s.backend.Run(ctx, shard)
 	if err != nil && !isCancellation(err) {

@@ -336,3 +336,85 @@ func TestRunFailureReturnsError(t *testing.T) {
 		t.Fatal("stream swallowed the run error")
 	}
 }
+
+// TestSeedRangeWraparoundRejected: a job whose seed range would wrap
+// uint64 is rejected up front instead of silently handing the backend
+// colliding seeds; the largest non-wrapping range still runs.
+func TestSeedRangeWraparoundRejected(t *testing.T) {
+	s := New(WithParallelism(1))
+	defer s.Close()
+
+	cfg := shortCfg(500)
+	cfg.Seed = ^uint64(0) - 2
+	// max-2, max-1, max still fits.
+	res, err := s.Run(context.Background(), Job{Config: cfg, Reps: 3})
+	if err != nil {
+		t.Fatalf("in-range job at the seed maximum rejected: %v", err)
+	}
+	if len(res.Seeds) != 3 || res.Seeds[0] != ^uint64(0)-2 || res.Seeds[2] != ^uint64(0) {
+		t.Fatalf("seeds = %v, want [max-2 max-1 max]", res.Seeds)
+	}
+	// One more replication wraps.
+	if _, err := s.Run(context.Background(), Job{Config: cfg, Reps: 4}); err == nil || !strings.Contains(err.Error(), "wraps") {
+		t.Fatalf("wrapping job accepted by Run (err = %v)", err)
+	}
+	if _, err := s.Stream(context.Background(), Job{Config: cfg, Reps: 4}); err == nil {
+		t.Fatal("wrapping job accepted by Stream")
+	}
+}
+
+// prefixFailBackend runs the first emit seeds through the in-process
+// pool (so OnResult fires for them in the usual way), then fails the
+// shard with err — modelling a backend that dies partway through.
+type prefixFailBackend struct {
+	inner Backend
+	emit  int
+	err   error
+}
+
+func (b *prefixFailBackend) Run(ctx context.Context, shard Shard) (ShardResult, error) {
+	sub := shard
+	sub.Seeds = shard.Seeds[:b.emit]
+	if _, err := b.inner.Run(ctx, sub); err != nil {
+		return ShardResult{}, err
+	}
+	return ShardResult{}, b.err
+}
+
+// TestStreamFailureSurfacesEmittedPrefix pins the Items/Result contract
+// on the failure path: items already emitted when a non-cancellation
+// backend error arrives are exactly Result().Runs, returned as a
+// Partial result alongside the error.
+func TestStreamFailureSurfacesEmittedPrefix(t *testing.T) {
+	cfg := shortCfg(1000)
+	const emit, reps = 2, 5
+	fail := errors.New("backend broke")
+	s := NewWithBackend(&prefixFailBackend{inner: NewPool(), emit: emit, err: fail}, WithParallelism(1))
+	defer s.Close()
+
+	st, err := s.Stream(context.Background(), Job{Config: cfg, Reps: reps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var items []Item
+	for it := range st.Items() {
+		items = append(items, it)
+	}
+	res, rerr := st.Result()
+	if !errors.Is(rerr, fail) {
+		t.Fatalf("Result error = %v, want %v", rerr, fail)
+	}
+	if res == nil || !res.Partial {
+		t.Fatalf("Result = %+v, want a Partial result of the emitted prefix", res)
+	}
+	if len(items) != emit || len(res.Runs) != emit || len(res.Seeds) != emit {
+		t.Fatalf("emitted %d items, result has %d runs / %d seeds, want %d each",
+			len(items), len(res.Runs), len(res.Seeds), emit)
+	}
+	for i, it := range items {
+		if it.Index != i || it.Seed != cfg.Seed+uint64(i) || res.Runs[i] != it.Metrics {
+			t.Fatalf("item %d {index %d seed %d} does not match result run %d: the emitted prefix and Runs diverged",
+				i, it.Index, it.Seed, i)
+		}
+	}
+}

@@ -29,14 +29,20 @@ type Stream struct {
 // Items returns the result channel. Items arrive in seed order as
 // workers finish — replication i is delivered as soon as replications
 // 0..i have all completed — and the channel closes when the run ends
-// (normally, by error, or by cancellation). Concatenating the items'
+// (normally, by error, or by cancellation). On every ending —
+// success, cancellation, or backend failure — concatenating the items'
 // metrics reproduces Result().Runs exactly; streaming never changes
 // what is computed, only when it becomes visible.
 func (st *Stream) Items() <-chan Item { return st.items }
 
-// Result blocks until the run finishes and returns the same aggregate
-// Run would have: on cancellation a Partial result of the finished seed
-// prefix alongside ctx's error, on failure a nil result and the error.
+// Result blocks until the run finishes. On success it returns the same
+// aggregate Run would have; on cancellation, a Partial result of the
+// finished seed prefix alongside ctx's error. On any other backend
+// failure it returns the error together with a Partial result covering
+// exactly the items already delivered through Items (possibly zero) —
+// unlike Run, which surfaced nothing and therefore returns a nil
+// result — so consuming both channels never observes runs the result
+// disavows.
 func (st *Stream) Result() (*Result, error) {
 	<-st.done
 	return st.res, st.err
@@ -53,17 +59,18 @@ func (s *Session) Stream(ctx context.Context, job Job, opts ...Option) (*Stream,
 	if err != nil {
 		return nil, err
 	}
-	reps, err := job.reps()
+	seeds, err := job.seeds()
 	if err != nil {
 		return nil, err
 	}
+	reps := len(seeds)
 	st := &Stream{
 		items: make(chan Item, reps),
 		done:  make(chan struct{}),
 	}
 	shard := Shard{
 		Config:      job.config(o),
-		Seeds:       seedRange(job.Config.Seed, reps),
+		Seeds:       seeds,
 		Parallelism: o.parallelism,
 	}
 
@@ -94,6 +101,7 @@ func (s *Session) Stream(ctx context.Context, job Job, opts ...Option) (*Stream,
 	// complete. st.items is buffered to the full replication count, so
 	// the emitter never blocks on the consumer.
 	emitDone := make(chan struct{})
+	var emitted []*system.Metrics // seed-order prefix; emitter-owned until emitDone
 	go func() {
 		defer close(emitDone)
 		defer close(st.items)
@@ -103,6 +111,7 @@ func (s *Session) Stream(ctx context.Context, job Job, opts ...Option) (*Stream,
 			pending[a.i] = a.m
 			for m, ok := pending[next]; ok; m, ok = pending[next] {
 				delete(pending, next)
+				emitted = append(emitted, m)
 				st.items <- Item{Index: next, Seed: shard.Seeds[next], Metrics: m}
 				next++
 			}
@@ -114,7 +123,19 @@ func (s *Session) Stream(ctx context.Context, job Job, opts ...Option) (*Stream,
 		<-emitDone // every emitted item precedes done
 
 		if rerr != nil && !isCancellation(rerr) {
-			st.err = rerr
+			// A replication failed. The backend disavows the shard, but
+			// items already emitted are irrevocably visible to the
+			// consumer, so the Items contract — concatenating item metrics
+			// reproduces Result().Runs — is honoured by surfacing exactly
+			// the emitted seed prefix as a Partial result alongside the
+			// error. (Run, which never surfaced anything, returns nil.)
+			out, aerr := aggregate(shard, ShardResult{Metrics: emitted, Completed: len(emitted)})
+			if aerr != nil {
+				st.err = rerr
+			} else {
+				out.Partial = true
+				st.res, st.err = out, rerr
+			}
 		} else if out, aerr := aggregate(shard, res); aerr != nil {
 			st.err = aerr
 		} else {

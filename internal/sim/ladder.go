@@ -229,7 +229,15 @@ func (q *ladderQueue) advance() bool {
 		b := r.bkts[r.cur]
 		ns := r.bounds[r.cur]
 		ne := r.endT
-		if v := r.bounds[r.cur+1]; v < ne {
+		// A rung's last bucket owns the whole tail of its routing range:
+		// endT may sit a rounding step (or, after rebuild's Nextafter
+		// bump, several representable floats) above the top bucket edge,
+		// and pushRung clamps events in [bounds[nb], endT) into that
+		// bucket. The consumption boundary must therefore be endT, not
+		// bounds[nb] — otherwise nearEnd stops below times the near heap
+		// already holds, and a later push into the sliver routes to a
+		// strictly later tier and pops out of order.
+		if v := r.bounds[r.cur+1]; r.cur+1 < nb && v < ne {
 			ne = v
 		}
 		nw := (ne - ns) / ladderSpreadBuckets

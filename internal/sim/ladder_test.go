@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -155,6 +156,35 @@ func FuzzQueueCrossCheck(f *testing.F) {
 	seed := make([]byte, 512)
 	rand.New(rand.NewSource(99)).Read(seed)
 	f.Add(seed)
+	// Tier-boundary seeds: clusters of equal and maximally adjacent
+	// far-horizon delays force over-tier rebuilds whose endT is bumped a
+	// float step past the top bucket edge, then interleave mid-drain
+	// schedules at exactly the old maximum — the geometry of the
+	// overMax/Nextafter sliver (TestLadderOverMaxSliverCrossCheck).
+	var boundary []byte
+	for i := 0; i < 96; i++ {
+		boundary = append(boundary, 0, 255, 255) // schedule at the far cap
+		if i%7 == 0 {
+			boundary = append(boundary, 0, 255, 254) // one ulp-ish below it
+		}
+	}
+	boundary = append(boundary, 3, 120) // drain into the rebuilt rung
+	for i := 0; i < 24; i++ {
+		boundary = append(boundary, 0, 255, 255, 3, 40) // push at the max mid-drain
+	}
+	f.Add(boundary)
+	// Equal-time ties across every tier: schedule, partially run, then
+	// re-schedule the same delays so pushes land near, rung, and over at
+	// identical timestamps; FIFO (time, seq) order must match the heap.
+	var ties []byte
+	for i := 0; i < 64; i++ {
+		ties = append(ties, 0, 128, 0, 0, 16, 0, 1, 128, 0)
+	}
+	ties = append(ties, 3, 255, 3, 255)
+	for i := 0; i < 64; i++ {
+		ties = append(ties, 0, 128, 0, 3, 2)
+	}
+	f.Add(ties)
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		if len(ops) > 4096 {
 			ops = ops[:4096]
@@ -219,6 +249,89 @@ func TestLadderBoundaryWindowPush(t *testing.T) {
 		if c.fired[i].at < c.fired[i-1].at {
 			t.Fatalf("fire %d at %v before fire %d at %v", i, c.fired[i].at, i-1, c.fired[i-1].at)
 		}
+	}
+}
+
+// TestLadderOverMaxBoundaryCrossCheck pins the far/over-tier boundary at
+// rebuild's Nextafter bump. With inexact spans, rebuild lands end ==
+// overMax and bumps the rung's endT one float step above the top bucket
+// edge, so the top bucket's routing range extends through [bounds[nb],
+// endT) — events at exactly overMax live there. The test drains the
+// rebuilt rung up to its top bucket and then, mid-drain, schedules fresh
+// events at exactly overMax (twice, to exercise FIFO among equal-time
+// arrivals crossing the boundary) and one float step below it; the
+// ladder's complete fire order must match the reference heap exactly.
+//
+// Audit note: the consumption boundary for a rung's LAST bucket is endT
+// (see advance), because pushRung clamps everything below endT into that
+// bucket. Using bounds[nb] there instead would leave nearEnd a step
+// short of times the near heap already holds; mid-drain pushes into
+// that sliver would route to the strictly-later over tier. With
+// round-to-nearest arithmetic and power-of-two bucket counts the sliver
+// below overMax is empirically empty (end never undershoots overMax),
+// which is why the old boundary never misordered in practice — this
+// test plus the endT rule make the ordering structural, not numerical.
+func TestLadderOverMaxBoundaryCrossCheck(t *testing.T) {
+	// off = 0.1, step = 1/3 makes rebuild's end land exactly on overMax
+	// (verified below via the live rung), taking the Nextafter bump.
+	const n = 4096
+	const off, step = 0.1, 1.0 / 3
+	max := off + float64(n-1)*step
+
+	// Probe the rebuilt rung's real geometry and find the trigger: the
+	// first event routed at or above the top bucket's lower edge. When it
+	// fires, the top bucket has just been transferred into the near tier.
+	probe := NewWithQueue(QueueLadder)
+	pcb := probe.Register(func(any) {})
+	for i := 0; i < n; i++ {
+		probe.MustScheduleCall(off+float64(i)*step, pcb, i)
+	}
+	probe.Step() // forces the over-tier rebuild
+	if len(probe.lad.rungs) == 0 {
+		t.Fatal("rebuild produced no rung; geometry changed — re-derive this test")
+	}
+	r := &probe.lad.rungs[0]
+	nb := len(r.bkts)
+	if r.endT <= r.bounds[nb] {
+		t.Fatalf("rebuild endT %v not above top bucket edge %v; the Nextafter path was not taken — re-derive this test", r.endT, r.bounds[nb])
+	}
+	trigger := -1
+	for i := 0; i < n; i++ {
+		if off+float64(i)*step >= r.bounds[nb-1] {
+			trigger = i
+			break
+		}
+	}
+	if trigger < 0 {
+		t.Fatal("no event in the top bucket's range")
+	}
+
+	below := math.Nextafter(max, math.Inf(-1))
+	run := func(kind QueueKind) []fireRec {
+		eng := NewWithQueue(kind)
+		var fired []fireRec
+		done := false
+		var cb Callback
+		cb = eng.Register(func(p any) {
+			fired = append(fired, fireRec{at: eng.Now(), tag: p.(int)})
+			if p.(int) == trigger && !done {
+				done = true
+				now := eng.Now()
+				eng.MustScheduleCall(max-now, cb, n)     // exactly overMax
+				eng.MustScheduleCall(below-now, cb, n+1) // one float below
+				eng.MustScheduleCall(max-now, cb, n+2)   // overMax again: FIFO
+			}
+		})
+		for i := 0; i < n; i++ {
+			eng.MustScheduleCall(off+float64(i)*step, cb, i)
+		}
+		eng.RunAll()
+		return fired
+	}
+	heap, ladder := run(QueueHeap), run(QueueLadder)
+	compareFired(t, "ladder", ladder, heap)
+	if len(heap) != n+3 {
+		t.Fatalf("fired %d events, want %d", len(heap), n+3)
 	}
 }
 

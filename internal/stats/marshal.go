@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary round-trip support: Welford and Ratio accumulators cross the
+// process boundary of the multi-process backend inside system.Metrics
+// (encoding/gob honours encoding.BinaryMarshaler). Floats travel as raw
+// IEEE-754 bits (math.Float64bits), never decimal text, so a decoded
+// accumulator is bit-identical to the encoded one and downstream merges
+// reproduce the in-process results exactly — including negative zeros,
+// subnormals, and NaN payloads.
+
+// WelfordWireSize and RatioWireSize are the fixed lengths of the
+// respective MarshalBinary encodings, for callers that pack several
+// accumulators into one frame.
+const (
+	WelfordWireSize = 5 * 8
+	RatioWireSize   = 2 * 8
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler: n, mean, m2, min,
+// max as big-endian 64-bit words (floats by Float64bits).
+func (w Welford) MarshalBinary() ([]byte, error) {
+	b := make([]byte, WelfordWireSize)
+	binary.BigEndian.PutUint64(b[0:], uint64(w.n))
+	binary.BigEndian.PutUint64(b[8:], math.Float64bits(w.mean))
+	binary.BigEndian.PutUint64(b[16:], math.Float64bits(w.m2))
+	binary.BigEndian.PutUint64(b[24:], math.Float64bits(w.min))
+	binary.BigEndian.PutUint64(b[32:], math.Float64bits(w.max))
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, reversing
+// MarshalBinary bit for bit.
+func (w *Welford) UnmarshalBinary(b []byte) error {
+	if len(b) != WelfordWireSize {
+		return fmt.Errorf("stats: welford wire length %d, want %d", len(b), WelfordWireSize)
+	}
+	w.n = int64(binary.BigEndian.Uint64(b[0:]))
+	w.mean = math.Float64frombits(binary.BigEndian.Uint64(b[8:]))
+	w.m2 = math.Float64frombits(binary.BigEndian.Uint64(b[16:]))
+	w.min = math.Float64frombits(binary.BigEndian.Uint64(b[24:]))
+	w.max = math.Float64frombits(binary.BigEndian.Uint64(b[32:]))
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: hits then total as
+// big-endian 64-bit words.
+func (c Ratio) MarshalBinary() ([]byte, error) {
+	b := make([]byte, RatioWireSize)
+	binary.BigEndian.PutUint64(b[0:], uint64(c.hits))
+	binary.BigEndian.PutUint64(b[8:], uint64(c.total))
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (c *Ratio) UnmarshalBinary(b []byte) error {
+	if len(b) != RatioWireSize {
+		return fmt.Errorf("stats: ratio wire length %d, want %d", len(b), RatioWireSize)
+	}
+	c.hits = int64(binary.BigEndian.Uint64(b[0:]))
+	c.total = int64(binary.BigEndian.Uint64(b[8:]))
+	return nil
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+)
+
+// TestWelfordBinaryRoundTrip pins bit-exactness through MarshalBinary:
+// awkward values (thirds, negative zero, huge magnitudes) must decode
+// to an accumulator whose every future computation is identical.
+func TestWelfordBinaryRoundTrip(t *testing.T) {
+	cases := [][]float64{
+		{},
+		{0.1, 1.0 / 3, -0.7},
+		{math.Copysign(0, -1), 1e-308, -1e308, math.Nextafter(1, 2)},
+		{5},
+	}
+	for ci, xs := range cases {
+		var w Welford
+		for _, x := range xs {
+			w.Add(x)
+		}
+		b, err := w.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Welford
+		if err := got.UnmarshalBinary(b); err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Fatalf("case %d: round trip %+v -> %+v", ci, w, got)
+		}
+		if math.Float64bits(got.Mean()) != math.Float64bits(w.Mean()) ||
+			math.Float64bits(got.Variance()) != math.Float64bits(w.Variance()) {
+			t.Fatalf("case %d: derived moments not bit-identical", ci)
+		}
+	}
+	var w Welford
+	if err := w.UnmarshalBinary(make([]byte, WelfordWireSize-1)); err == nil {
+		t.Fatal("short welford wire accepted")
+	}
+}
+
+// TestRatioBinaryRoundTrip pins the counter encoding.
+func TestRatioBinaryRoundTrip(t *testing.T) {
+	var c Ratio
+	for i := 0; i < 7; i++ {
+		c.Observe(i%3 == 0)
+	}
+	b, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Ratio
+	if err := got.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("round trip %+v -> %+v", c, got)
+	}
+	if err := got.UnmarshalBinary(b[:RatioWireSize-1]); err == nil {
+		t.Fatal("short ratio wire accepted")
+	}
+}
+
+// TestGobUsesBinaryEncoding proves gob picks the exact encodings up on
+// struct fields — the path system.Metrics takes across the process
+// boundary.
+func TestGobUsesBinaryEncoding(t *testing.T) {
+	type payload struct {
+		W Welford
+		R Ratio
+		S []Welford
+	}
+	var p payload
+	p.W.Add(1.0 / 3)
+	p.W.Add(-0.1)
+	p.R.Observe(true)
+	p.R.Observe(false)
+	p.S = make([]Welford, 2)
+	p.S[1].Add(math.Pi)
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&p); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.W != p.W || got.R != p.R || len(got.S) != 2 || got.S[0] != p.S[0] || got.S[1] != p.S[1] {
+		t.Fatalf("gob round trip diverged: %+v -> %+v", p, got)
+	}
+}

@@ -2,8 +2,10 @@ package repro
 
 import (
 	"context"
+	"io"
 	"sync"
 
+	"repro/internal/distrib"
 	"repro/internal/experiment"
 	"repro/internal/session"
 )
@@ -95,6 +97,45 @@ func NewSession(opts ...RunOption) *Session {
 // (streaming, experiments, the CLIs) works unchanged.
 func NewSessionWithBackend(b Backend, opts ...RunOption) *Session {
 	return &Session{session.NewWithBackend(b, opts...)}
+}
+
+// Distributed execution --------------------------------------------------
+
+// ProcBackend is the multi-process Backend: a coordinator that spawns N
+// shard-worker processes, splits each shard's seed range into
+// sub-shards, work-steals them across the workers, and merges results
+// in seed order, so its output is byte-identical to the in-process pool
+// at any worker count. A worker that dies mid-shard has its sub-shard
+// re-run on a surviving worker; configurations that cannot cross a
+// process boundary (an attached trace recorder) transparently fall back
+// to in-process execution. Close it to shut the workers down.
+type ProcBackend = distrib.ProcBackend
+
+// ProcBackendOptions configures NewProcBackend: worker-process count,
+// the worker argv (empty re-executes the current binary with
+// -shard-server — the mode both CLIs serve), sub-shard granularity, and
+// worker stderr routing.
+type ProcBackendOptions = distrib.ProcOptions
+
+// NewProcBackend returns a multi-process backend; worker processes
+// spawn lazily on the first run that needs them. Use it with
+// NewSessionWithBackend:
+//
+//	backend := repro.NewProcBackend(repro.ProcBackendOptions{Workers: 3})
+//	defer backend.Close()
+//	sess := repro.NewSessionWithBackend(backend)
+//	defer sess.Close()
+func NewProcBackend(opts ProcBackendOptions) *ProcBackend {
+	return distrib.NewProcBackend(opts)
+}
+
+// ServeShardWorker runs the worker half of the shard protocol on r and
+// w until the coordinator closes the connection — the body of a
+// -shard-server process. Programs embedding this package as a worker
+// call ServeShardWorker(os.Stdin, os.Stdout) when spawned by a
+// ProcBackend.
+func ServeShardWorker(r io.Reader, w io.Writer) error {
+	return distrib.ServeWorker(r, w)
 }
 
 // Experiment runs a registered paper artifact ("fig2b", "combined", ...)
