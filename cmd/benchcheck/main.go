@@ -19,6 +19,10 @@
 //   - allocs/op grows by more than the tolerance plus an absolute slack
 //     of 2 (so a 0 → 1 blip on a noisy runner does not fail the build,
 //     but losing a pooled path does).
+//
+// -zeroalloc names benchmarks (comma-separated) that must report exactly
+// 0 allocs/op in the current run — no tolerance, no slack. The zero-alloc
+// hot path is a hard invariant, not a number that may drift.
 package main
 
 import (
@@ -62,6 +66,7 @@ func main() {
 		baseline  = flag.String("baseline", "", "baseline JSON to compare against")
 		current   = flag.String("current", "", "current JSON (from -record) to check")
 		tolerance = flag.Float64("tolerance", 0.20, "allowed relative regression")
+		zeroAlloc = flag.String("zeroalloc", "", "comma-separated benchmarks that must report exactly 0 allocs/op")
 	)
 	flag.Parse()
 
@@ -72,7 +77,7 @@ func main() {
 			os.Exit(1)
 		}
 	case *baseline != "" && *current != "":
-		ok, err := doCompare(*baseline, *current, *tolerance)
+		ok, err := doCompare(*baseline, *current, *tolerance, splitNames(*zeroAlloc))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchcheck:", err)
 			os.Exit(1)
@@ -145,7 +150,18 @@ func ParseBenchLine(line string) (string, Metrics, bool) {
 	return name, m, true
 }
 
-func doCompare(basePath, curPath string, tol float64) (bool, error) {
+// splitNames parses the -zeroalloc list.
+func splitNames(s string) []string {
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func doCompare(basePath, curPath string, tol float64, zeroAlloc []string) (bool, error) {
 	base, err := readFile(basePath)
 	if err != nil {
 		return false, err
@@ -181,6 +197,27 @@ func doCompare(basePath, curPath string, tol float64) (bool, error) {
 	}
 	if compared == 0 {
 		return false, fmt.Errorf("no benchmarks in common between %s and %s", basePath, curPath)
+	}
+	// The zero-alloc invariant checks the current run alone: a named
+	// benchmark must be present and report exactly 0 allocs/op.
+	for _, name := range zeroAlloc {
+		c := curTab[name]
+		if c == nil {
+			fmt.Printf("FAIL %s: -zeroalloc benchmark not in current run\n", name)
+			ok = false
+			continue
+		}
+		allocs, have := c["allocs/op"]
+		switch {
+		case !have:
+			fmt.Printf("FAIL %s: no allocs/op metric (run with -benchmem)\n", name)
+			ok = false
+		case allocs != 0:
+			fmt.Printf("FAIL %s: allocs/op %.0f, want exactly 0\n", name, allocs)
+			ok = false
+		default:
+			fmt.Printf("ok   %s: 0 allocs/op\n", name)
+		}
 	}
 	return ok, nil
 }

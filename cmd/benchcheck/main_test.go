@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	name, m, ok := ParseBenchLine(
@@ -60,5 +65,71 @@ func TestFailures(t *testing.T) {
 	nsOnly := Metrics{"ns/op": 10000, "allocs/op": 100}
 	if fs := failures(nsOnly, Metrics{"ns/op": 13000, "allocs/op": 100}, 0.2); len(fs) != 1 {
 		t.Fatalf("ns/op regression not flagged: %v", fs)
+	}
+}
+
+func TestSplitNames(t *testing.T) {
+	if got := splitNames(""); got != nil {
+		t.Fatalf("splitNames(\"\") = %v, want nil", got)
+	}
+	got := splitNames("BenchmarkA, BenchmarkB ,,BenchmarkC")
+	want := []string{"BenchmarkA", "BenchmarkB", "BenchmarkC"}
+	if len(got) != len(want) {
+		t.Fatalf("splitNames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitNames = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestZeroAllocGate drives doCompare end to end: a benchmark within
+// tolerance passes the relative checks but fails the -zeroalloc
+// invariant the moment allocs/op is nonzero, missing, or the benchmark
+// is absent from the current run.
+func TestZeroAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, f *File) string {
+		t.Helper()
+		data, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", &File{Benchmarks: map[string]Metrics{
+		"BenchmarkHot": {"tasks/s": 3000000, "allocs/op": 0},
+	}})
+
+	cases := []struct {
+		name   string
+		cur    Metrics
+		zero   []string
+		wantOK bool
+	}{
+		{"zero-holds", Metrics{"tasks/s": 2950000, "allocs/op": 0}, []string{"BenchmarkHot"}, true},
+		{"one-alloc-fails", Metrics{"tasks/s": 2950000, "allocs/op": 1}, []string{"BenchmarkHot"}, false},
+		{"no-benchmem-fails", Metrics{"tasks/s": 2950000}, []string{"BenchmarkHot"}, false},
+		{"absent-fails", Metrics{"tasks/s": 2950000, "allocs/op": 0}, []string{"BenchmarkMissing"}, false},
+		{"ungated-ok", Metrics{"tasks/s": 2950000, "allocs/op": 1}, nil, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := write(tc.name+".json", &File{Benchmarks: map[string]Metrics{
+				"BenchmarkHot": tc.cur,
+			}})
+			ok, err := doCompare(base, cur, 0.2, tc.zero)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != tc.wantOK {
+				t.Fatalf("doCompare ok = %v, want %v", ok, tc.wantOK)
+			}
+		})
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"repro/internal/distrib"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/sim"
 )
@@ -38,6 +39,13 @@ type Common struct {
 	ShardServer bool
 	// CPUProfile and MemProfile are the profiling output paths.
 	CPUProfile, MemProfile string
+	// Progress turns on the live progress line (-progress): completed
+	// count, rate, and ETA on stderr, redrawn in place.
+	Progress bool
+	// MetricsAddr, when non-empty (-metrics-addr), serves /metrics
+	// (Prometheus text), /debug/pprof/* and /debug/vars on this address
+	// for the duration of the run.
+	MetricsAddr string
 }
 
 // Register installs the shared flags on fs and returns the value
@@ -60,6 +68,10 @@ func Register(fs *flag.FlagSet) *Common {
 		"write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 	fs.StringVar(&c.MemProfile, "memprofile", "",
 		"write an allocation profile taken at exit to this file")
+	fs.BoolVar(&c.Progress, "progress", false,
+		"redraw a live progress line on stderr: completed/total, rate, and ETA")
+	fs.StringVar(&c.MetricsAddr, "metrics-addr", "",
+		"serve /metrics (Prometheus text), /debug/pprof/* and /debug/vars on this address (e.g. 127.0.0.1:9090) for the duration of the run")
 	return c
 }
 
@@ -77,9 +89,35 @@ func (c *Common) ValidateNodes() error {
 }
 
 // StartProfiling starts the requested profiles and returns the stop
-// function to defer.
-func (c *Common) StartProfiling() (func(), error) {
+// function to defer. Stop's error (a mem profile that could not be
+// written at exit) belongs in the command's exit status.
+func (c *Common) StartProfiling() (func() error, error) {
 	return profiling.Start(c.CPUProfile, c.MemProfile)
+}
+
+// ProgressMeter resolves the -progress flag: nil when off, otherwise a
+// live stderr meter labelled label, ready to pass to WithProgress.
+func (c *Common) ProgressMeter(label string) func(done, total int) {
+	if !c.Progress {
+		return nil
+	}
+	return obs.Progress(os.Stderr, label)
+}
+
+// StartMetrics resolves the -metrics-addr flag: a no-op when unset,
+// otherwise it serves snapshot on the requested address and announces
+// the endpoint on stderr. The returned stop function shuts the server
+// down.
+func (c *Common) StartMetrics(snapshot func() obs.Snapshot) (func(), error) {
+	if c.MetricsAddr == "" {
+		return func() {}, nil
+	}
+	srv, err := obs.NewServer(c.MetricsAddr, snapshot)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", srv.Addr())
+	return func() { _ = srv.Close() }, nil
 }
 
 // ServeShardWorker runs the shard-worker protocol on stdin/stdout until

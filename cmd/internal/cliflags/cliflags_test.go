@@ -4,6 +4,8 @@ import (
 	"flag"
 	"io"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func parse(t *testing.T, args ...string) *Common {
@@ -47,5 +49,37 @@ func TestValidation(t *testing.T) {
 	}
 	if err := parse(t, "-nodes", "-3").ValidateNodes(); err == nil {
 		t.Error("negative nodes accepted")
+	}
+}
+
+// TestProgressMeter: off by default (nil, so callers skip the option),
+// a live meter when -progress is set.
+func TestProgressMeter(t *testing.T) {
+	if parse(t).ProgressMeter("x") != nil {
+		t.Error("progress meter on without -progress")
+	}
+	if parse(t, "-progress").ProgressMeter("x") == nil {
+		t.Error("-progress produced no meter")
+	}
+}
+
+// TestStartMetrics: a no-op without -metrics-addr, a live scrape
+// endpoint with one.
+func TestStartMetrics(t *testing.T) {
+	snap := func() obs.Snapshot { return obs.Snapshot{} }
+	stop, err := parse(t).StartMetrics(snap)
+	if err != nil {
+		t.Fatalf("no-op metrics server errored: %v", err)
+	}
+	stop()
+
+	stop, err = parse(t, "-metrics-addr", "127.0.0.1:0").StartMetrics(snap)
+	if err != nil {
+		t.Fatalf("metrics server failed to start: %v", err)
+	}
+	stop()
+
+	if _, err := parse(t, "-metrics-addr", "256.0.0.1:bad").StartMetrics(snap); err == nil {
+		t.Error("bad -metrics-addr accepted")
 	}
 }

@@ -65,7 +65,15 @@ func main() {
 // preset table.
 const churnPreset = "churn"
 
-func run(args []string, out, errOut io.Writer) error {
+// progressLabel names the -progress meter after the scenario.
+func progressLabel(sc *repro.Scenario) string {
+	if name := sc.Name(); name != "" {
+		return name
+	}
+	return "scenario"
+}
+
+func run(args []string, out, errOut io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("sdascn", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
@@ -97,7 +105,13 @@ func run(args []string, out, errOut io.Writer) error {
 	if err != nil {
 		return err
 	}
-	defer stopProf()
+	// The exit heap profile is written inside stop; a write failure must
+	// reach the exit status, not just stderr.
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 
 	if *list {
 		for _, line := range repro.ScenarioPresets() {
@@ -172,7 +186,20 @@ func run(args []string, out, errOut io.Writer) error {
 		sess = repro.NewSession(sessOpts...)
 	}
 	defer sess.Close()
-	res, err := sess.RunScenario(context.Background(), cfg, sc, *reps)
+
+	// -metrics-addr scrapes the session live; counters advance as
+	// replications finish, gauges (in-flight, pool) reflect the moment.
+	stopMetrics, err := common.StartMetrics(sess.Snapshot)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
+
+	var runOpts []repro.RunOption
+	if pm := common.ProgressMeter(progressLabel(sc)); pm != nil {
+		runOpts = append(runOpts, repro.WithProgress(pm))
+	}
+	res, err := sess.RunScenario(context.Background(), cfg, sc, *reps, runOpts...)
 	if err != nil {
 		return err
 	}

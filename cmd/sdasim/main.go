@@ -52,7 +52,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("sdasim", flag.ContinueOnError)
 	var (
 		list    = fs.Bool("list", false, "list experiments and exit")
@@ -64,9 +64,8 @@ func run(args []string, out io.Writer) error {
 		maxReps = fs.Int("maxreps", 0, "replication cap for -targetci (default 10)")
 		common  = cliflags.Register(fs)
 
-		progress = fs.Bool("progress", false, "print a per-experiment progress meter to stderr")
-		format   = fs.String("format", "table", "output format: table, chart, csv, json, or all")
-		outDir   = fs.String("out", "", "write per-experiment files to this directory instead of stdout")
+		format = fs.String("format", "table", "output format: table, chart, csv, json, or all")
+		outDir = fs.String("out", "", "write per-experiment files to this directory instead of stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,7 +79,13 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	defer stopProf()
+	// The exit heap profile is written inside stop; a write failure must
+	// reach the exit status, not just stderr.
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 
 	if *list {
 		for _, e := range experiment.All() {
@@ -142,6 +147,14 @@ func run(args []string, out io.Writer) error {
 	}
 	defer sess.Close()
 
+	// -metrics-addr scrapes the session live; counters advance as
+	// replications finish, gauges (in-flight, pool) reflect the moment.
+	stopMetrics, err := common.StartMetrics(sess.Snapshot)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
+
 	opts := experiment.Options{
 		Horizon:     *horizon,
 		Reps:        *reps,
@@ -153,9 +166,8 @@ func run(args []string, out io.Writer) error {
 		EventQueue:  queueKind,
 	}
 	for _, e := range exps {
-		if *progress {
-			opts.Progress = experiment.ProgressPrinter(os.Stderr, e.ID)
-		}
+		// One meter per experiment: sweep cells completed, rate, ETA.
+		opts.Progress = common.ProgressMeter(e.ID)
 		started := time.Now()
 		res, err := sess.Experiment(context.Background(), e.ID, opts)
 		if err != nil {

@@ -375,7 +375,7 @@ func TestProcBackendFallsBackForTrace(t *testing.T) {
 // TestChunkSeeds pins the chunking geometry.
 func TestChunkSeeds(t *testing.T) {
 	got := chunkSeeds(7, 3)
-	want := []chunk{{0, 3}, {3, 6}, {6, 7}}
+	want := []chunk{{start: 0, end: 3}, {start: 3, end: 6}, {start: 6, end: 7}}
 	if len(got) != len(want) {
 		t.Fatalf("chunks = %v, want %v", got, want)
 	}

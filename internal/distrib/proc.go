@@ -8,8 +8,10 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/session"
 	"repro/internal/system"
 )
@@ -51,6 +53,17 @@ type procWorker struct {
 	fw   *frameWriter
 	br   *bufio.Reader
 	dead bool
+
+	// Coordinator-side stats. Only this worker's dispatch goroutine
+	// writes them, but DistribStats snapshots concurrently, so all
+	// access goes through the backend's mu (cold path: once per frame
+	// at most, never per event).
+	id         uint64
+	subShards  uint64
+	steals     uint64
+	framesRecv uint64
+	bytesRecv  uint64
+	pool       obs.PoolStats // latest pool gauges from a done frame
 }
 
 // ProcBackend implements session.Backend across worker processes: it
@@ -71,11 +84,21 @@ type ProcBackend struct {
 
 	runMu sync.Mutex // serializes Runs: they lease the whole worker set
 
-	mu       sync.Mutex // guards workers/fallback/closed/nextID
+	mu       sync.Mutex // guards workers/fallback/closed/nextID and all stats below
 	workers  []*procWorker
 	fallback *session.Pool
 	closed   bool
 	nextID   uint64
+
+	// Coordinator stats (see DistribStats): worker ids, fleet health,
+	// the seed-order merge buffer's high-water mark, and the final
+	// stats of reaped workers.
+	workerSeq uint64
+	fleetUp   bool // the initial fleet stood up; later spawns are respawns
+	deaths    uint64
+	respawns  uint64
+	mergeHWM  uint64
+	retired   []obs.WorkerStats
 }
 
 // NewProcBackend returns a backend; worker processes spawn lazily on
@@ -170,15 +193,24 @@ func (b *ProcBackend) attach() ([]*procWorker, error) {
 			}
 			return nil, err
 		}
+		b.workerSeq++
+		w.id = b.workerSeq
+		if b.fleetUp {
+			b.respawns++
+		}
 		b.workers = append(b.workers, w)
 	}
+	b.fleetUp = true
 	return append([]*procWorker(nil), b.workers...), nil
 }
 
-// reap marks a worker dead and reclaims its process.
+// reap marks a worker dead, archives its final stats, and reclaims its
+// process.
 func (b *ProcBackend) reap(w *procWorker) {
 	b.mu.Lock()
 	w.dead = true
+	b.deaths++
+	b.retired = append(b.retired, b.workerStatsLocked(w))
 	b.mu.Unlock()
 	w.in.Close()
 	if w.cmd.Process != nil {
@@ -198,7 +230,12 @@ func (b *ProcBackend) localPool() *session.Pool {
 }
 
 // chunk is a contiguous [start, end) slice of a shard's seed range.
-type chunk struct{ start, end int }
+// requeued marks a chunk put back after a worker death; the worker
+// that eventually runs it records a steal.
+type chunk struct {
+	start, end int
+	requeued   bool
+}
 
 // chunkSeeds cuts n seeds into in-order chunks of at most size.
 func chunkSeeds(n, size int) []chunk {
@@ -267,11 +304,23 @@ func (b *ProcBackend) Run(ctx context.Context, shard session.Shard) (session.Sha
 
 	metrics := make([]*system.Metrics, len(shard.Seeds))
 	delivered := make([]bool, len(shard.Seeds))
+	deliveredCount, prefix := 0, 0 // for merge-buffer depth: arrived − emittable
 	record := func(i int, m *system.Metrics) {
 		mu.Lock()
 		first := !delivered[i]
 		delivered[i] = true
 		metrics[i] = m
+		if first {
+			deliveredCount++
+			for prefix < len(delivered) && delivered[prefix] {
+				prefix++
+			}
+			// Results held back because an earlier seed is still running;
+			// lock order run-local mu → b.mu is taken nowhere in reverse.
+			if d := uint64(deliveredCount - prefix); d > 0 {
+				b.noteMergeDepth(d)
+			}
+		}
 		mu.Unlock()
 		// A chunk re-run after a worker death replays indices the dead
 		// worker already streamed; OnResult fires once per index.
@@ -318,6 +367,7 @@ func (b *ProcBackend) Run(ctx context.Context, shard session.Shard) (session.Sha
 				case cerr == nil || isCancellation(cerr):
 					finished++
 				case errors.Is(cerr, errWorkerDead):
+					c.requeued = true
 					pending = append(pending, c)
 					live--
 					if live == 0 && failErr == nil {
@@ -396,6 +446,10 @@ func (b *ProcBackend) runChunk(ctx context.Context, w *procWorker, wc *WireConfi
 		if err != nil {
 			return fmt.Errorf("%w: read: %v", errWorkerDead, err)
 		}
+		b.mu.Lock()
+		w.framesRecv++
+		w.bytesRecv += uint64(len(payload)) + frameOverhead
+		b.mu.Unlock()
 		switch kind {
 		case msgResult:
 			var m resultMsg
@@ -414,9 +468,88 @@ func (b *ProcBackend) runChunk(ctx context.Context, w *procWorker, wc *WireConfi
 			if m.ID != id {
 				return fmt.Errorf("%w: stray done frame (id %d)", errWorkerDead, m.ID)
 			}
+			b.mu.Lock()
+			w.subShards++
+			if c.requeued {
+				w.steals++
+			}
+			w.pool = m.Pool // cumulative gauges; latest frame supersedes
+			b.mu.Unlock()
 			return m.Code.err(m.Error)
 		default:
 			return fmt.Errorf("%w: unexpected frame kind %d", errWorkerDead, kind)
 		}
 	}
+}
+
+// noteMergeDepth raises the merge-buffer high-water mark.
+func (b *ProcBackend) noteMergeDepth(d uint64) {
+	b.mu.Lock()
+	if d > b.mergeHWM {
+		b.mergeHWM = d
+	}
+	b.mu.Unlock()
+}
+
+// workerStatsLocked snapshots one worker's stats; b.mu must be held.
+func (b *ProcBackend) workerStatsLocked(w *procWorker) obs.WorkerStats {
+	frames, bytes := w.fw.counts()
+	return obs.WorkerStats{
+		ID:         w.id,
+		Alive:      !w.dead,
+		SubShards:  w.subShards,
+		Steals:     w.steals,
+		FramesSent: frames,
+		FramesRecv: w.framesRecv,
+		BytesSent:  bytes,
+		BytesRecv:  w.bytesRecv,
+		Pool:       w.pool,
+	}
+}
+
+// DistribStats implements session.DistribStatser: a point-in-time view
+// of the coordinator — fleet health, per-worker transport and dispatch
+// counters (live and retired, ordered by spawn id), and the seed-order
+// merge buffer's high-water mark.
+func (b *ProcBackend) DistribStats() *obs.DistribStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := &obs.DistribStats{
+		Deaths:        b.deaths,
+		Respawns:      b.respawns,
+		MergeDepthHWM: b.mergeHWM,
+		Workers:       append([]obs.WorkerStats(nil), b.retired...),
+	}
+	for _, w := range b.workers {
+		// A reaped worker stays in b.workers until the next attach culls
+		// it, but its archived entry in retired already covers it.
+		if w.dead {
+			continue
+		}
+		out.Workers = append(out.Workers, b.workerStatsLocked(w))
+	}
+	sort.Slice(out.Workers, func(i, j int) bool { return out.Workers[i].ID < out.Workers[j].ID })
+	return out
+}
+
+// PoolStats implements session.PoolStatser: the fleet-wide total of
+// every worker's pool gauges (as last reported over the wire) plus the
+// in-process fallback pool, if one ever ran.
+func (b *ProcBackend) PoolStats() obs.PoolStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var ps obs.PoolStats
+	for _, w := range b.retired {
+		ps.Add(w.Pool)
+	}
+	for _, w := range b.workers {
+		if w.dead {
+			continue // already counted via retired
+		}
+		ps.Add(w.pool)
+	}
+	if b.fallback != nil {
+		ps.Add(b.fallback.PoolStats())
+	}
+	return ps
 }

@@ -39,6 +39,7 @@ import (
 	"io"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -142,21 +143,31 @@ type resultMsg struct {
 }
 
 // doneMsg ends a shard: Completed is the finished seed-prefix length
-// (== len(Seeds) for CodeOK), Error the message for non-OK codes.
+// (== len(Seeds) for CodeOK), Error the message for non-OK codes. Pool
+// carries the worker process's cumulative workspace-pool gauges home —
+// the coordinator keeps the latest per worker, giving the fleet view
+// without a separate stats round-trip.
 type doneMsg struct {
 	ID        uint64
 	Completed int
 	Code      Code
 	Error     string
+	Pool      obs.PoolStats
 }
+
+// frameOverhead is the per-frame wire header: 4-byte big-endian payload
+// length plus 1-byte kind.
+const frameOverhead = 5
 
 // frameWriter serializes whole frames with a single Write each, so
 // concurrent senders (a streaming result and a cancel frame) never
 // interleave bytes.
 type frameWriter struct {
-	mu  sync.Mutex
-	w   io.Writer
-	buf bytes.Buffer
+	mu     sync.Mutex
+	w      io.Writer
+	buf    bytes.Buffer
+	frames uint64 // frames written, for the per-worker wire stats
+	bytes  uint64 // bytes written (header + payload)
 }
 
 func newFrameWriter(w io.Writer) *frameWriter { return &frameWriter{w: w} }
@@ -178,7 +189,16 @@ func (fw *frameWriter) send(kind msgKind, msg any) error {
 	if _, err := fw.w.Write(b); err != nil {
 		return err
 	}
+	fw.frames++
+	fw.bytes += uint64(len(b))
 	return nil
+}
+
+// counts returns the frames and bytes successfully written so far.
+func (fw *frameWriter) counts() (frames, bytes uint64) {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.frames, fw.bytes
 }
 
 // readFrame reads one frame. io.EOF (clean close between frames) passes

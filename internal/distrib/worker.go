@@ -98,12 +98,16 @@ func runWorkerShard(ctx context.Context, pool *session.Pool, fw *frameWriter, m 
 		},
 	}
 	res, err := pool.Run(ctx, shard)
+	// Every done frame carries the worker's cumulative pool gauges; the
+	// coordinator keeps the latest, so fleet stats stay current without
+	// extra protocol round-trips.
+	ps := pool.PoolStats()
 	switch {
 	case err == nil:
-		_ = fw.send(msgDone, doneMsg{ID: m.ID, Completed: res.Completed, Code: CodeOK})
+		_ = fw.send(msgDone, doneMsg{ID: m.ID, Completed: res.Completed, Code: CodeOK, Pool: ps})
 	case isCancellation(err):
-		_ = fw.send(msgDone, doneMsg{ID: m.ID, Completed: res.Completed, Code: CodeCanceled, Error: err.Error()})
+		_ = fw.send(msgDone, doneMsg{ID: m.ID, Completed: res.Completed, Code: CodeCanceled, Error: err.Error(), Pool: ps})
 	default:
-		_ = fw.send(msgDone, doneMsg{ID: m.ID, Code: CodeError, Error: err.Error()})
+		_ = fw.send(msgDone, doneMsg{ID: m.ID, Code: CodeError, Error: err.Error(), Pool: ps})
 	}
 }

@@ -94,6 +94,8 @@ type Node struct {
 	served       int64
 	aborted      int64
 	preemptions  int64
+	submitted    int64
+	readyHWM     int // deepest the ready queue got (waiting tasks)
 }
 
 // Config carries the node's construction parameters.
@@ -179,6 +181,16 @@ func (n *Node) BusyTime() float64 { return n.busyTime }
 // (always zero for non-preemptive nodes).
 func (n *Node) Preemptions() int64 { return n.preemptions }
 
+// Submitted returns the number of tasks submitted to the node. A
+// preempted task re-queues without resubmitting, so
+// Submitted >= Served + Aborted, with equality for runs that drain.
+func (n *Node) Submitted() int64 { return n.submitted }
+
+// ReadyQueueHWM returns the deepest the ready queue got (tasks waiting,
+// excluding the one in service) — a pure function of the replication's
+// event sequence, unlike the instantaneous QueueLen.
+func (n *Node) ReadyQueueHWM() int { return n.readyHWM }
+
 // Speed returns the current service speed factor (1 = nominal, 0 =
 // frozen).
 func (n *Node) Speed() float64 { return n.speed }
@@ -227,10 +239,14 @@ func (n *Node) SetSpeed(speed float64) {
 // newcomer with an earlier deadline suspends the task in service.
 func (n *Node) Submit(t *task.Task) {
 	t.NodeID = n.id
+	n.submitted++
 	n.observe(ObserveSubmit, t)
 	n.queue.Push(t)
 	if n.preemptive && n.busy && t.Deadline < n.running.Deadline {
-		n.preempt()
+		n.preempt() // pushes the suspended task back, deepening the queue
+	}
+	if l := n.queue.Len(); l > n.readyHWM {
+		n.readyHWM = l
 	}
 	n.dispatch()
 }

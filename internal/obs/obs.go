@@ -1,0 +1,151 @@
+// Package obs is the runtime-metrics layer of the reproduction: plain
+// counter structs that every execution layer fills in (the simulation
+// engine and nodes per replication, the session pool per run, the
+// multi-process coordinator per worker), a deterministic merge, and the
+// export surface — Prometheus text rendering, an HTTP server bundling
+// /metrics with pprof and expvar, and a rate/ETA progress meter.
+//
+// The design rule is zero overhead when nothing is looking: hot-path
+// layers count into plain (non-atomic) uint64 fields they already own —
+// the engine counts on itself, nodes count on themselves — and the
+// counters are folded into obs structs only at replication end, off the
+// hot path. Nothing here runs during event dispatch, so the simulation's
+// 0 allocs/op steady state and byte-identical output are unaffected
+// whether or not a /metrics listener exists.
+//
+// Everything replication-scoped (EngineStats) is a pure function of
+// (configuration, seed) and therefore deterministic; wall-clock-derived
+// gauges (busy seconds, rates, ETA) live only in the session/pool/
+// distrib structs, which never feed back into simulation results.
+package obs
+
+// EngineStats aggregates one or more replications' engine, queue, and
+// task-lifecycle counters. For a single replication it is a pure
+// function of (configuration, seed); Merge folds replications together
+// deterministically (sums for counters, maxima for high-water marks).
+type EngineStats struct {
+	// EventsScheduled, EventsFired, and EventsCancelled count engine
+	// events over the run: scheduled is every successful CallAt,
+	// fired every executed event, cancelled every successful Cancel.
+	EventsScheduled uint64
+	EventsFired     uint64
+	EventsCancelled uint64
+	// QueuePromotions counts heap→ladder promotions (0 or 1 per
+	// replication under QueueAuto, always 0 with a pinned queue).
+	QueuePromotions uint64
+	// PendingHWM is the pending-event high-water mark (engine queue
+	// depth); ReadyHWM is the deepest any node's ready queue got.
+	PendingHWM uint64
+	ReadyHWM   uint64
+	// TasksSubmitted counts node submissions (a preempted task
+	// re-queues without resubmitting, so submitted ≥ completed +
+	// aborted always holds and the three tie out exactly in
+	// non-preemptive runs that drain).
+	TasksSubmitted uint64
+	// TasksCompleted and TasksAborted count service completions and
+	// tardy-policy discards; Preemptions counts suspensions of a
+	// running task.
+	TasksCompleted uint64
+	TasksAborted   uint64
+	Preemptions    uint64
+}
+
+// Merge folds another replication's counters into s: counts add,
+// high-water marks take the maximum. Merging in any order yields the
+// same result, so parallel completion order does not affect totals.
+func (s *EngineStats) Merge(o EngineStats) {
+	s.EventsScheduled += o.EventsScheduled
+	s.EventsFired += o.EventsFired
+	s.EventsCancelled += o.EventsCancelled
+	s.QueuePromotions += o.QueuePromotions
+	if o.PendingHWM > s.PendingHWM {
+		s.PendingHWM = o.PendingHWM
+	}
+	if o.ReadyHWM > s.ReadyHWM {
+		s.ReadyHWM = o.ReadyHWM
+	}
+	s.TasksSubmitted += o.TasksSubmitted
+	s.TasksCompleted += o.TasksCompleted
+	s.TasksAborted += o.TasksAborted
+	s.Preemptions += o.Preemptions
+}
+
+// PoolStats describes a workspace pool's reuse behaviour: how often a
+// lease was served warm (a recycled workspace) versus cold (a fresh
+// allocation), and how much wall-clock time leased workspaces spent
+// actually running replications.
+type PoolStats struct {
+	WarmAcquires uint64
+	ColdAcquires uint64
+	BusySeconds  float64
+}
+
+// Add folds another pool's stats in (used when worker processes report
+// their own pools home and the coordinator presents a fleet total).
+func (p *PoolStats) Add(o PoolStats) {
+	p.WarmAcquires += o.WarmAcquires
+	p.ColdAcquires += o.ColdAcquires
+	p.BusySeconds += o.BusySeconds
+}
+
+// SessionStats is the run-layer view: job and replication counts plus
+// the in-flight gauge, and the pool gauges of whatever backend the
+// session runs on.
+type SessionStats struct {
+	JobsStarted           uint64
+	JobsFinished          uint64
+	ReplicationsCompleted uint64
+	// ReplicationsInFlight counts requested-but-unfinished
+	// replications of jobs currently running.
+	ReplicationsInFlight int64
+	Pool                 PoolStats
+}
+
+// WorkerStats is one multi-process worker's coordinator-side view.
+type WorkerStats struct {
+	// ID is the worker's spawn ordinal (stable across its lifetime;
+	// a respawned replacement gets a fresh ID).
+	ID uint64
+	// Alive is false once the coordinator reaped the worker.
+	Alive bool
+	// SubShards counts sub-shards this worker ran to a done frame;
+	// Steals counts the subset it picked up after another worker died
+	// (re-queued chunks).
+	SubShards uint64
+	Steals    uint64
+	// Frame/byte totals per direction, measured at the coordinator
+	// (sent = coordinator→worker, recv = worker→coordinator).
+	FramesSent uint64
+	FramesRecv uint64
+	BytesSent  uint64
+	BytesRecv  uint64
+	// Pool is the worker process's own workspace-pool stats, carried
+	// home in its most recent done frame.
+	Pool PoolStats
+}
+
+// DistribStats is the multi-process coordinator's view: fleet health,
+// the seed-order merge buffer's high-water mark, and per-worker detail.
+type DistribStats struct {
+	// Deaths counts workers the coordinator reaped mid-run; Respawns
+	// counts replacements spawned after the initial fleet stood up.
+	Deaths   uint64
+	Respawns uint64
+	// MergeDepthHWM is the most replications ever held finished but
+	// undeliverable because an earlier seed was still running — the
+	// cost of the seed-order delivery guarantee.
+	MergeDepthHWM uint64
+	Workers       []WorkerStats
+}
+
+// Snapshot is a point-in-time view of a session's runtime metrics:
+// engine counters accumulated across every finished replication, the
+// run-layer gauges, and — when the session runs on the multi-process
+// backend — the coordinator's per-worker stats. Snapshots are plain
+// data: taking one never blocks the hot path.
+type Snapshot struct {
+	Engine  EngineStats
+	Session SessionStats
+	// Distrib is nil unless the backend exposes coordinator stats.
+	Distrib *DistribStats
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Progress returns a progress callback for session.WithProgress (and
+// experiment.Options.Progress): it repaints one carriage-return line on
+// w with the completed count, percentage, completion rate, and an ETA
+// extrapolated from the rate so far, then finishes the line with the
+// total elapsed time when done reaches total.
+//
+//	label 37/128 (28%) 12.3/s ETA 7s
+//	label 128/128 (100%) 13.1/s 9.8s
+//
+// The callback is safe for concurrent use and monotonic: calls are
+// dropped unless they advance the count, so out-of-order completion
+// reports never move the meter backwards. Pass w = a terminal's stderr;
+// the line ends with padding spaces to overwrite a longer predecessor.
+func Progress(w io.Writer, label string) func(done, total int) {
+	p := &progressMeter{w: w, label: label, start: timeNow()}
+	return p.update
+}
+
+// timeNow is swapped in tests to script the clock.
+var timeNow = time.Now
+
+type progressMeter struct {
+	mu    sync.Mutex
+	w     io.Writer
+	label string
+	start time.Time
+	best  int
+	width int
+	fin   bool
+}
+
+func (p *progressMeter) update(done, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fin || done <= p.best {
+		return
+	}
+	p.best = done
+	elapsed := timeNow().Sub(p.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(done) / elapsed
+	}
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(done) / float64(total)
+	}
+	var tail string
+	if done >= total {
+		p.fin = true
+		tail = fmt.Sprintf("%.1fs", elapsed)
+	} else if rate > 0 {
+		eta := time.Duration(float64(total-done) / rate * float64(time.Second))
+		tail = "ETA " + eta.Round(time.Second).String()
+	} else {
+		tail = "ETA ?"
+	}
+	line := fmt.Sprintf("%s %d/%d (%.0f%%) %.1f/s %s", p.label, done, total, pct, rate, tail)
+	pad := ""
+	if n := p.width - len(line); n > 0 {
+		pad = strings.Repeat(" ", n)
+	}
+	p.width = len(line)
+	end := ""
+	if p.fin {
+		end = "\n"
+	}
+	fmt.Fprintf(p.w, "\r%s%s%s", line, pad, end)
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE header per series followed by
+// its samples. Engine and session series are scalars; distrib series
+// carry a worker="<id>" label per worker process.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	pw := promWriter{w: w}
+
+	pw.counter("repro_engine_events_scheduled_total", "Engine events scheduled across finished replications.", s.Engine.EventsScheduled)
+	pw.counter("repro_engine_events_fired_total", "Engine events executed across finished replications.", s.Engine.EventsFired)
+	pw.counter("repro_engine_events_cancelled_total", "Engine events cancelled before firing.", s.Engine.EventsCancelled)
+	pw.counter("repro_engine_queue_promotions_total", "Heap-to-ladder event-queue promotions (auto mode).", s.Engine.QueuePromotions)
+	pw.gauge("repro_engine_pending_events_hwm", "Deepest pending-event queue of any replication.", float64(s.Engine.PendingHWM))
+	pw.gauge("repro_engine_ready_queue_hwm", "Deepest per-node ready queue of any replication.", float64(s.Engine.ReadyHWM))
+	pw.counter("repro_engine_tasks_submitted_total", "Tasks submitted to nodes.", s.Engine.TasksSubmitted)
+	pw.counter("repro_engine_tasks_completed_total", "Tasks that completed service.", s.Engine.TasksCompleted)
+	pw.counter("repro_engine_tasks_aborted_total", "Tasks discarded by a tardy policy.", s.Engine.TasksAborted)
+	pw.counter("repro_engine_preemptions_total", "Running tasks suspended by a newcomer.", s.Engine.Preemptions)
+
+	pw.counter("repro_session_jobs_started_total", "Jobs the session has started.", s.Session.JobsStarted)
+	pw.counter("repro_session_jobs_finished_total", "Jobs the session has finished.", s.Session.JobsFinished)
+	pw.counter("repro_session_replications_completed_total", "Replications finished across all jobs.", s.Session.ReplicationsCompleted)
+	pw.gauge("repro_session_replications_in_flight", "Requested-but-unfinished replications of running jobs.", float64(s.Session.ReplicationsInFlight))
+	pw.counter("repro_session_pool_warm_acquires_total", "Workspace leases served from the warm free list.", s.Session.Pool.WarmAcquires)
+	pw.counter("repro_session_pool_cold_acquires_total", "Workspace leases that allocated a fresh workspace.", s.Session.Pool.ColdAcquires)
+	pw.counterf("repro_session_pool_busy_seconds_total", "Wall-clock seconds workspaces spent running replications.", s.Session.Pool.BusySeconds)
+
+	if d := s.Distrib; d != nil {
+		pw.counter("repro_distrib_worker_deaths_total", "Worker processes reaped mid-run.", d.Deaths)
+		pw.counter("repro_distrib_worker_respawns_total", "Replacement workers spawned after the initial fleet.", d.Respawns)
+		pw.gauge("repro_distrib_merge_depth_hwm", "Most replications held for seed-order delivery.", float64(d.MergeDepthHWM))
+
+		pw.head("repro_distrib_worker_alive", "Whether the worker process is live (1) or reaped (0).", "gauge")
+		for _, ws := range d.Workers {
+			alive := 0.0
+			if ws.Alive {
+				alive = 1
+			}
+			pw.sample("repro_distrib_worker_alive", ws.ID, alive)
+		}
+		workerCounter := func(name, help string, value func(WorkerStats) float64) {
+			pw.head(name, help, "counter")
+			for _, ws := range d.Workers {
+				pw.sample(name, ws.ID, value(ws))
+			}
+		}
+		workerCounter("repro_distrib_worker_subshards_total", "Sub-shards the worker ran to completion.",
+			func(ws WorkerStats) float64 { return float64(ws.SubShards) })
+		workerCounter("repro_distrib_worker_steals_total", "Sub-shards the worker picked up after another worker died.",
+			func(ws WorkerStats) float64 { return float64(ws.Steals) })
+		workerCounter("repro_distrib_worker_frames_sent_total", "Protocol frames sent coordinator-to-worker.",
+			func(ws WorkerStats) float64 { return float64(ws.FramesSent) })
+		workerCounter("repro_distrib_worker_frames_recv_total", "Protocol frames received worker-to-coordinator.",
+			func(ws WorkerStats) float64 { return float64(ws.FramesRecv) })
+		workerCounter("repro_distrib_worker_bytes_sent_total", "Protocol bytes sent coordinator-to-worker.",
+			func(ws WorkerStats) float64 { return float64(ws.BytesSent) })
+		workerCounter("repro_distrib_worker_bytes_recv_total", "Protocol bytes received worker-to-coordinator.",
+			func(ws WorkerStats) float64 { return float64(ws.BytesRecv) })
+		workerCounter("repro_distrib_worker_pool_warm_acquires_total", "Warm workspace leases inside the worker process.",
+			func(ws WorkerStats) float64 { return float64(ws.Pool.WarmAcquires) })
+		workerCounter("repro_distrib_worker_pool_cold_acquires_total", "Cold workspace leases inside the worker process.",
+			func(ws WorkerStats) float64 { return float64(ws.Pool.ColdAcquires) })
+		workerCounter("repro_distrib_worker_pool_busy_seconds_total", "Wall-clock seconds the worker's workspaces spent running replications.",
+			func(ws WorkerStats) float64 { return ws.Pool.BusySeconds })
+	}
+	return pw.err
+}
+
+// promWriter accumulates the first write error so rendering code stays
+// linear.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (pw *promWriter) printf(format string, args ...any) {
+	if pw.err != nil {
+		return
+	}
+	_, pw.err = fmt.Fprintf(pw.w, format, args...)
+}
+
+// head writes one series' HELP and TYPE lines.
+func (pw *promWriter) head(name, help, typ string) {
+	pw.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// counter, counterf, and gauge write a headed scalar sample.
+func (pw *promWriter) counter(name, help string, v uint64) {
+	pw.head(name, help, "counter")
+	pw.printf("%s %s\n", name, strconv.FormatUint(v, 10))
+}
+
+func (pw *promWriter) counterf(name, help string, v float64) {
+	pw.head(name, help, "counter")
+	pw.printf("%s %s\n", name, formatFloat(v))
+}
+
+func (pw *promWriter) gauge(name, help string, v float64) {
+	pw.head(name, help, "gauge")
+	pw.printf("%s %s\n", name, formatFloat(v))
+}
+
+// sample writes one worker-labelled sample.
+func (pw *promWriter) sample(name string, worker uint64, v float64) {
+	pw.printf("%s{worker=\"%d\"} %s\n", name, worker, formatFloat(v))
+}
+
+// formatFloat renders integral values without an exponent or trailing
+// zeros, matching what scrape-side assertions and humans expect.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

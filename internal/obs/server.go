@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Server bundles a run's live observability endpoints on one mux:
+//
+//	/metrics      — the snapshot in Prometheus text format
+//	/debug/pprof/ — the standard runtime profiles (net/http/pprof)
+//	/debug/vars   — expvar, including the snapshot as "repro"
+//
+// The snapshot function is called per scrape; it must be safe for
+// concurrent use (Session.Snapshot is).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer listens on addr (host:port; ":0" picks a free port —
+// read it back with Addr) and serves until Close. The listener is bound
+// synchronously so a returned *Server is already scrapeable.
+func NewServer(addr string, snapshot func() Snapshot) (*Server, error) {
+	if snapshot == nil {
+		return nil, fmt.Errorf("obs: NewServer(nil snapshot)")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	publishExpvar(snapshot)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops serving. In-flight scrapes are cut off; a run's final
+// counters remain available through the Snapshot API, not the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// expvar registration: the package publishes one "repro" var whose
+// value is the latest server's snapshot. expvar.Publish panics on
+// duplicate names, so the var is registered once per process and
+// re-pointed at the newest snapshot function.
+var (
+	expvarMu   sync.Mutex
+	expvarSnap func() Snapshot
+	expvarOnce sync.Once
+)
+
+func publishExpvar(snapshot func() Snapshot) {
+	expvarMu.Lock()
+	expvarSnap = snapshot
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("repro", expvar.Func(func() any {
+			expvarMu.Lock()
+			snap := expvarSnap
+			expvarMu.Unlock()
+			return snap()
+		}))
+	})
+}

@@ -14,8 +14,11 @@ import (
 // and returns a stop function that finishes the CPU profile and, if
 // memPath is non-empty, writes an allocation profile taken at exit.
 // Profile-file errors fail up front: a silently missing profile defeats
-// the point of asking for one.
-func Start(cpuPath, memPath string) (func(), error) {
+// the point of asking for one. For the same reason stop returns an
+// error when the exit heap profile cannot be written — callers fold it
+// into their exit status instead of discovering a truncated profile
+// later.
+func Start(cpuPath, memPath string) (func() error, error) {
 	var cpuFile *os.File
 	if cpuPath != "" {
 		f, err := os.Create(cpuPath)
@@ -28,22 +31,27 @@ func Start(cpuPath, memPath string) (func(), error) {
 		}
 		cpuFile = f
 	}
-	return func() {
+	return func() error {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
-			cpuFile.Close()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
 		}
 		if memPath != "" {
 			f, err := os.Create(memPath)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "memprofile:", err)
-				return
+				return fmt.Errorf("memprofile: %w", err)
 			}
-			defer f.Close()
 			runtime.GC() // flush garbage so the profile shows live retention
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				f.Close()
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("memprofile: %w", err)
 			}
 		}
+		return nil
 	}, nil
 }

@@ -1,0 +1,68 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStartWritesProfiles: both profiles land on disk non-empty and
+// stop reports success.
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}
+
+// TestStartNoopWhenUnset: empty paths produce a working no-op stop.
+func TestStartNoopWhenUnset(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+}
+
+// TestStartBadCPUPathFailsUpFront: an uncreatable CPU profile path is an
+// immediate error, not a silent missing profile.
+func TestStartBadCPUPathFails(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no-such-dir", "cpu.pprof"), ""); err == nil {
+		t.Fatal("want error for uncreatable cpu profile path")
+	}
+}
+
+// TestStopSurfacesMemProfileError: the mem profile is written at stop
+// time, so its failure must come back through stop's error — callers
+// fold it into their exit status.
+func TestStopSurfacesMemProfileError(t *testing.T) {
+	stop, err := Start("", filepath.Join(t.TempDir(), "no-such-dir", "mem.pprof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serr := stop()
+	if serr == nil {
+		t.Fatal("want error for uncreatable mem profile path")
+	}
+	if !strings.Contains(serr.Error(), "memprofile") {
+		t.Fatalf("error %q does not identify the mem profile", serr)
+	}
+}

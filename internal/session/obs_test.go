@@ -1,0 +1,176 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestProgressMonotonicPool pins the WithProgress contract on the
+// in-process pool: done-counts increase strictly by one, total never
+// changes, and the final call reports done == total.
+func TestProgressMonotonicPool(t *testing.T) {
+	const reps = 8
+	cfg := shortCfg(1200)
+	var (
+		mu    sync.Mutex
+		dones []int
+	)
+	s := New(WithParallelism(4), WithProgress(func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if total != reps {
+			t.Errorf("progress total = %d, want %d", total, reps)
+		}
+		dones = append(dones, done)
+	}))
+	defer s.Close()
+	res, err := s.Run(context.Background(), Job{Config: cfg, Reps: reps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != reps {
+		t.Fatalf("runs = %d, want %d", len(res.Runs), reps)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(dones) != reps {
+		t.Fatalf("progress fired %d times, want %d", len(dones), reps)
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("progress done-counts %v: position %d is %d, want %d", dones, i, d, i+1)
+		}
+	}
+}
+
+// TestProgressExactPrefixOnCancelPool: on the in-process pool a
+// cancelled run's progress count equals the returned prefix exactly —
+// OnResult fires once per finished replication, never for abandoned
+// ones.
+func TestProgressExactPrefixOnCancelPool(t *testing.T) {
+	cfg := shortCfg(1500)
+	var (
+		mu    sync.Mutex
+		fired int
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := New(WithParallelism(2), WithProgress(func(done, total int) {
+		mu.Lock()
+		fired = done
+		mu.Unlock()
+		if done >= 3 {
+			cancel()
+		}
+	}))
+	defer s.Close()
+	res, err := s.Run(ctx, Job{Config: cfg, Reps: 32})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || !res.Partial {
+		t.Fatal("cancelled run did not return a partial result")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if fired != len(res.Runs) {
+		t.Fatalf("progress reported %d completions, result has %d runs", fired, len(res.Runs))
+	}
+}
+
+// TestSnapshotAccounting pins Session.Snapshot after a finished job:
+// job/replication totals, merged engine counters, warm-vs-cold pool
+// gauges across two jobs, and an in-flight gauge back at zero.
+func TestSnapshotAccounting(t *testing.T) {
+	cfg := shortCfg(1200)
+	const reps = 4
+	s := New(WithParallelism(2))
+	defer s.Close()
+	for job := 0; job < 2; job++ {
+		if _, err := s.Run(context.Background(), Job{Config: cfg, Reps: reps}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := s.Snapshot()
+	if snap.Session.JobsStarted != 2 || snap.Session.JobsFinished != 2 {
+		t.Fatalf("jobs started/finished = %d/%d, want 2/2", snap.Session.JobsStarted, snap.Session.JobsFinished)
+	}
+	if snap.Session.ReplicationsCompleted != 2*reps {
+		t.Fatalf("replications completed = %d, want %d", snap.Session.ReplicationsCompleted, 2*reps)
+	}
+	if snap.Session.ReplicationsInFlight != 0 {
+		t.Fatalf("replications in flight = %d after all jobs returned", snap.Session.ReplicationsInFlight)
+	}
+	if snap.Engine.EventsFired == 0 || snap.Engine.EventsScheduled < snap.Engine.EventsFired {
+		t.Fatalf("engine totals implausible: %+v", snap.Engine)
+	}
+	if snap.Engine.TasksCompleted+snap.Engine.TasksAborted > snap.Engine.TasksSubmitted {
+		t.Fatalf("completed+aborted > submitted: %+v", snap.Engine)
+	}
+	p := snap.Session.Pool
+	if p.ColdAcquires == 0 {
+		t.Fatal("first job never cold-started a workspace")
+	}
+	if p.WarmAcquires == 0 {
+		t.Fatal("second job never reused a warm workspace")
+	}
+	if p.BusySeconds <= 0 {
+		t.Fatalf("pool busy seconds = %v, want > 0", p.BusySeconds)
+	}
+	if snap.Distrib != nil {
+		t.Fatal("in-process backend reported distrib stats")
+	}
+}
+
+// TestSnapshotEngineTotalsMatchRuns: the session's merged engine
+// counters equal the sum of the per-replication Metrics.Engine values it
+// returned — instrumentation neither drops nor double-counts.
+func TestSnapshotEngineTotalsMatchRuns(t *testing.T) {
+	cfg := shortCfg(1500)
+	s := New(WithParallelism(3))
+	defer s.Close()
+	res, err := s.Run(context.Background(), Job{Config: cfg, Reps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want struct{ scheduled, fired, submitted uint64 }
+	for _, m := range res.Runs {
+		want.scheduled += m.Engine.EventsScheduled
+		want.fired += m.Engine.EventsFired
+		want.submitted += m.Engine.TasksSubmitted
+	}
+	snap := s.Snapshot()
+	if snap.Engine.EventsScheduled != want.scheduled ||
+		snap.Engine.EventsFired != want.fired ||
+		snap.Engine.TasksSubmitted != want.submitted {
+		t.Fatalf("snapshot engine totals %+v diverge from summed runs %+v", snap.Engine, want)
+	}
+}
+
+// TestSnapshotDuringStream: instrument() hooks Stream too — after a
+// drained stream the session's totals cover its replications.
+func TestSnapshotDuringStream(t *testing.T) {
+	cfg := shortCfg(1200)
+	s := New(WithParallelism(2))
+	defer s.Close()
+	st, err := s.Stream(context.Background(), Job{Config: cfg, Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for range st.Items() {
+		n++
+	}
+	if _, err := st.Result(); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if snap.Session.ReplicationsCompleted != uint64(n) || n != 3 {
+		t.Fatalf("stream completed %d items but snapshot says %d", n, snap.Session.ReplicationsCompleted)
+	}
+	if snap.Session.JobsFinished != 1 || snap.Session.ReplicationsInFlight != 0 {
+		t.Fatalf("post-stream gauges: %+v", snap.Session)
+	}
+}

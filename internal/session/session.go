@@ -33,7 +33,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -190,6 +193,14 @@ type Pool struct {
 	mu     sync.Mutex
 	free   []*system.Workspace
 	closed bool
+
+	// Reuse gauges: leases served warm (recycled workspace) vs cold
+	// (fresh allocation), counted under mu on the lease path (once per
+	// worker per shard, not per replication). busyNanos accumulates the
+	// wall-clock time workers spent inside RunWith; atomic because
+	// workers report concurrently.
+	warm, cold uint64
+	busyNanos  atomic.Int64
 }
 
 // NewPool returns an empty pool; workspaces are created on demand.
@@ -203,9 +214,24 @@ func (p *Pool) acquire() *system.Workspace {
 		ws := p.free[n-1]
 		p.free[n-1] = nil
 		p.free = p.free[:n-1]
+		p.warm++
 		return ws
 	}
+	p.cold++
 	return system.NewWorkspace()
+}
+
+// PoolStats reports the pool's cumulative reuse gauges. Sessions expose
+// it through Snapshot; worker processes ship it home in done frames.
+func (p *Pool) PoolStats() obs.PoolStats {
+	p.mu.Lock()
+	warm, cold := p.warm, p.cold
+	p.mu.Unlock()
+	return obs.PoolStats{
+		WarmAcquires: warm,
+		ColdAcquires: cold,
+		BusySeconds:  time.Duration(p.busyNanos.Load()).Seconds(),
+	}
 }
 
 // release returns a leased workspace to the free list (dropping it if
@@ -254,7 +280,9 @@ func (p *Pool) Run(ctx context.Context, shard Shard) (ShardResult, error) {
 		}
 		cfg := shard.Config
 		cfg.Seed = shard.Seeds[i]
+		started := time.Now()
 		m, rerr := system.RunWith(cfg, ws)
+		p.busyNanos.Add(int64(time.Since(started)))
 		if rerr != nil {
 			return rerr
 		}
@@ -283,6 +311,18 @@ type Session struct {
 
 	mu     sync.Mutex
 	closed bool
+
+	// Run-layer metrics, accumulated by instrument() around every Run
+	// and Stream: engine counters merged across finished replications,
+	// job/replication totals, and the in-flight gauge. All cold-path —
+	// obsMu is taken once per replication completion, never during
+	// event dispatch.
+	obsMu        sync.Mutex
+	engineTotals obs.EngineStats
+	jobsStarted  uint64
+	jobsFinished uint64
+	repsDone     uint64
+	inFlight     atomic.Int64
 }
 
 // New returns a Session running on the in-process Pool backend with the
@@ -387,7 +427,9 @@ func (s *Session) Run(ctx context.Context, job Job, opts ...Option) (*Result, er
 	if o.progress != nil {
 		shard.OnResult = progressHook(o.progress, len(seeds))
 	}
+	finish := s.instrument(&shard)
 	res, err := s.backend.Run(ctx, shard)
+	finish()
 	if err != nil && !isCancellation(err) {
 		return nil, err
 	}
@@ -396,6 +438,81 @@ func (s *Session) Run(ctx context.Context, job Job, opts ...Option) (*Result, er
 		return nil, aerr
 	}
 	return out, err
+}
+
+// instrument wraps shard.OnResult with the session's run-layer
+// accounting — job and in-flight gauges up front, per-replication
+// engine-counter merges as results land — and returns the finish
+// function to call once the backend's Run returns. OnResult fires at
+// most once per seed index on every backend (the multi-process
+// coordinator dedups chunk re-runs), so the totals count each
+// replication exactly once even across worker deaths.
+func (s *Session) instrument(shard *Shard) (finish func()) {
+	total := int64(len(shard.Seeds))
+	s.obsMu.Lock()
+	s.jobsStarted++
+	s.obsMu.Unlock()
+	s.inFlight.Add(total)
+	var seen atomic.Int64
+	prev := shard.OnResult
+	shard.OnResult = func(i int, m *system.Metrics) {
+		seen.Add(1)
+		s.inFlight.Add(-1)
+		s.obsMu.Lock()
+		s.engineTotals.Merge(m.Engine)
+		s.repsDone++
+		s.obsMu.Unlock()
+		if prev != nil {
+			prev(i, m)
+		}
+	}
+	return func() {
+		// Replications a cancelled or failed run never got to leave the
+		// in-flight gauge here.
+		s.inFlight.Add(seen.Load() - total)
+		s.obsMu.Lock()
+		s.jobsFinished++
+		s.obsMu.Unlock()
+	}
+}
+
+// PoolStatser is the optional Backend facet for workspace-pool gauges;
+// the in-process Pool implements it, and the multi-process coordinator
+// aggregates its workers' pools.
+type PoolStatser interface {
+	PoolStats() obs.PoolStats
+}
+
+// DistribStatser is the optional Backend facet for multi-process
+// coordinator statistics (per-worker sub-shards, frames, deaths).
+type DistribStatser interface {
+	DistribStats() *obs.DistribStats
+}
+
+// Snapshot returns a point-in-time view of the session's runtime
+// metrics: engine counters accumulated over every finished replication,
+// job and in-flight gauges, the backend's pool stats, and — on the
+// multi-process backend — per-worker coordinator stats. It is safe to
+// call concurrently with runs (the /metrics endpoint scrapes it live)
+// and never touches the simulation hot path.
+func (s *Session) Snapshot() obs.Snapshot {
+	var snap obs.Snapshot
+	s.obsMu.Lock()
+	snap.Engine = s.engineTotals
+	snap.Session = obs.SessionStats{
+		JobsStarted:           s.jobsStarted,
+		JobsFinished:          s.jobsFinished,
+		ReplicationsCompleted: s.repsDone,
+	}
+	s.obsMu.Unlock()
+	snap.Session.ReplicationsInFlight = s.inFlight.Load()
+	if ps, ok := s.backend.(PoolStatser); ok {
+		snap.Session.Pool = ps.PoolStats()
+	}
+	if ds, ok := s.backend.(DistribStatser); ok {
+		snap.Distrib = ds.DistribStats()
+	}
+	return snap
 }
 
 // isCancellation reports whether err is a context cancellation or

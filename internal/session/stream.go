@@ -95,6 +95,7 @@ func (s *Session) Stream(ctx context.Context, job Job, opts ...Option) (*Stream,
 		}
 		arrived <- arrival{i: i, m: m}
 	}
+	finish := s.instrument(&shard)
 
 	// The emitter reorders completions into seed order concurrently with
 	// the run, so items become visible as soon as their seed prefix is
@@ -119,6 +120,7 @@ func (s *Session) Stream(ctx context.Context, job Job, opts ...Option) (*Stream,
 	}()
 	go func() {
 		res, rerr := s.backend.Run(ctx, shard)
+		finish()
 		close(arrived)
 		<-emitDone // every emitted item precedes done
 

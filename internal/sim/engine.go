@@ -80,13 +80,26 @@ type Engine struct {
 	fired   uint64
 	stopped bool
 
+	// Instrumentation counters, all maintained as plain fields on paths
+	// the engine already owns (no atomics, no callbacks): cancelled and
+	// promotions count successful Cancels and heap→ladder migrations;
+	// pendingHWM tracks the deepest the pending set ever got, derived as
+	// seq−fired−cancelled so the ladder's O(rungs) size() stays off the
+	// schedule path. Stats() exposes them; Reset zeroes them.
+	cancelled  uint64
+	promotions uint64
+	pendingHWM uint64
+
 	// The active queue is lad when non-nil, the binary heap otherwise;
 	// hot paths dispatch with that one branch instead of an interface
 	// call. kind is the configured QueueKind (QueueAuto promotes
-	// heap -> ladder lazily, see maybePromote).
-	heap []event
-	lad  *ladderQueue
-	kind QueueKind
+	// heap -> ladder lazily, see maybePromote). ladCache keeps a
+	// promoted-then-Reset auto engine's ladder warm so the next run's
+	// promotion reuses its rung arrays instead of reallocating.
+	heap     []event
+	lad      *ladderQueue
+	ladCache *ladderQueue
+	kind     QueueKind
 
 	slots     []slotRec
 	freeSlots []int32
@@ -145,13 +158,18 @@ func (e *Engine) QueueKind() QueueKind {
 // every pending event once; pop order (and therefore every simulation
 // result) is unaffected.
 func (e *Engine) promote() {
-	lad := &ladderQueue{e: e}
+	lad := e.ladCache
+	if lad == nil {
+		lad = &ladderQueue{e: e}
+	}
+	e.ladCache = nil
 	for i := range e.heap {
 		lad.push(e.heap[i])
 		e.heap[i] = event{}
 	}
 	e.heap = e.heap[:0]
 	e.lad = lad
+	e.promotions++
 }
 
 // Queue dispatch helpers for the cold paths; the hot paths (CallAt,
@@ -190,12 +208,18 @@ func (e *Engine) qReset() {
 // pending events, no registered callbacks — while keeping the capacity of
 // its internal buffers, so a reused engine reaches steady state without
 // re-growing its queue and slot arrays. Handles issued before the reset
-// are invalidated. A promoted QueueAuto engine stays on the ladder: the
-// next run is expected to be the same scale, and queue choice never
-// affects results.
+// are invalidated. A promoted QueueAuto engine demotes back to the heap
+// (keeping the ladder cached for the next promotion), so every run's
+// queue trajectory — including the Stats promotion counter — is a pure
+// function of (configuration, seed), not of what the workspace ran
+// before; queue choice never affects results either way.
 func (e *Engine) Reset() {
 	e.now, e.seq, e.fired, e.stopped = 0, 0, 0, false
+	e.cancelled, e.promotions, e.pendingHWM = 0, 0, 0
 	e.qReset()
+	if e.kind == QueueAuto && e.lad != nil {
+		e.ladCache, e.lad = e.lad, nil
+	}
 	e.freeSlots = e.freeSlots[:0]
 	for i := range e.slots {
 		e.slots[i].gen++ // stale handles from the previous run go dead
@@ -228,6 +252,32 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events currently scheduled.
 func (e *Engine) Pending() int { return e.qSize() }
+
+// Stats is a snapshot of the engine's event counters since the last
+// Reset. Scheduled−Fired−Cancelled is the pending count; PendingHWM is
+// the deepest that count ever got.
+type Stats struct {
+	Scheduled  uint64
+	Fired      uint64
+	Cancelled  uint64
+	Promotions uint64
+	PendingHWM uint64
+}
+
+// Stats returns the engine's counter snapshot. It is a pure function of
+// the event sequence, so for a full replication it is deterministic in
+// (configuration, seed) — with the one caveat that Promotions also
+// depends on the configured QueueKind (auto promotes, pinned kinds
+// never do), which never affects simulation results.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Scheduled:  e.seq,
+		Fired:      e.fired,
+		Cancelled:  e.cancelled,
+		Promotions: e.promotions,
+		PendingHWM: e.pendingHWM,
+	}
+}
 
 // Schedule registers fn to run after delay time units. A negative or NaN
 // delay returns ErrEventInPast. Each call allocates a closure; hot paths
@@ -280,6 +330,12 @@ func (e *Engine) CallAt(t float64, cb Callback, payload any) (Event, error) {
 	slot := e.takeSlot()
 	ev := event{time: t, seq: e.seq, payload: payload, cb: cb, slot: slot}
 	e.seq++
+	// seq−fired−cancelled is the pending count after this push; tracking
+	// the high-water mark this way costs two ALU ops and a predictable
+	// branch instead of a queue-size call (O(rungs) on the ladder).
+	if pending := e.seq - e.fired - e.cancelled; pending > e.pendingHWM {
+		e.pendingHWM = pending
+	}
 	if e.lad != nil {
 		e.lad.push(ev)
 	} else {
@@ -305,6 +361,7 @@ func (e *Engine) Cancel(ev Event) bool {
 		return false
 	}
 	e.releaseSlot(int32(i))
+	e.cancelled++
 	return true
 }
 

@@ -358,10 +358,26 @@ func TestLadderPromotion(t *testing.T) {
 			t.Fatalf("fire %d has tag %d after promotion, want %d", i, f.tag, i)
 		}
 	}
-	// Reset keeps the promoted ladder (same-scale reuse).
+	// Reset demotes back to the heap so every run's queue trajectory
+	// (and the Stats promotion counter) is history-independent, but the
+	// ladder stays cached: the next promotion reuses its arrays.
 	c.eng.Reset()
+	if got := c.eng.QueueKind(); got != QueueHeap {
+		t.Fatalf("auto engine on %q after Reset, want heap", got)
+	}
+	prevLad := c.eng.ladCache
+	if prevLad == nil {
+		t.Fatal("Reset dropped the promoted ladder instead of caching it")
+	}
+	cb := c.eng.Register(func(any) {})
+	for i := 0; i <= promoteThreshold; i++ {
+		c.eng.MustScheduleCall(float64(i), cb, i)
+	}
 	if got := c.eng.QueueKind(); got != QueueLadder {
-		t.Fatalf("auto engine demoted to %q by Reset", got)
+		t.Fatalf("auto engine on %q after re-crossing the threshold, want ladder", got)
+	}
+	if c.eng.lad != prevLad {
+		t.Fatal("re-promotion built a fresh ladder instead of reusing the cache")
 	}
 }
 

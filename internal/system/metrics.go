@@ -1,6 +1,7 @@
 package system
 
 import (
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/stats"
 )
@@ -66,6 +67,14 @@ type Metrics struct {
 	// service when the horizon ended (excluded from all ratios).
 	LocalInFlight  int64
 	GlobalInFlight int64
+
+	// Engine carries the replication's engine/queue/node runtime
+	// counters (event totals, queue high-water marks, task lifecycle
+	// counts), collected once at replication end. Like every other
+	// field it is a deterministic function of (configuration, seed) —
+	// wall-clock gauges live in the session layer, never here — so
+	// results stay bit-identical whether or not anyone reads it.
+	Engine obs.EngineStats
 
 	// Series is the per-window time series of a scenario run (miss
 	// ratios, lateness, queue lengths binned over fixed intervals); nil

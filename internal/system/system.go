@@ -484,9 +484,26 @@ func RunWith(cfg Config, ws *Workspace) (*Metrics, error) {
 
 	eng.Run(cfg.Horizon)
 
+	// Fold the run's engine and per-node counters into the metrics in
+	// one pass, off the hot path: the engine and nodes counted on their
+	// own plain fields during the run.
+	es := eng.Stats()
+	me := &metrics.Engine
+	me.EventsScheduled = es.Scheduled
+	me.EventsFired = es.Fired
+	me.EventsCancelled = es.Cancelled
+	me.QueuePromotions = es.Promotions
+	me.PendingHWM = es.PendingHWM
 	metrics.Utilization = make([]float64, cfg.Nodes)
 	for i, n := range nodes {
 		metrics.Utilization[i] = n.BusyTime() / cfg.Horizon
+		me.TasksSubmitted += uint64(n.Submitted())
+		me.TasksCompleted += uint64(n.Served())
+		me.TasksAborted += uint64(n.Aborted())
+		me.Preemptions += uint64(n.Preemptions())
+		if h := uint64(n.ReadyQueueHWM()); h > me.ReadyHWM {
+			me.ReadyHWM = h
+		}
 	}
 	metrics.LocalInFlight = metrics.LocalGenerated - metrics.LocalDone
 	metrics.GlobalInFlight = int64(mgr.InFlight())

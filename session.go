@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/distrib"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/session"
 )
 
@@ -75,6 +76,15 @@ func WithEventQueue(kind EventQueueKind) RunOption { return session.WithEventQue
 // WithPoolingDisabled runs on the pure allocation path (the reference
 // path the pooled one is tested against); results are bit-identical.
 func WithPoolingDisabled() RunOption { return session.WithPoolingDisabled() }
+
+// MetricsSnapshot is a point-in-time view of a session's runtime
+// metrics, returned by Session.Snapshot: engine counters accumulated
+// over every finished replication (deterministic — identical for a
+// given workload at any parallelism, queue kind, or backend),
+// job/in-flight/pool gauges, and per-worker coordinator stats on the
+// multi-process backend. WritePrometheus renders it in Prometheus text
+// exposition format; the CLIs' -metrics-addr flag serves it live.
+type MetricsSnapshot = obs.Snapshot
 
 // Session owns the execution resources of the run API: a worker pool
 // whose per-worker warm workspaces persist across every call (or a
