@@ -9,8 +9,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/distrib"
+	"repro/internal/failpoint"
 	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/sim"
@@ -46,6 +48,18 @@ type Common struct {
 	// (Prometheus text), /debug/pprof/* and /debug/vars on this address
 	// for the duration of the run.
 	MetricsAddr string
+	// Failpoints is the chaos spec (-failpoints) armed before the run;
+	// see package failpoint for the grammar. ArmFailpoints also exports
+	// it through the environment so -backend proc workers inherit it.
+	Failpoints string
+	// Heartbeat and WorkerTimeout tune -backend proc supervision: the
+	// liveness-probe interval and the silence deadline after which a
+	// worker counts as hung. Zero keeps the defaults (1s / 10s).
+	Heartbeat     time.Duration
+	WorkerTimeout time.Duration
+	// Hedge scales the straggler threshold for speculative re-dispatch
+	// (0 = default 4, negative = off).
+	Hedge float64
 }
 
 // Register installs the shared flags on fs and returns the value
@@ -72,7 +86,30 @@ func Register(fs *flag.FlagSet) *Common {
 		"redraw a live progress line on stderr: completed/total, rate, and ETA")
 	fs.StringVar(&c.MetricsAddr, "metrics-addr", "",
 		"serve /metrics (Prometheus text), /debug/pprof/* and /debug/vars on this address (e.g. 127.0.0.1:9090) for the duration of the run")
+	fs.StringVar(&c.Failpoints, "failpoints", "",
+		"arm fault-injection sites for a chaos run, e.g. 'seed=42;distrib/worker-loop=kill:p=0.05:max=1' (results stay byte-identical; see internal/failpoint)")
+	fs.DurationVar(&c.Heartbeat, "heartbeat", 0,
+		"liveness-probe interval for -backend proc workers (0 = default 1s)")
+	fs.DurationVar(&c.WorkerTimeout, "worker-timeout", 0,
+		"declare a -backend proc worker hung after this much silence and reassign its work (0 = default 10s)")
+	fs.Float64Var(&c.Hedge, "hedge", 0,
+		"straggler threshold multiplier for speculative re-dispatch under -backend proc (0 = default 4, negative = off; first result wins, results unchanged)")
 	return c
+}
+
+// ArmFailpoints arms the -failpoints spec (a no-op when empty) and
+// exports it through the environment so worker processes spawned by
+// -backend proc arm the same chaos. Call it before any backend work —
+// including the -shard-server branch, whose process inherited the spec
+// from its coordinator's environment at init.
+func (c *Common) ArmFailpoints() error {
+	if c.Failpoints == "" {
+		return nil
+	}
+	if err := failpoint.Arm(c.Failpoints); err != nil {
+		return err
+	}
+	return os.Setenv(failpoint.EnvVar, c.Failpoints)
 }
 
 // QueueKind validates and parses the -queue flag.
@@ -141,7 +178,12 @@ func (c *Common) ProcBackend() (*distrib.ProcBackend, error) {
 		if c.Workers < 0 {
 			return nil, fmt.Errorf("-workers %d, want >= 0", c.Workers)
 		}
-		return distrib.NewProcBackend(distrib.ProcOptions{Workers: c.Workers}), nil
+		return distrib.NewProcBackend(distrib.ProcOptions{
+			Workers:       c.Workers,
+			Heartbeat:     c.Heartbeat,
+			WorkerTimeout: c.WorkerTimeout,
+			HedgeFactor:   c.Hedge,
+		}), nil
 	default:
 		return nil, fmt.Errorf("unknown -backend %q (want pool or proc)", c.Backend)
 	}

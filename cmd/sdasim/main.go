@@ -70,6 +70,12 @@ func run(args []string, out io.Writer) (retErr error) {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Chaos arms before any backend work — including worker mode, so a
+	// directly-started worker and one inheriting the coordinator's
+	// environment behave the same.
+	if err := common.ArmFailpoints(); err != nil {
+		return err
+	}
 	if common.ShardServer {
 		// Worker mode: serve sub-shards over stdin/stdout for a
 		// -backend proc coordinator, then exit.

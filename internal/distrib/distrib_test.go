@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/failpoint"
 	"repro/internal/rng"
 	"repro/internal/scenario"
 	"repro/internal/session"
@@ -29,6 +30,16 @@ const workerEnv = "REPRO_TEST_SHARD_WORKER"
 // frames — the worker-death scenario.
 const dieLockEnv = "REPRO_TEST_SHARD_WORKER_DIE_LOCK"
 
+// victimLockEnv and victimSpecEnv elect exactly one worker of the fleet
+// (lock-file O_EXCL election, like dieLockEnv) and arm the given
+// failpoint spec only in that process — the single-hung-worker and
+// single-straggler scenarios, which an inherited environment spec
+// cannot express because every worker would arm it.
+const (
+	victimLockEnv = "REPRO_TEST_SHARD_WORKER_VICTIM_LOCK"
+	victimSpecEnv = "REPRO_TEST_SHARD_WORKER_VICTIM_SPEC"
+)
+
 // TestShardWorkerProcess is not a test: it is the worker-process body,
 // entered when the coordinator under test re-executes the test binary.
 func TestShardWorkerProcess(t *testing.T) {
@@ -40,6 +51,15 @@ func TestShardWorkerProcess(t *testing.T) {
 		if f, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o600); err == nil {
 			f.Close()
 			out = &dyingWriter{w: os.Stdout, remaining: 2}
+		}
+	}
+	if lock := os.Getenv(victimLockEnv); lock != "" {
+		if f, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o600); err == nil {
+			f.Close()
+			if err := failpoint.Arm(os.Getenv(victimSpecEnv)); err != nil {
+				fmt.Fprintln(os.Stderr, "worker: victim spec:", err)
+				os.Exit(2)
+			}
 		}
 	}
 	if err := ServeWorker(os.Stdin, out); err != nil {

@@ -10,17 +10,32 @@ import (
 	"os/exec"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/obs"
 	"repro/internal/session"
 	"repro/internal/system"
 )
 
 // errWorkerDead marks a sub-shard that failed because its worker
-// process died (or broke protocol): the chunk is re-run on a surviving
-// worker, which is safe because replications are pure functions of
-// (config, seed).
+// process died, hung, or broke protocol: the chunk is re-run on a
+// surviving worker (after a capped exponential backoff), which is safe
+// because replications are pure functions of (config, seed).
 var errWorkerDead = errors.New("distrib: worker process died")
+
+// errWorkerHung marks the liveness-deadline flavour of worker loss: the
+// process never closed its pipe, but stopped answering heartbeats. It
+// wraps errWorkerDead so every recovery path treats hangs and deaths
+// identically — the hung process is killed and its chunk reassigned.
+var errWorkerHung = fmt.Errorf("worker hung (missed liveness deadline): %w", errWorkerDead)
+
+// errChunkDeadline marks a sub-shard that overran its execution
+// deadline (derived from the EWMA of observed chunk latency) even
+// though the worker kept answering heartbeats — a wedged or
+// pathologically slow execution. Wrapping errWorkerDead reuses the
+// kill-and-reassign recovery.
+var errChunkDeadline = fmt.Errorf("sub-shard exceeded its execution deadline: %w", errWorkerDead)
 
 // ProcOptions configures a ProcBackend.
 type ProcOptions struct {
@@ -36,6 +51,30 @@ type ProcOptions struct {
 	ChunkSize int
 	// Stderr receives worker stderr; nil inherits this process's.
 	Stderr io.Writer
+
+	// Heartbeat is the liveness-probe interval: while a sub-shard is
+	// outstanding and the worker is silent, the coordinator pings it
+	// this often. 0 means 1s.
+	Heartbeat time.Duration
+	// WorkerTimeout is the liveness deadline: a worker that produces no
+	// frame (result, done, or pong) for this long is declared hung,
+	// killed, and its chunk reassigned. 0 means 10s; values below twice
+	// the heartbeat are clamped up to it.
+	WorkerTimeout time.Duration
+	// HedgeFactor scales the straggler threshold: an idle worker
+	// speculatively re-runs the oldest outstanding chunk once its age
+	// exceeds HedgeFactor times the EWMA of completed-chunk latency
+	// (first result wins; the duplicate is deduplicated and cancelled).
+	// 0 means 4; negative disables hedging.
+	HedgeFactor float64
+	// RespawnBudget bounds recovery per Run: at most this many mid-run
+	// worker respawns, and after this many consecutive chunk failures
+	// the circuit breaker trips and the backend degrades gracefully to
+	// the in-process pool for the remaining seeds. 0 means 4.
+	RespawnBudget int
+	// RetryBackoff is the base delay before a failed chunk is
+	// redispatched; it doubles per attempt, capped at 2s. 0 means 50ms.
+	RetryBackoff time.Duration
 }
 
 // workers resolves the worker-count default.
@@ -46,12 +85,87 @@ func (o ProcOptions) workers() int {
 	return o.Workers
 }
 
+// heartbeat resolves the liveness-probe interval.
+func (o ProcOptions) heartbeat() time.Duration {
+	if o.Heartbeat <= 0 {
+		return time.Second
+	}
+	return o.Heartbeat
+}
+
+// workerTimeout resolves the liveness deadline.
+func (o ProcOptions) workerTimeout() time.Duration {
+	d := o.WorkerTimeout
+	if d <= 0 {
+		d = 10 * time.Second
+	}
+	if min := 2 * o.heartbeat(); d < min {
+		d = min
+	}
+	return d
+}
+
+// hedgeFactor resolves the straggler threshold multiplier; <= 0 means
+// hedging is disabled (0 itself selects the default).
+func (o ProcOptions) hedgeFactor() float64 {
+	if o.HedgeFactor == 0 {
+		return 4
+	}
+	if o.HedgeFactor < 0 {
+		return 0
+	}
+	return o.HedgeFactor
+}
+
+// respawnBudget resolves the per-run recovery budget.
+func (o ProcOptions) respawnBudget() int {
+	if o.RespawnBudget <= 0 {
+		return 4
+	}
+	return o.RespawnBudget
+}
+
+// retryBackoff resolves the capped exponential chunk-retry backoff for
+// the given prior attempt count.
+func (o ProcOptions) retryBackoff(attempts int) time.Duration {
+	base := o.RetryBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	const cap = 2 * time.Second
+	d := base
+	for i := 0; i < attempts && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// wireFrame is one frame (or terminal read error) delivered by a
+// worker's reader goroutine.
+type wireFrame struct {
+	kind    msgKind
+	payload []byte
+	err     error
+}
+
 // procWorker is one spawned worker process.
 type procWorker struct {
-	cmd  *exec.Cmd
-	in   io.Closer
-	fw   *frameWriter
-	br   *bufio.Reader
+	cmd *exec.Cmd
+	in  io.Closer
+	fw  *frameWriter
+	br  *bufio.Reader
+
+	// frames delivers the worker's output, one frame per receive, read
+	// by a dedicated goroutine so the dispatcher can multiplex frames
+	// with heartbeat timers. The reader exits on its first read error
+	// (delivered as the final wireFrame) or when stop closes.
+	frames   chan wireFrame
+	stop     chan struct{}
+	stopOnce sync.Once
+
 	dead bool
 
 	// Coordinator-side stats. Only this worker's dispatch goroutine
@@ -66,17 +180,49 @@ type procWorker struct {
 	pool       obs.PoolStats // latest pool gauges from a done frame
 }
 
+// stopReader releases the worker's reader goroutine (idempotent).
+func (w *procWorker) stopReader() { w.stopOnce.Do(func() { close(w.stop) }) }
+
+// readLoop feeds the worker's stdout frames into w.frames until a read
+// error (delivered, then the loop exits) or stopReader.
+func (w *procWorker) readLoop() {
+	for {
+		kind, payload, err := readFrame(w.br)
+		select {
+		case w.frames <- wireFrame{kind: kind, payload: payload, err: err}:
+		case <-w.stop:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
 // ProcBackend implements session.Backend across worker processes: it
 // splits a shard's seed range into contiguous chunks, work-steals the
 // chunks across N persistent workers (each a ServeWorker process with
 // its own warm workspace pool), and merges results in seed order, so
 // its output is byte-identical to the in-process pool at any worker
-// count. A worker that dies mid-chunk has the chunk re-run on a
-// surviving worker; determinism makes the re-run interchangeable.
+// count.
+//
+// The coordinator supervises its fleet: per-worker heartbeats detect
+// hung processes (not just closed pipes) within a liveness deadline,
+// per-sub-shard execution deadlines derived from observed chunk
+// latency catch wedged executions, failed chunks are retried with
+// capped exponential backoff on surviving (or mid-run respawned)
+// workers, and an idle worker speculatively re-runs the slowest
+// outstanding chunk (first result wins; duplicates are deduplicated
+// deterministically, so hedging never changes results). When the
+// per-run respawn budget is exhausted — or no worker can be kept
+// alive — the backend degrades gracefully: the remaining seeds run on
+// an embedded in-process pool and the fallback is recorded in
+// DistribStats. Every recovery path preserves bit-identical merged
+// output, because replications are pure functions of (config, seed).
 //
 // Configurations that cannot cross a process boundary (ErrNotWirable:
 // an attached trace recorder, an unregistered Shape or Demand) fall
-// back to an embedded in-process pool transparently.
+// back to the embedded in-process pool transparently.
 //
 // Concurrent Run calls are safe but serialize on the worker set.
 type ProcBackend struct {
@@ -91,14 +237,20 @@ type ProcBackend struct {
 	nextID   uint64
 
 	// Coordinator stats (see DistribStats): worker ids, fleet health,
-	// the seed-order merge buffer's high-water mark, and the final
-	// stats of reaped workers.
-	workerSeq uint64
-	fleetUp   bool // the initial fleet stood up; later spawns are respawns
-	deaths    uint64
-	respawns  uint64
-	mergeHWM  uint64
-	retired   []obs.WorkerStats
+	// recovery counters, the seed-order merge buffer's high-water mark,
+	// and the final stats of reaped workers.
+	workerSeq        uint64
+	fleetUp          bool // the initial fleet stood up; later spawns are respawns
+	deaths           uint64
+	respawns         uint64
+	mergeHWM         uint64
+	heartbeatsMissed uint64
+	retries          uint64
+	hedgesWon        uint64
+	hedgesLost       uint64
+	fallbacks        uint64
+	decodeRejects    uint64
+	retired          []obs.WorkerStats
 }
 
 // NewProcBackend returns a backend; worker processes spawn lazily on
@@ -108,17 +260,29 @@ func NewProcBackend(opts ProcOptions) *ProcBackend {
 }
 
 // Close shuts the workers down (closing stdin lets them exit cleanly;
-// they are killed as a backstop) and drops the fallback pool. Close is
-// not safe concurrently with Run.
+// they are killed as a backstop, and every worker is reaped even if an
+// earlier one fails to shut down) and drops the fallback pool. The
+// first shutdown error wins; Close is idempotent — the second call
+// returns nil without touching anything. Close is not safe
+// concurrently with Run.
 func (b *ProcBackend) Close() error {
 	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
 	workers := b.workers
-	b.workers, b.closed = nil, true
+	b.workers = nil
 	fallback := b.fallback
 	b.fallback = nil
 	b.mu.Unlock()
+	var firstErr error
 	for _, w := range workers {
-		w.in.Close()
+		w.stopReader()
+		if err := w.in.Close(); err != nil && !errors.Is(err, os.ErrClosed) && firstErr == nil {
+			firstErr = fmt.Errorf("distrib: close worker %d stdin: %w", w.id, err)
+		}
 	}
 	for _, w := range workers {
 		if w.cmd.Process != nil {
@@ -129,11 +293,14 @@ func (b *ProcBackend) Close() error {
 	if fallback != nil {
 		fallback.Close()
 	}
-	return nil
+	return firstErr
 }
 
-// spawn starts one worker process.
+// spawn starts one worker process and its reader goroutine.
 func (b *ProcBackend) spawn() (*procWorker, error) {
+	if _, err := failpoint.Inject("distrib/spawn"); err != nil {
+		return nil, fmt.Errorf("distrib: start worker: %w", err)
+	}
 	argv := b.opts.Command
 	if len(argv) == 0 {
 		exe, err := os.Executable()
@@ -162,12 +329,16 @@ func (b *ProcBackend) spawn() (*procWorker, error) {
 	if err := cmd.Start(); err != nil {
 		return nil, fmt.Errorf("distrib: start worker %q: %w", argv[0], err)
 	}
-	return &procWorker{
-		cmd: cmd,
-		in:  stdin,
-		fw:  newFrameWriter(stdin),
-		br:  bufio.NewReaderSize(stdout, 1<<16),
-	}, nil
+	w := &procWorker{
+		cmd:    cmd,
+		in:     stdin,
+		fw:     newFrameWriter(stdin),
+		br:     bufio.NewReaderSize(stdout, 1<<16),
+		frames: make(chan wireFrame, 16),
+		stop:   make(chan struct{}),
+	}
+	go w.readLoop()
+	return w, nil
 }
 
 // attach returns the live worker set, spawning replacements for dead
@@ -204,14 +375,46 @@ func (b *ProcBackend) attach() ([]*procWorker, error) {
 	return append([]*procWorker(nil), b.workers...), nil
 }
 
-// reap marks a worker dead, archives its final stats, and reclaims its
-// process.
+// respawn replaces a reaped worker mid-run.
+func (b *ProcBackend) respawn() (*procWorker, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, errors.New("distrib: backend closed")
+	}
+	b.mu.Unlock()
+	w, err := b.spawn()
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	b.workerSeq++
+	w.id = b.workerSeq
+	b.respawns++
+	b.workers = append(b.workers, w)
+	b.mu.Unlock()
+	return w, nil
+}
+
+// reap marks a worker dead, archives its final stats, removes it from
+// the fleet, and reclaims its process.
 func (b *ProcBackend) reap(w *procWorker) {
 	b.mu.Lock()
+	if w.dead {
+		b.mu.Unlock()
+		return
+	}
 	w.dead = true
 	b.deaths++
 	b.retired = append(b.retired, b.workerStatsLocked(w))
+	for i, x := range b.workers {
+		if x == w {
+			b.workers = append(b.workers[:i], b.workers[i+1:]...)
+			break
+		}
+	}
 	b.mu.Unlock()
+	w.stopReader()
 	w.in.Close()
 	if w.cmd.Process != nil {
 		_ = w.cmd.Process.Kill()
@@ -230,8 +433,9 @@ func (b *ProcBackend) localPool() *session.Pool {
 }
 
 // chunk is a contiguous [start, end) slice of a shard's seed range.
-// requeued marks a chunk put back after a worker death; the worker
-// that eventually runs it records a steal.
+// requeued marks a dispatch of a chunk put back after a worker failure
+// (or dispatched speculatively); the worker that completes it records a
+// steal.
 type chunk struct {
 	start, end int
 	requeued   bool
@@ -262,6 +466,21 @@ func (b *ProcBackend) chunkSize(n, workers int) int {
 	return size
 }
 
+// chunkState tracks one chunk's dispatch lifecycle under the run's mu:
+// how many dispatches are outstanding (a hedge makes it two), whether
+// it finished, its retry backoff gate, and the workers its outstanding
+// dispatches run on (so the winner can cancel the loser).
+type chunkState struct {
+	c         chunk
+	attempts  int       // failed attempts so far (drives the backoff)
+	notBefore time.Time // backoff gate for the next dispatch
+	running   int       // outstanding dispatches (0, 1, or 2 with a hedge)
+	done      bool
+	hedged    bool // a speculative duplicate has been dispatched
+	startedAt time.Time
+	active    map[uint64]*procWorker // dispatch id -> worker
+}
+
 // Run implements session.Backend. Results are merged in seed order;
 // cancellation returns the longest finished contiguous seed prefix
 // together with ctx's error, exactly like the in-process pool. (Unlike
@@ -269,6 +488,13 @@ func (b *ProcBackend) chunkSize(n, workers int) int {
 // completed replications beyond that prefix — chunks cancel
 // independently — which streaming and progress hooks tolerate by
 // construction.)
+//
+// Worker failures never invalidate the run: dead, hung, or misbehaving
+// workers are reaped and their chunks retried (with backoff) on
+// survivors or mid-run respawns; if the recovery budget runs out, the
+// remaining seeds execute on the embedded in-process pool. The only
+// hard failures are a replication error inside the simulation itself
+// and an unspawnable initial fleet.
 func (b *ProcBackend) Run(ctx context.Context, shard session.Shard) (session.ShardResult, error) {
 	if len(shard.Seeds) == 0 {
 		return session.ShardResult{Metrics: []*system.Metrics{}}, ctx.Err()
@@ -276,6 +502,9 @@ func (b *ProcBackend) Run(ctx context.Context, shard session.Shard) (session.Sha
 	wc, err := ToWire(shard.Config)
 	if err != nil {
 		if errors.Is(err, ErrNotWirable) {
+			b.mu.Lock()
+			b.fallbacks++
+			b.mu.Unlock()
 			return b.localPool().Run(ctx, shard)
 		}
 		return session.ShardResult{}, err
@@ -289,15 +518,24 @@ func (b *ProcBackend) Run(ctx context.Context, shard session.Shard) (session.Sha
 	}
 
 	chunks := chunkSeeds(len(shard.Seeds), b.chunkSize(len(shard.Seeds), len(workers)))
+	states := make([]*chunkState, len(chunks))
+	for i, c := range chunks {
+		states[i] = &chunkState{c: c, active: map[uint64]*procWorker{}}
+	}
 
 	var (
-		mu        sync.Mutex
-		pending   = append([]chunk(nil), chunks...) // FIFO of undispatched chunks
-		finished  int                               // chunks that ended (done or cancelled)
-		live      = len(workers)
-		failErr   error
-		cancelled bool
+		mu          sync.Mutex
+		doneCount   int // chunks that completed
+		live        = len(workers)
+		consecFails int  // consecutive chunk failures (circuit breaker)
+		respawned   int  // mid-run respawns consumed from the budget
+		degraded    bool // circuit breaker tripped: stop dispatching to workers
+		failErr     error
+		cancelled   bool
+		ewma        float64 // EWMA of completed-chunk latency, seconds
+		ewmaN       int
 	)
+	budget := b.opts.respawnBudget()
 	cond := sync.NewCond(&mu)
 	runCtx, cancelRun := context.WithCancel(ctx)
 	defer cancelRun()
@@ -322,15 +560,19 @@ func (b *ProcBackend) Run(ctx context.Context, shard session.Shard) (session.Sha
 			}
 		}
 		mu.Unlock()
-		// A chunk re-run after a worker death replays indices the dead
-		// worker already streamed; OnResult fires once per index.
+		// A chunk re-run after a worker failure (or a hedged duplicate)
+		// replays indices another dispatch already streamed; OnResult
+		// fires once per index — first result wins, deterministically,
+		// because every dispatch computes the identical metrics.
 		if first && shard.OnResult != nil {
 			shard.OnResult(i, m)
 		}
 	}
 
 	// Propagate caller cancellation into the dispatch state so idle
-	// workers stop waiting for chunks.
+	// workers stop waiting for chunks, and re-broadcast periodically so
+	// time-gated decisions (backoff expiry, straggler age) are
+	// re-evaluated without a condition-variable timeout.
 	stopWatch := make(chan struct{})
 	go func() {
 		select {
@@ -342,56 +584,263 @@ func (b *ProcBackend) Run(ctx context.Context, shard session.Shard) (session.Sha
 		case <-stopWatch:
 		}
 	}()
+	tick := b.opts.heartbeat() / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	if tick > 250*time.Millisecond {
+		tick = 250 * time.Millisecond
+	}
+	go func() {
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				cond.Broadcast()
+			case <-stopWatch:
+				return
+			}
+		}
+	}()
+
+	// pickWork selects the next dispatch for an idle worker: the first
+	// queued chunk whose backoff elapsed, else — past the straggler
+	// threshold — a speculative duplicate of the oldest outstanding
+	// chunk. Caller holds mu.
+	hedgeFactor := b.opts.hedgeFactor()
+	pickWork := func() (*chunkState, bool) {
+		now := time.Now()
+		for _, cs := range states {
+			if cs.done || cs.running > 0 || now.Before(cs.notBefore) {
+				continue
+			}
+			return cs, false
+		}
+		if hedgeFactor > 0 && ewmaN > 0 {
+			thr := time.Duration(hedgeFactor * ewma * float64(time.Second))
+			if hb := b.opts.heartbeat(); thr < hb {
+				thr = hb
+			}
+			var best *chunkState
+			var bestAge time.Duration
+			for _, cs := range states {
+				if cs.done || cs.running != 1 || cs.hedged {
+					continue
+				}
+				if age := now.Sub(cs.startedAt); age > thr && age > bestAge {
+					best, bestAge = cs, age
+				}
+			}
+			if best != nil {
+				return best, true
+			}
+		}
+		return nil, false
+	}
+
+	// requeue puts a failed dispatch's chunk back with backoff, and
+	// trips the circuit breaker after too many consecutive failures.
+	// Caller holds mu.
+	requeue := func(cs *chunkState) {
+		if cs.done || cs.running > 0 {
+			return // another dispatch (a hedge) still carries the chunk
+		}
+		cs.attempts++
+		cs.hedged = false
+		cs.notBefore = time.Now().Add(b.opts.retryBackoff(cs.attempts - 1))
+		b.countRetry()
+		consecFails++
+		if consecFails >= budget {
+			degraded = true
+		}
+	}
 
 	var wg sync.WaitGroup
-	for _, w := range workers {
-		wg.Add(1)
-		go func(w *procWorker) {
-			defer wg.Done()
+	var dispatch func(w *procWorker)
+	dispatch = func(w *procWorker) {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			var cs *chunkState
+			var isHedge bool
 			for {
-				mu.Lock()
-				for len(pending) == 0 && failErr == nil && !cancelled && finished < len(chunks) {
-					cond.Wait()
-				}
-				if failErr != nil || cancelled || finished == len(chunks) || len(pending) == 0 {
+				if failErr != nil || cancelled || degraded || doneCount == len(states) {
 					mu.Unlock()
 					return
 				}
-				c := pending[0]
-				pending = pending[1:]
-				mu.Unlock()
-
-				cerr := b.runChunk(runCtx, w, &wc, shard, c, record)
-				mu.Lock()
-				switch {
-				case cerr == nil || isCancellation(cerr):
-					finished++
-				case errors.Is(cerr, errWorkerDead):
-					c.requeued = true
-					pending = append(pending, c)
-					live--
-					if live == 0 && failErr == nil {
-						failErr = fmt.Errorf("distrib: every worker died (last: %v)", cerr)
-						cancelRun()
-					}
-				default:
-					if failErr == nil {
-						failErr = cerr
-						cancelRun()
-					}
+				cs, isHedge = pickWork()
+				if cs != nil {
+					break
 				}
-				cond.Broadcast()
-				dead := errors.Is(cerr, errWorkerDead)
-				mu.Unlock()
-				if dead {
-					b.reap(w)
-					return
+				cond.Wait()
+			}
+			cs.running++
+			if isHedge {
+				cs.hedged = true
+			} else {
+				cs.startedAt = time.Now()
+			}
+			c := cs.c
+			c.requeued = cs.attempts > 0 || isHedge
+			deadline := time.Duration(0)
+			if ewmaN > 0 {
+				deadline = time.Duration(8 * ewma * float64(time.Second))
+				if min := 2 * b.opts.workerTimeout(); deadline < min {
+					deadline = min
+				}
+				for i := 0; i < cs.attempts && i < 3; i++ {
+					deadline *= 2
 				}
 			}
-		}(w)
+			b.mu.Lock()
+			b.nextID++
+			id := b.nextID
+			b.mu.Unlock()
+			cs.active[id] = w
+			start := time.Now()
+			mu.Unlock()
+
+			cerr := b.runChunk(runCtx, w, &wc, shard, c, id, deadline, record)
+
+			mu.Lock()
+			delete(cs.active, id)
+			cs.running--
+			switch {
+			case cs.done:
+				// Another dispatch won the race; this one's results were
+				// deduplicated. Nothing to account — hedge win/loss was
+				// recorded by the winner.
+			case cerr == nil:
+				cs.done = true
+				doneCount++
+				consecFails = 0
+				if cs.hedged {
+					if isHedge {
+						b.countHedge(true)
+					} else {
+						b.countHedge(false)
+					}
+				}
+				// First result wins: cancel the loser so its worker frees
+				// up (its late results are deduplicated regardless).
+				for oid, ow := range cs.active {
+					go func(ow *procWorker, oid uint64) {
+						_ = ow.fw.send(msgCancel, cancelMsg{ID: oid})
+					}(ow, oid)
+				}
+				el := time.Since(start).Seconds()
+				if ewmaN == 0 {
+					ewma = el
+				} else {
+					ewma = 0.7*ewma + 0.3*el
+				}
+				ewmaN++
+			case isCancellation(cerr):
+				if !cancelled {
+					// A cancel ack without a run cancellation: the chunk
+					// was cancelled as a hedge loser but lost its winner
+					// (or a stray); put it back.
+					requeue(cs)
+				}
+			case errors.Is(cerr, errWorkerDead):
+				requeue(cs)
+			default:
+				if failErr == nil {
+					failErr = cerr
+					cancelRun()
+				}
+			}
+			cond.Broadcast()
+			dead := errors.Is(cerr, errWorkerDead)
+			mu.Unlock()
+			if !dead {
+				continue
+			}
+
+			// The worker is gone (died, hung, or broke protocol): reap
+			// it and — within the budget — respawn a replacement after a
+			// capped backoff so the fleet heals mid-run.
+			b.reap(w)
+			mu.Lock()
+			live--
+			canRespawn := !cancelled && failErr == nil && !degraded &&
+				doneCount < len(states) && respawned < budget
+			attempt := respawned
+			if canRespawn {
+				respawned++
+			}
+			mu.Unlock()
+			if canRespawn {
+				select {
+				case <-time.After(b.opts.retryBackoff(attempt)):
+				case <-runCtx.Done():
+					return
+				}
+				if nw, rerr := b.respawn(); rerr == nil {
+					mu.Lock()
+					live++
+					mu.Unlock()
+					wg.Add(1)
+					go dispatch(nw)
+					return
+				}
+				// Spawn failure consumes budget like any other failure.
+				mu.Lock()
+				consecFails++
+				if consecFails >= budget {
+					degraded = true
+				}
+				mu.Unlock()
+			}
+			mu.Lock()
+			if live == 0 && !cancelled && failErr == nil && doneCount < len(states) {
+				// No worker left and no respawn coming: degrade to the
+				// in-process pool rather than fail the run.
+				degraded = true
+			}
+			cond.Broadcast()
+			mu.Unlock()
+			return
+		}
+	}
+	for _, w := range workers {
+		wg.Add(1)
+		go dispatch(w)
 	}
 	wg.Wait()
 	close(stopWatch)
+
+	// Graceful degradation: the circuit breaker tripped (or the fleet
+	// could not be kept alive), so every seed not yet delivered runs on
+	// the embedded in-process pool. Determinism makes the switch
+	// invisible in the results.
+	if degraded && failErr == nil && ctx.Err() == nil {
+		var idxs []int
+		for i, d := range delivered {
+			if !d {
+				idxs = append(idxs, i)
+			}
+		}
+		if len(idxs) > 0 {
+			b.mu.Lock()
+			b.fallbacks++
+			b.mu.Unlock()
+			seeds := make([]uint64, len(idxs))
+			for j, i := range idxs {
+				seeds[j] = shard.Seeds[i]
+			}
+			fb := session.Shard{
+				Config:      shard.Config,
+				Seeds:       seeds,
+				Parallelism: shard.Parallelism,
+				OnResult:    func(j int, m *system.Metrics) { record(idxs[j], m) },
+			}
+			if _, ferr := b.localPool().Run(ctx, fb); ferr != nil && !isCancellation(ferr) {
+				failErr = ferr
+			}
+		}
+	}
 
 	if failErr != nil && !isCancellation(failErr) {
 		return session.ShardResult{}, failErr
@@ -413,14 +862,16 @@ func (b *ProcBackend) Run(ctx context.Context, shard session.Shard) (session.Sha
 }
 
 // runChunk dispatches one sub-shard to a worker and consumes its frames
-// until the coded done frame. Transport failures return errWorkerDead;
-// the caller re-queues the chunk.
+// until the coded done frame, probing liveness with heartbeats while
+// the worker is silent. Transport failures, missed liveness deadlines,
+// and overrun execution deadlines return errors wrapping errWorkerDead;
+// the caller reaps the worker and re-queues the chunk.
 func (b *ProcBackend) runChunk(ctx context.Context, w *procWorker, wc *WireConfig,
-	shard session.Shard, c chunk, record func(int, *system.Metrics)) error {
-	b.mu.Lock()
-	b.nextID++
-	id := b.nextID
-	b.mu.Unlock()
+	shard session.Shard, c chunk, id uint64, deadline time.Duration,
+	record func(int, *system.Metrics)) error {
+	if _, err := failpoint.Inject("distrib/dispatch"); err != nil {
+		return fmt.Errorf("%w: dispatch: %v", errWorkerDead, err)
+	}
 	msg := shardMsg{
 		ID:          id,
 		Config:      *wc,
@@ -430,8 +881,8 @@ func (b *ProcBackend) runChunk(ctx context.Context, w *procWorker, wc *WireConfi
 	if err := w.fw.send(msgShard, msg); err != nil {
 		return fmt.Errorf("%w: send: %v", errWorkerDead, err)
 	}
-	// Forward cancellation as a frame while the read loop below waits
-	// for the worker's (possibly partial) results.
+	// Forward cancellation as a frame while the loop below waits for
+	// the worker's (possibly partial) results.
 	watchDone := make(chan struct{})
 	defer close(watchDone)
 	go func() {
@@ -441,43 +892,88 @@ func (b *ProcBackend) runChunk(ctx context.Context, w *procWorker, wc *WireConfi
 		case <-watchDone:
 		}
 	}()
+
+	hb := b.opts.heartbeat()
+	liveness := b.opts.workerTimeout()
+	start := time.Now()
+	last := start
+	var pingSeq uint64
+	pingOutstanding := false
+	timer := time.NewTimer(hb)
+	defer timer.Stop()
 	for {
-		kind, payload, err := readFrame(w.br)
-		if err != nil {
-			return fmt.Errorf("%w: read: %v", errWorkerDead, err)
-		}
-		b.mu.Lock()
-		w.framesRecv++
-		w.bytesRecv += uint64(len(payload)) + frameOverhead
-		b.mu.Unlock()
-		switch kind {
-		case msgResult:
-			var m resultMsg
-			if err := decodeMsg(payload, &m); err != nil {
-				return fmt.Errorf("%w: %v", errWorkerDead, err)
+		select {
+		case f := <-w.frames:
+			if f.err != nil {
+				return fmt.Errorf("%w: read: %v", errWorkerDead, f.err)
 			}
-			if m.ID != id || m.Index < 0 || m.Index >= c.end-c.start || m.Metrics == nil {
-				return fmt.Errorf("%w: stray result frame (id %d, index %d)", errWorkerDead, m.ID, m.Index)
-			}
-			record(c.start+m.Index, m.Metrics)
-		case msgDone:
-			var m doneMsg
-			if err := decodeMsg(payload, &m); err != nil {
-				return fmt.Errorf("%w: %v", errWorkerDead, err)
-			}
-			if m.ID != id {
-				return fmt.Errorf("%w: stray done frame (id %d)", errWorkerDead, m.ID)
-			}
+			last = time.Now()
 			b.mu.Lock()
-			w.subShards++
-			if c.requeued {
-				w.steals++
-			}
-			w.pool = m.Pool // cumulative gauges; latest frame supersedes
+			w.framesRecv++
+			w.bytesRecv += uint64(len(f.payload)) + frameOverhead
 			b.mu.Unlock()
-			return m.Code.err(m.Error)
-		default:
-			return fmt.Errorf("%w: unexpected frame kind %d", errWorkerDead, kind)
+			switch f.kind {
+			case msgPong:
+				pingOutstanding = false
+			case msgResult:
+				var m resultMsg
+				if err := decodeMsg(f.kind, f.payload, &m); err != nil {
+					b.countDecodeReject()
+					return fmt.Errorf("%w: %v", errWorkerDead, err)
+				}
+				if m.ID != id {
+					continue // stale frame from a cancelled dispatch
+				}
+				if m.Index < 0 || m.Index >= c.end-c.start || m.Metrics == nil {
+					b.countDecodeReject()
+					return fmt.Errorf("%w: malformed result frame (id %d, index %d)", errWorkerDead, m.ID, m.Index)
+				}
+				record(c.start+m.Index, m.Metrics)
+			case msgDone:
+				var m doneMsg
+				if err := decodeMsg(f.kind, f.payload, &m); err != nil {
+					b.countDecodeReject()
+					return fmt.Errorf("%w: %v", errWorkerDead, err)
+				}
+				if m.ID != id {
+					continue // stale done from a cancelled dispatch
+				}
+				b.mu.Lock()
+				w.subShards++
+				if c.requeued {
+					w.steals++
+				}
+				w.pool = m.Pool // cumulative gauges; latest frame supersedes
+				b.mu.Unlock()
+				return m.Code.err(m.Error)
+			default:
+				b.countDecodeReject()
+				return fmt.Errorf("%w: unexpected frame kind %d", errWorkerDead, f.kind)
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(hb)
+		case <-timer.C:
+			now := time.Now()
+			if pingOutstanding {
+				b.countMissedHeartbeat()
+			}
+			if now.Sub(last) > liveness {
+				return fmt.Errorf("worker %d silent for %v: %w", w.id, now.Sub(last).Round(time.Millisecond), errWorkerHung)
+			}
+			if deadline > 0 && now.Sub(start) > deadline {
+				return fmt.Errorf("sub-shard ran %v (deadline %v): %w", now.Sub(start).Round(time.Millisecond), deadline, errChunkDeadline)
+			}
+			pingSeq++
+			if err := w.fw.send(msgPing, pingMsg{Seq: pingSeq}); err != nil {
+				return fmt.Errorf("%w: ping: %v", errWorkerDead, err)
+			}
+			pingOutstanding = true
+			timer.Reset(hb)
 		}
 	}
 }
@@ -488,6 +984,36 @@ func (b *ProcBackend) noteMergeDepth(d uint64) {
 	if d > b.mergeHWM {
 		b.mergeHWM = d
 	}
+	b.mu.Unlock()
+}
+
+// countRetry, countHedge, countMissedHeartbeat, and countDecodeReject
+// bump the coordinator's recovery counters (cold path, under b.mu).
+func (b *ProcBackend) countRetry() {
+	b.mu.Lock()
+	b.retries++
+	b.mu.Unlock()
+}
+
+func (b *ProcBackend) countHedge(won bool) {
+	b.mu.Lock()
+	if won {
+		b.hedgesWon++
+	} else {
+		b.hedgesLost++
+	}
+	b.mu.Unlock()
+}
+
+func (b *ProcBackend) countMissedHeartbeat() {
+	b.mu.Lock()
+	b.heartbeatsMissed++
+	b.mu.Unlock()
+}
+
+func (b *ProcBackend) countDecodeReject() {
+	b.mu.Lock()
+	b.decodeRejects++
 	b.mu.Unlock()
 }
 
@@ -508,23 +1034,29 @@ func (b *ProcBackend) workerStatsLocked(w *procWorker) obs.WorkerStats {
 }
 
 // DistribStats implements session.DistribStatser: a point-in-time view
-// of the coordinator — fleet health, per-worker transport and dispatch
-// counters (live and retired, ordered by spawn id), and the seed-order
-// merge buffer's high-water mark.
+// of the coordinator — fleet health, recovery counters (heartbeats
+// missed, chunk retries, hedge outcomes, in-process fallbacks, frame
+// rejects), per-worker transport and dispatch counters (live and
+// retired, ordered by spawn id), and the seed-order merge buffer's
+// high-water mark.
 func (b *ProcBackend) DistribStats() *obs.DistribStats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	out := &obs.DistribStats{
-		Deaths:        b.deaths,
-		Respawns:      b.respawns,
-		MergeDepthHWM: b.mergeHWM,
-		Workers:       append([]obs.WorkerStats(nil), b.retired...),
+		Deaths:             b.deaths,
+		Respawns:           b.respawns,
+		MergeDepthHWM:      b.mergeHWM,
+		HeartbeatsMissed:   b.heartbeatsMissed,
+		Retries:            b.retries,
+		HedgesWon:          b.hedgesWon,
+		HedgesLost:         b.hedgesLost,
+		Fallbacks:          b.fallbacks,
+		FrameDecodeRejects: b.decodeRejects,
+		Workers:            append([]obs.WorkerStats(nil), b.retired...),
 	}
 	for _, w := range b.workers {
-		// A reaped worker stays in b.workers until the next attach culls
-		// it, but its archived entry in retired already covers it.
 		if w.dead {
-			continue
+			continue // archived in retired by reap
 		}
 		out.Workers = append(out.Workers, b.workerStatsLocked(w))
 	}

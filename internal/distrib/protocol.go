@@ -39,6 +39,7 @@ import (
 	"io"
 	"sync"
 
+	"repro/internal/failpoint"
 	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/sched"
@@ -69,12 +70,19 @@ const (
 	msgCancel                    // coordinator -> worker: cancelMsg
 	msgResult                    // worker -> coordinator: resultMsg
 	msgDone                      // worker -> coordinator: doneMsg
+	msgPing                      // coordinator -> worker: pingMsg (liveness probe)
+	msgPong                      // worker -> coordinator: pongMsg (liveness reply)
 )
 
 // maxFrame bounds a frame payload; anything larger is a protocol error,
 // not data (it protects against reading a corrupted length as a huge
 // allocation).
 const maxFrame = 1 << 30
+
+// corruptKind is the frame-kind byte the distrib/frame-write failpoint
+// scribbles over a frame's real kind: no valid kind, so every receiver
+// must reject the frame as corrupt rather than misinterpret it.
+const corruptKind = 0xEE
 
 // Code classifies a shard outcome on the wire.
 type Code uint8
@@ -134,6 +142,16 @@ type shardMsg struct {
 // prefix guarantee).
 type cancelMsg struct{ ID uint64 }
 
+// pingMsg is a coordinator liveness probe; the worker's main loop
+// answers every ping with a pongMsg echoing Seq. Pings flow while a
+// sub-shard is outstanding, so a worker whose main loop hangs (or whose
+// process wedges) stops answering and misses its liveness deadline even
+// though its pipe never closes.
+type pingMsg struct{ Seq uint64 }
+
+// pongMsg answers a ping.
+type pongMsg struct{ Seq uint64 }
+
 // resultMsg streams one finished replication: Index is the position
 // within the sub-shard's Seeds.
 type resultMsg struct {
@@ -174,6 +192,10 @@ func newFrameWriter(w io.Writer) *frameWriter { return &frameWriter{w: w} }
 
 // send encodes msg and writes one frame.
 func (fw *frameWriter) send(kind msgKind, msg any) error {
+	corrupt, ferr := failpoint.Inject("distrib/frame-write")
+	if ferr != nil {
+		return ferr
+	}
 	fw.mu.Lock()
 	defer fw.mu.Unlock()
 	fw.buf.Reset()
@@ -186,6 +208,12 @@ func (fw *frameWriter) send(kind msgKind, msg any) error {
 		return fmt.Errorf("distrib: frame of %d bytes exceeds limit", len(b)-5)
 	}
 	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-5))
+	if corrupt {
+		// Scribble the kind byte: the frame stays length-correct (the
+		// stream does not desynchronize) but the receiver must reject it
+		// as an unknown kind — corruption by construction detectable.
+		b[4] = corruptKind
+	}
 	if _, err := fw.w.Write(b); err != nil {
 		return err
 	}
@@ -201,28 +229,95 @@ func (fw *frameWriter) counts() (frames, bytes uint64) {
 	return fw.frames, fw.bytes
 }
 
-// readFrame reads one frame. io.EOF (clean close between frames) passes
-// through unwrapped.
-func readFrame(r io.Reader) (msgKind, []byte, error) {
-	var hdr [5]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:4])
-	if n > maxFrame {
-		return 0, nil, fmt.Errorf("distrib: frame length %d exceeds limit", n)
-	}
-	p := make([]byte, n)
-	if _, err := io.ReadFull(r, p); err != nil {
-		return 0, nil, err
-	}
-	return msgKind(hdr[4]), p, nil
+// FrameError is the structured rejection of a malformed frame: which
+// stage of framing failed (Op), the claimed payload length and frame
+// kind where known, and the underlying cause. Every non-EOF framing
+// failure is a *FrameError — a corrupt or truncated stream yields a
+// typed error the caller can count and recover from, never a panic and
+// never an unbounded wait.
+type FrameError struct {
+	// Op is the stage that rejected the frame: "header" (short read in
+	// the 5-byte header), "length" (claimed length exceeds maxFrame),
+	// "payload" (stream ended inside the payload), "decode" (gob
+	// rejected the payload), or "kind" (no such frame kind).
+	Op string
+	// Kind is the frame-kind byte as read (zero for header failures).
+	Kind msgKind
+	// Len is the claimed payload length as read.
+	Len uint32
+	// Err is the underlying cause, when one exists.
+	Err error
 }
 
-// decodeMsg unpacks a frame payload.
-func decodeMsg(p []byte, into any) error {
+// Error implements error.
+func (e *FrameError) Error() string {
+	msg := fmt.Sprintf("distrib: bad frame (%s, kind %d, len %d)", e.Op, e.Kind, e.Len)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *FrameError) Unwrap() error { return e.Err }
+
+// readChunk bounds a single payload-read allocation; a corrupt length
+// prefix claiming a huge payload costs at most one readChunk of memory
+// before the stream runs dry.
+const readChunk = 1 << 20
+
+// readFrame reads one frame. io.EOF (clean close between frames) passes
+// through unwrapped; every other failure is a *FrameError. The payload
+// is read incrementally, so a corrupted length prefix never provokes an
+// allocation larger than the bytes actually present (plus one chunk).
+func readFrame(r io.Reader) (msgKind, []byte, error) {
+	if _, err := failpoint.Inject("distrib/frame-read"); err != nil {
+		return 0, nil, &FrameError{Op: "header", Err: err}
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, &FrameError{Op: "header", Err: err}
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	kind := msgKind(hdr[4])
+	if n > maxFrame {
+		return 0, nil, &FrameError{Op: "length", Kind: kind, Len: n}
+	}
+	capHint := int(n)
+	if capHint > readChunk {
+		capHint = readChunk
+	}
+	p := make([]byte, 0, capHint)
+	for len(p) < int(n) {
+		step := int(n) - len(p)
+		if step > readChunk {
+			step = readChunk
+		}
+		start := len(p)
+		if cap(p)-start < step {
+			grown := make([]byte, start, start+step)
+			copy(grown, p)
+			p = grown
+		}
+		p = p[:start+step]
+		if _, err := io.ReadFull(r, p[start:]); err != nil {
+			return 0, nil, &FrameError{Op: "payload", Kind: kind, Len: n, Err: err}
+		}
+	}
+	return kind, p, nil
+}
+
+// decodeMsg unpacks a frame payload; failures are structured
+// *FrameError values (Op "decode").
+func decodeMsg(kind msgKind, p []byte, into any) error {
+	if _, err := failpoint.Inject("distrib/decode"); err != nil {
+		return &FrameError{Op: "decode", Kind: kind, Len: uint32(len(p)), Err: err}
+	}
 	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(into); err != nil {
-		return fmt.Errorf("distrib: decode: %w", err)
+		return &FrameError{Op: "decode", Kind: kind, Len: uint32(len(p)), Err: err}
 	}
 	return nil
 }

@@ -7,21 +7,27 @@ import (
 	"io"
 	"sync"
 
+	"repro/internal/failpoint"
 	"repro/internal/session"
 	"repro/internal/system"
 )
 
 // ServeWorker runs the shard-worker side of the protocol: it reads
-// shard and cancel frames from r until EOF and writes result and done
-// frames to w. Each worker process owns one warm session.Pool, so
-// consecutive sub-shards reuse workspaces exactly as the in-process
-// backend does. Shards run concurrently if the coordinator pipelines
-// them (the current coordinator sends one at a time per worker);
-// cancellation stops a shard at its next replication boundary,
-// preserving the seed-prefix guarantee.
+// shard, cancel, and ping frames from r until EOF and writes result,
+// done, and pong frames to w. Each worker process owns one warm
+// session.Pool, so consecutive sub-shards reuse workspaces exactly as
+// the in-process backend does. Shards run concurrently if the
+// coordinator pipelines them (the current coordinator sends one at a
+// time per worker); cancellation stops a shard at its next replication
+// boundary, preserving the seed-prefix guarantee. Pings are answered
+// from the main loop even while shards execute in their goroutines, so
+// liveness replies flow as long as the process itself is healthy.
 //
 // A clean shutdown — stdin closing between frames — returns nil after
-// in-flight shards finish.
+// in-flight shards finish. A malformed frame (truncated, corrupt,
+// unknown kind) returns its structured *FrameError: the worker exits
+// rather than guess at a desynchronized stream, and the coordinator
+// recovers by respawning it and re-dispatching the chunk.
 func ServeWorker(r io.Reader, w io.Writer) error {
 	br := bufio.NewReaderSize(r, 1<<16)
 	fw := newFrameWriter(w)
@@ -42,10 +48,17 @@ func ServeWorker(r io.Reader, w io.Writer) error {
 			}
 			return err
 		}
+		// The chaos seam for a wedged worker: a hang here stops frame
+		// processing (and so pong replies) without the pipe ever
+		// closing — exactly the failure heartbeats exist to catch. A
+		// kill here is the abrupt-death case.
+		if _, err := failpoint.Inject("distrib/worker-loop"); err != nil {
+			return err
+		}
 		switch kind {
 		case msgShard:
 			var m shardMsg
-			if err := decodeMsg(payload, &m); err != nil {
+			if err := decodeMsg(kind, payload, &m); err != nil {
 				return err
 			}
 			ctx, cancel := context.WithCancel(context.Background())
@@ -65,7 +78,7 @@ func ServeWorker(r io.Reader, w io.Writer) error {
 			}()
 		case msgCancel:
 			var m cancelMsg
-			if err := decodeMsg(payload, &m); err != nil {
+			if err := decodeMsg(kind, payload, &m); err != nil {
 				return err
 			}
 			mu.Lock()
@@ -73,8 +86,16 @@ func ServeWorker(r io.Reader, w io.Writer) error {
 				cancel()
 			}
 			mu.Unlock()
+		case msgPing:
+			var m pingMsg
+			if err := decodeMsg(kind, payload, &m); err != nil {
+				return err
+			}
+			// Write errors mean the coordinator is gone; the main loop
+			// will see the broken pipe on its next read.
+			_ = fw.send(msgPong, pongMsg{Seq: m.Seq})
 		default:
-			return errors.New("distrib: worker received an unexpected frame kind")
+			return &FrameError{Op: "kind", Kind: kind, Len: uint32(len(payload))}
 		}
 	}
 }

@@ -1,0 +1,310 @@
+// Package failpoint is the deterministic fault-injection seam of the
+// runtime: named sites compiled permanently into cold paths (frame
+// I/O, worker spawn, chunk dispatch, pool acquire) that cost one
+// atomic load when nothing is armed, and become error returns, delays,
+// hangs, process kills, or frame corruption when a chaos run arms
+// them.
+//
+// Sites are armed by spec — from code (Arm), from the environment
+// (REPRO_FAILPOINTS, read at init so re-executed worker processes
+// inherit the coordinator's chaos), or from the CLIs' -failpoints
+// flag. A spec is a semicolon-separated list:
+//
+//	seed=42;distrib/worker-loop=kill:p=0.05:max=1;distrib/frame-write=corrupt:p=0.02
+//
+// Each entry is site=action with optional suffixes:
+//
+//	error        the site returns ErrInjected
+//	hang         the site blocks until Disarm or process exit
+//	kill         the process exits immediately (code 7)
+//	corrupt      the site corrupts its own payload (frame writers
+//	             scribble the frame kind so receivers must reject it)
+//	delay(ms)    the site sleeps for the given milliseconds
+//	:p=F         trigger probability per evaluation (default 1)
+//	:max=N       stop triggering after N hits (default unlimited)
+//	:after=N     ignore the first N evaluations (default 0)
+//
+// Probabilistic triggers draw from one process-wide splitmix64 stream
+// seeded by seed= (default 1), so a chaos run is reproducible: the
+// same spec in the same process produces the same trigger sequence.
+// Worker processes inherit the spec through the environment and each
+// seed their own identical stream; they diverge only through the
+// differing frame traffic each one sees.
+//
+// The injected failures are inputs the runtime must already tolerate —
+// every recovery path (retry, respawn, hedging, in-process fallback)
+// preserves bit-identical merged results — so arming failpoints never
+// changes what a run computes, only how it gets there.
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar names the environment variable read at init; setting it in a
+// coordinator process arms the same spec in every worker process it
+// spawns (workers inherit the environment).
+const EnvVar = "REPRO_FAILPOINTS"
+
+// ErrInjected is the error returned by sites armed with the error
+// action; site errors wrap it, so errors.Is(err, ErrInjected) detects
+// any injected failure.
+var ErrInjected = errors.New("failpoint: injected error")
+
+// Action is what an armed site does when it triggers.
+type Action uint8
+
+const (
+	// ActNone: the site is unarmed or did not trigger.
+	ActNone Action = iota
+	// ActError: Inject returns ErrInjected.
+	ActError
+	// ActHang: Inject blocks until Disarm or process exit.
+	ActHang
+	// ActDelay: Inject sleeps for the rule's delay.
+	ActDelay
+	// ActKill: the process exits immediately.
+	ActKill
+	// ActCorrupt: Inject reports corrupt=true; the site applies its
+	// own corruption (e.g. scribbling a frame header).
+	ActCorrupt
+)
+
+// rule is one armed site.
+type rule struct {
+	action Action
+	delay  time.Duration
+	p      float64 // trigger probability per evaluation
+	max    uint64  // hit budget; 0 = unlimited
+	after  uint64  // evaluations to skip before triggering
+
+	evals uint64
+	hits  uint64
+}
+
+var (
+	// armed is the zero-overhead gate: every Inject loads it first and
+	// returns immediately when false.
+	armed atomic.Bool
+
+	mu     sync.Mutex
+	rules  map[string]*rule
+	rng    uint64 // splitmix64 state, advanced under mu
+	hangCh chan struct{}
+)
+
+func init() {
+	if spec := os.Getenv(EnvVar); spec != "" {
+		if err := Arm(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "failpoint: ignoring %s: %v\n", EnvVar, err)
+		}
+	}
+}
+
+// splitmix64 advances the package RNG; mu must be held.
+func splitmix64() uint64 {
+	rng += 0x9e3779b97f4a7c15
+	z := rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Arm parses spec and arms its sites, merging over whatever is already
+// armed (seed= resets the RNG stream). An empty spec is a no-op.
+func Arm(spec string) error {
+	parsed := map[string]*rule{}
+	var seed uint64
+	var seedSet bool
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		site, rest, ok := strings.Cut(entry, "=")
+		if !ok {
+			return fmt.Errorf("failpoint: entry %q is not site=action", entry)
+		}
+		site = strings.TrimSpace(site)
+		if site == "seed" {
+			s, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				return fmt.Errorf("failpoint: bad seed %q", rest)
+			}
+			seed, seedSet = s, true
+			continue
+		}
+		r, err := parseRule(rest)
+		if err != nil {
+			return fmt.Errorf("failpoint: site %s: %w", site, err)
+		}
+		parsed[site] = r
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if rules == nil {
+		rules = map[string]*rule{}
+	}
+	if hangCh == nil {
+		hangCh = make(chan struct{})
+	}
+	for site, r := range parsed {
+		rules[site] = r
+	}
+	if seedSet {
+		rng = seed
+	} else if rng == 0 {
+		rng = 1
+	}
+	if len(rules) > 0 {
+		armed.Store(true)
+	}
+	return nil
+}
+
+// parseRule parses "action[:p=F][:max=N][:after=N]".
+func parseRule(s string) (*rule, error) {
+	parts := strings.Split(s, ":")
+	r := &rule{p: 1}
+	act := strings.TrimSpace(parts[0])
+	switch {
+	case act == "error":
+		r.action = ActError
+	case act == "hang":
+		r.action = ActHang
+	case act == "kill":
+		r.action = ActKill
+	case act == "corrupt":
+		r.action = ActCorrupt
+	case strings.HasPrefix(act, "delay(") && strings.HasSuffix(act, ")"):
+		ms, err := strconv.ParseFloat(act[len("delay("):len(act)-1], 64)
+		if err != nil || ms < 0 {
+			return nil, fmt.Errorf("bad delay %q", act)
+		}
+		r.action = ActDelay
+		r.delay = time.Duration(ms * float64(time.Millisecond))
+	default:
+		return nil, fmt.Errorf("unknown action %q", act)
+	}
+	for _, opt := range parts[1:] {
+		key, val, ok := strings.Cut(strings.TrimSpace(opt), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad option %q", opt)
+		}
+		switch key {
+		case "p":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("bad probability %q", val)
+			}
+			r.p = p
+		case "max":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad max %q", val)
+			}
+			r.max = n
+		case "after":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad after %q", val)
+			}
+			r.after = n
+		default:
+			return nil, fmt.Errorf("unknown option %q", key)
+		}
+	}
+	return r, nil
+}
+
+// Disarm clears every armed site, releases hanging sites, and resets
+// the RNG stream. It restores the zero-overhead disarmed state.
+func Disarm() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Store(false)
+	rules = nil
+	rng = 0
+	if hangCh != nil {
+		close(hangCh)
+		hangCh = nil
+	}
+}
+
+// Enabled reports whether any site is armed (one atomic load).
+func Enabled() bool { return armed.Load() }
+
+// Hits returns how many times site has triggered.
+func Hits(site string) uint64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if r := rules[site]; r != nil {
+		return r.hits
+	}
+	return 0
+}
+
+// eval rolls the site's rule; it returns the action to perform (with
+// the rule's delay) or ActNone.
+func eval(site string) (Action, time.Duration, chan struct{}) {
+	mu.Lock()
+	defer mu.Unlock()
+	r := rules[site]
+	if r == nil {
+		return ActNone, 0, nil
+	}
+	r.evals++
+	if r.evals <= r.after {
+		return ActNone, 0, nil
+	}
+	if r.max > 0 && r.hits >= r.max {
+		return ActNone, 0, nil
+	}
+	if r.p < 1 {
+		// Uniform in [0,1) from the top 53 bits of the stream.
+		u := float64(splitmix64()>>11) / (1 << 53)
+		if u >= r.p {
+			return ActNone, 0, nil
+		}
+	}
+	r.hits++
+	return r.action, r.delay, hangCh
+}
+
+// Inject evaluates site and performs blocking actions itself: delay
+// sleeps, hang blocks until Disarm (or process exit), kill exits the
+// process with code 7. An error action returns ErrInjected wrapped
+// with the site name; a corrupt action returns corrupt=true and the
+// caller applies its own site-specific corruption. Disarmed cost: one
+// atomic load, zero allocations.
+func Inject(site string) (corrupt bool, err error) {
+	if !armed.Load() {
+		return false, nil
+	}
+	act, delay, hang := eval(site)
+	switch act {
+	case ActError:
+		return false, fmt.Errorf("%s: %w", site, ErrInjected)
+	case ActHang:
+		if hang != nil {
+			<-hang
+		}
+		return false, nil
+	case ActDelay:
+		time.Sleep(delay)
+		return false, nil
+	case ActKill:
+		fmt.Fprintf(os.Stderr, "failpoint: %s: killing process\n", site)
+		os.Exit(7)
+	case ActCorrupt:
+		return true, nil
+	}
+	return false, nil
+}

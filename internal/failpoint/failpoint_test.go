@@ -1,0 +1,171 @@
+package failpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDisarmedZeroCost pins the seam's contract: with nothing armed,
+// Inject is a single atomic load and performs zero allocations.
+func TestDisarmedZeroCost(t *testing.T) {
+	Disarm()
+	if Enabled() {
+		t.Fatal("Enabled() after Disarm")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if c, err := Inject("some/site"); c || err != nil {
+			t.Fatal("disarmed site triggered")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disarmed Inject allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestErrorAction: an armed error site returns ErrInjected wrapped with
+// the site name, and respects its hit budget.
+func TestErrorAction(t *testing.T) {
+	defer Disarm()
+	if err := Arm("a/b=error:max=2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := Inject("a/b"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if _, err := Inject("a/b"); err != nil {
+		t.Fatalf("budget exhausted but still triggering: %v", err)
+	}
+	if got := Hits("a/b"); got != 2 {
+		t.Fatalf("hits = %d, want 2", got)
+	}
+	if _, err := Inject("other/site"); err != nil {
+		t.Fatalf("unarmed site triggered: %v", err)
+	}
+}
+
+// TestCorruptAndDelay: corrupt reports to the caller; delay sleeps.
+func TestCorruptAndDelay(t *testing.T) {
+	defer Disarm()
+	if err := Arm("w=corrupt;d=delay(30)"); err != nil {
+		t.Fatal(err)
+	}
+	if c, err := Inject("w"); !c || err != nil {
+		t.Fatalf("corrupt site: corrupt=%t err=%v", c, err)
+	}
+	start := time.Now()
+	if _, err := Inject("d"); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Fatalf("delay(30) slept only %v", el)
+	}
+}
+
+// TestAfterSkipsEvaluations: the after option ignores the first N
+// evaluations.
+func TestAfterSkipsEvaluations(t *testing.T) {
+	defer Disarm()
+	if err := Arm("s=error:after=3"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := Inject("s"); err != nil {
+			t.Fatalf("evaluation %d triggered before after=3", i)
+		}
+	}
+	if _, err := Inject("s"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("4th evaluation: err = %v, want ErrInjected", err)
+	}
+}
+
+// TestSeededProbabilityDeterministic: the same seed yields the same
+// trigger sequence; a different seed (almost surely) differs.
+func TestSeededProbabilityDeterministic(t *testing.T) {
+	defer Disarm()
+	sequence := func(seed string) []bool {
+		Disarm()
+		if err := Arm("seed=" + seed + ";p/q=error:p=0.5"); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 64)
+		for i := range out {
+			_, err := Inject("p/q")
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b, c := sequence("7"), sequence("7"), sequence("8")
+	same := func(x, y []bool) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Fatal("same seed produced different trigger sequences")
+	}
+	if same(a, c) {
+		t.Fatal("different seeds produced identical 64-long trigger sequences")
+	}
+	var hits int
+	for _, h := range a {
+		if h {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("p=0.5 triggered %d/%d times", hits, len(a))
+	}
+}
+
+// TestHangReleasedByDisarm: a hanging site blocks until Disarm.
+func TestHangReleasedByDisarm(t *testing.T) {
+	if err := Arm("h=hang"); err != nil {
+		t.Fatal(err)
+	}
+	released := make(chan struct{})
+	go func() {
+		Inject("h")
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("hang site returned before Disarm")
+	case <-time.After(50 * time.Millisecond):
+	}
+	Disarm()
+	select {
+	case <-released:
+	case <-time.After(2 * time.Second):
+		t.Fatal("hang site not released by Disarm")
+	}
+}
+
+// TestSpecErrors: malformed specs are rejected with diagnostics.
+func TestSpecErrors(t *testing.T) {
+	defer Disarm()
+	for _, spec := range []string{
+		"justasite",
+		"s=explode",
+		"s=delay(x)",
+		"s=error:p=1.5",
+		"s=error:max=-1",
+		"s=error:banana",
+		"seed=notanumber",
+	} {
+		if err := Arm(spec); err == nil {
+			t.Errorf("Arm(%q) accepted", spec)
+		}
+	}
+	if err := Arm(""); err != nil {
+		t.Errorf("empty spec rejected: %v", err)
+	}
+	if err := Arm(" ; "); err != nil {
+		t.Errorf("blank entries rejected: %v", err)
+	}
+}

@@ -135,7 +135,23 @@ type DistribStats struct {
 	// undeliverable because an earlier seed was still running — the
 	// cost of the seed-order delivery guarantee.
 	MergeDepthHWM uint64
-	Workers       []WorkerStats
+	// HeartbeatsMissed counts liveness pings that went unanswered
+	// before the next probe (a hung worker shows up here before it is
+	// declared dead); Retries counts failed sub-shards re-queued for
+	// another dispatch.
+	HeartbeatsMissed uint64
+	Retries          uint64
+	// HedgesWon counts speculative straggler re-dispatches that beat
+	// the original; HedgesLost counts ones the original beat.
+	HedgesWon  uint64
+	HedgesLost uint64
+	// Fallbacks counts shards (or shard remainders, after the recovery
+	// budget ran out) executed on the embedded in-process pool.
+	Fallbacks uint64
+	// FrameDecodeRejects counts malformed worker frames the coordinator
+	// rejected (corrupt, truncated, or protocol-violating).
+	FrameDecodeRejects uint64
+	Workers            []WorkerStats
 }
 
 // Snapshot is a point-in-time view of a session's runtime metrics:

@@ -36,6 +36,12 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		pw.counter("repro_distrib_worker_deaths_total", "Worker processes reaped mid-run.", d.Deaths)
 		pw.counter("repro_distrib_worker_respawns_total", "Replacement workers spawned after the initial fleet.", d.Respawns)
 		pw.gauge("repro_distrib_merge_depth_hwm", "Most replications held for seed-order delivery.", float64(d.MergeDepthHWM))
+		pw.counter("repro_distrib_heartbeats_missed_total", "Liveness pings that went unanswered before the next probe.", d.HeartbeatsMissed)
+		pw.counter("repro_distrib_retries_total", "Failed sub-shards re-queued for another dispatch.", d.Retries)
+		pw.counter("repro_distrib_hedges_won_total", "Speculative straggler re-dispatches that beat the original.", d.HedgesWon)
+		pw.counter("repro_distrib_hedges_lost_total", "Speculative straggler re-dispatches the original beat.", d.HedgesLost)
+		pw.counter("repro_distrib_fallbacks_total", "Shards (or remainders) degraded to the in-process pool.", d.Fallbacks)
+		pw.counter("repro_distrib_frame_decode_rejects_total", "Malformed worker frames the coordinator rejected.", d.FrameDecodeRejects)
 
 		pw.head("repro_distrib_worker_alive", "Whether the worker process is live (1) or reaped (0).", "gauge")
 		for _, ws := range d.Workers {

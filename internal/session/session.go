@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/scenario"
@@ -208,6 +209,10 @@ func NewPool() *Pool { return &Pool{} }
 
 // acquire leases a workspace (creating one if the free list is empty).
 func (p *Pool) acquire() *system.Workspace {
+	// Leasing is infallible, so this seam serves the timing faults:
+	// delay simulates lease contention, hang a stuck worker (which, in
+	// a shard-worker process, is what heartbeat liveness must catch).
+	_, _ = failpoint.Inject("session/pool-acquire")
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if n := len(p.free); n > 0 {
@@ -426,6 +431,9 @@ func (s *Session) Run(ctx context.Context, job Job, opts ...Option) (*Result, er
 	}
 	if o.progress != nil {
 		shard.OnResult = progressHook(o.progress, len(seeds))
+	}
+	if _, ferr := failpoint.Inject("session/backend-run"); ferr != nil {
+		return nil, ferr
 	}
 	finish := s.instrument(&shard)
 	res, err := s.backend.Run(ctx, shard)

@@ -115,16 +115,23 @@ func NewSessionWithBackend(b Backend, opts ...RunOption) *Session {
 // shard-worker processes, splits each shard's seed range into
 // sub-shards, work-steals them across the workers, and merges results
 // in seed order, so its output is byte-identical to the in-process pool
-// at any worker count. A worker that dies mid-shard has its sub-shard
-// re-run on a surviving worker; configurations that cannot cross a
-// process boundary (an attached trace recorder) transparently fall back
-// to in-process execution. Close it to shut the workers down.
+// at any worker count. The coordinator supervises its fleet: heartbeat
+// liveness probes reap hung workers like dead ones, failed sub-shards
+// retry with backoff on survivors (or mid-run respawns, within a
+// budget), idle workers speculatively re-run stragglers' chunks (first
+// result wins, deduplicated), and when the fleet cannot be kept alive
+// the remaining seeds degrade gracefully to an in-process pool — every
+// recovery path preserves bit-identical results. Configurations that
+// cannot cross a process boundary (an attached trace recorder)
+// transparently fall back to in-process execution. Close it to shut the
+// workers down.
 type ProcBackend = distrib.ProcBackend
 
 // ProcBackendOptions configures NewProcBackend: worker-process count,
 // the worker argv (empty re-executes the current binary with
-// -shard-server — the mode both CLIs serve), sub-shard granularity, and
-// worker stderr routing.
+// -shard-server — the mode both CLIs serve), sub-shard granularity,
+// worker stderr routing, and the supervision knobs (heartbeat interval,
+// liveness deadline, hedge threshold, respawn budget, retry backoff).
 type ProcBackendOptions = distrib.ProcOptions
 
 // NewProcBackend returns a multi-process backend; worker processes
