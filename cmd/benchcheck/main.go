@@ -5,11 +5,17 @@
 //
 // Usage:
 //
+//	benchcheck -record current.json -runbench [-benchtime 2s]
 //	go test -run '^$' -bench ... -benchmem . | benchcheck -record current.json
 //	benchcheck -baseline BENCH_pr3.json -current current.json -tolerance 0.20
 //
-// Recording parses every benchmark result line on stdin into
-// {"benchmarks": {name: {unit: value}}}. Comparison reads the baseline's
+// With -runbench, recording executes the repo's recorded bench set
+// itself (the same `go test -bench` invocations CI runs — see
+// benchCommands) and parses the output, so a BENCH_pr*.json baseline is
+// reproduced with one command instead of hand-assembled pipelines.
+// Without it, recording parses benchmark result lines on stdin. Either
+// way the output is {"benchmarks": {name: {unit: value}}}. Comparison
+// reads the baseline's
 // "after" section (the committed post-optimization numbers; a flat
 // "benchmarks" map also works) and fails when, for any benchmark present
 // in both files:
@@ -31,6 +37,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -62,7 +70,9 @@ func (f *File) table() map[string]Metrics {
 
 func main() {
 	var (
-		record    = flag.String("record", "", "parse `go test -bench` output from stdin and write JSON here")
+		record    = flag.String("record", "", "write recorded benchmark JSON here (parses stdin unless -runbench)")
+		runBench  = flag.Bool("runbench", false, "with -record: run the repo's bench set via `go test` instead of reading stdin")
+		benchtime = flag.String("benchtime", "2s", "with -runbench: -benchtime passed to `go test`")
 		baseline  = flag.String("baseline", "", "baseline JSON to compare against")
 		current   = flag.String("current", "", "current JSON (from -record) to check")
 		tolerance = flag.Float64("tolerance", 0.20, "allowed relative regression")
@@ -71,6 +81,11 @@ func main() {
 	flag.Parse()
 
 	switch {
+	case *record != "" && *runBench:
+		if err := doRunRecord(*record, *benchtime); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(1)
+		}
 	case *record != "":
 		if err := doRecord(*record); err != nil {
 			fmt.Fprintln(os.Stderr, "benchcheck:", err)
@@ -89,6 +104,69 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// benchCommands returns the `go test` invocations of the repo's
+// recorded bench set — the suite every BENCH_pr*.json baseline freezes:
+// the whole-system throughput/replication/scaling benchmarks at the
+// module root and the isolated event core in internal/sim. The argv
+// form keeps the set testable without executing anything.
+func benchCommands(benchtime string) [][]string {
+	sets := []struct{ pkg, pattern string }{
+		{".", "BenchmarkSimulationThroughput|BenchmarkRunReplications|BenchmarkScalingThroughput"},
+		{"./internal/sim", "BenchmarkEventCoreScaling"},
+	}
+	var out [][]string
+	for _, s := range sets {
+		out = append(out, []string{
+			"go", "test", "-run", "^$", "-bench", s.pattern,
+			"-benchmem", "-benchtime", benchtime, s.pkg,
+		})
+	}
+	return out
+}
+
+// doRunRecord executes the recorded bench set and writes its parsed
+// results, making baseline files reproducible with one command.
+func doRunRecord(path, benchtime string) error {
+	benches := map[string]Metrics{}
+	for _, argv := range benchCommands(benchtime) {
+		fmt.Println("#", strings.Join(argv, " "))
+		cmd := exec.Command(argv[0], argv[1:]...)
+		cmd.Stderr = os.Stderr
+		pipe, err := cmd.StdoutPipe()
+		if err != nil {
+			return err
+		}
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		sc := bufio.NewScanner(pipe)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Println(line)
+			if name, m, ok := ParseBenchLine(line); ok {
+				benches[name] = m
+			}
+		}
+		scanErr := sc.Err()
+		if err := cmd.Wait(); err != nil {
+			return fmt.Errorf("%s: %w", strings.Join(argv, " "), err)
+		}
+		if scanErr != nil {
+			return scanErr
+		}
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("bench set produced no benchmark result lines")
+	}
+	note := fmt.Sprintf("recorded by benchcheck -runbench, %s %s/%s",
+		runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	out, err := json.MarshalIndent(&File{Note: note, Benchmarks: benches}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 func doRecord(path string) error {

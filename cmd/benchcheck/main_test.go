@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -131,5 +132,42 @@ func TestZeroAllocGate(t *testing.T) {
 				t.Fatalf("doCompare ok = %v, want %v", ok, tc.wantOK)
 			}
 		})
+	}
+}
+
+// TestBenchCommandsShape pins the recorded bench set: the -runbench mode
+// must run exactly the suite CI's regression gate compares against, with
+// -benchmem (the alloc gates need it) and the caller's -benchtime.
+func TestBenchCommandsShape(t *testing.T) {
+	cmds := benchCommands("7s")
+	if len(cmds) != 2 {
+		t.Fatalf("bench set has %d commands, want 2", len(cmds))
+	}
+	wantPatterns := map[string]string{
+		".":              "BenchmarkScalingThroughput",
+		"./internal/sim": "BenchmarkEventCoreScaling",
+	}
+	for _, argv := range cmds {
+		if argv[0] != "go" || argv[1] != "test" {
+			t.Fatalf("command %v is not a go test invocation", argv)
+		}
+		joined := strings.Join(argv, " ")
+		for _, flag := range []string{"-benchmem", "-benchtime 7s", "-run ^$"} {
+			if !strings.Contains(joined, flag) {
+				t.Errorf("command %q missing %q", joined, flag)
+			}
+		}
+		pkg := argv[len(argv)-1]
+		want, ok := wantPatterns[pkg]
+		if !ok {
+			t.Fatalf("unexpected package %q in bench set", pkg)
+		}
+		delete(wantPatterns, pkg)
+		if !strings.Contains(joined, want) {
+			t.Errorf("package %s command %q missing benchmark %s", pkg, joined, want)
+		}
+	}
+	if len(wantPatterns) != 0 {
+		t.Fatalf("bench set missing packages: %v", wantPatterns)
 	}
 }

@@ -2,37 +2,96 @@ package node
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/task"
 )
 
-// Group owns every node of one simulated system, stored by value in a
-// single contiguous slice indexed by node id. The dispatch loop's
-// per-node hot state (server busy/running, completion handle, speed,
-// counters) therefore lives in one cache-friendly array instead of k
-// separately allocated objects, and all k nodes share one registered
-// completion callback (the completing task's NodeID routes it), so
-// setting up a large topology costs one closure instead of k.
+// nodeHot is the complete per-node record: the task in service (nil =
+// idle server), its pending completion handle, the service speed, the
+// start of the current service segment, and the lifecycle counters. It
+// is exactly 64 bytes — one cache line per node — so every submit,
+// dispatch and complete at a random node touches a single line of this
+// array plus the node's ready-queue head, where the former
+// struct-of-everything node record spread the same state over three
+// lines. The counters are written on the same transitions that write
+// the server state, so folding them into the record costs the hot path
+// nothing; they ride the line the transition already owns.
+//
+// The counters are 32-bit: a node would need 2^32 task lifecycles in
+// one replication to wrap, which at paper-scale arrival rates is a
+// horizon beyond 10^9 time units — two orders of magnitude past any
+// experiment in the suite (the engine's own sequence space bounds a
+// run at ~4.4e12 events total). The accessors widen to int64.
+//
+// The former explicit busy flag is gone: the server is busy exactly
+// when running is non-nil. Every state transition set or cleared both
+// together (including the speed-0 freeze, which keeps the suspended
+// task in running), so the equivalence is an invariant, not a new
+// behaviour.
+type nodeHot struct {
+	running      *task.Task
+	completion   sim.Event
+	speed        float64 // service speed factor: 1 nominal, 0 frozen
+	segmentStart float64
+	busyTime     float64 // accumulated service time, for utilization
+	served       uint32
+	aborted      uint32
+	preemptions  uint32
+	submitted    uint32
+	readyHWM     int32 // deepest the ready queue got (waiting tasks)
+	_            int32 // pad to one cache line
+}
+
+// Group owns every node of one simulated system in structure-of-arrays
+// layout: the hot server state, the cold counters, and the ready queues
+// live in parallel slices indexed by node, and all shared configuration
+// (engine, policy, callbacks) is stored once on the group instead of
+// k times. All k nodes share one registered completion callback (the
+// completing task's NodeID routes it), so setting up a large topology
+// costs one closure instead of k.
+//
+// Ready queues come in two forms: a sched.Bank (the contiguous
+// arena-backed fast path) or a []sched.Queue of independent queue
+// objects (the legacy seam, still used by external Queue
+// implementations and the single-node New constructor). Scheduling
+// order is identical; the bank is a memory-layout optimization.
 //
 // A Group is single-threaded, like the engine that drives it. It is
-// reusable: Configure re-points the same backing array at a fresh run's
-// engine and callbacks, so a reused Workspace re-creates no per-node
-// objects.
+// reusable: Configure re-points the same backing arrays at a fresh
+// run's engine and callbacks, so a reused Workspace re-creates no
+// per-node objects.
 type Group struct {
-	nodes []Node
-	ptrs  []*Node // stable per-Configure view for slice-shaped consumers
+	eng        *sim.Engine
+	bank       *sched.Bank
+	queues     []sched.Queue
+	policy     TardyPolicy
+	preemptive bool
+	observer   Observer
+	onDone     func(*task.Task)
+	onAbort    func(*task.Task)
+	completeCB sim.Callback
+	idBase     int
+
+	hot     []nodeHot
+	handles []Node  // stable per-group handle values
+	ptrs    []*Node // stable per-Configure view for slice-shaped consumers
 }
 
 // GroupConfig carries the construction parameters shared by every node
-// of the group; per-node ready queues carry the only per-node state.
+// of the group; the ready queues carry the only per-node state.
 type GroupConfig struct {
 	// Engine drives all nodes.
 	Engine *sim.Engine
 	// Queues holds one ready queue per node; its length is the node
-	// count.
+	// count. Exactly one of Queues and Bank must be set.
 	Queues []sched.Queue
+	// Bank is the contiguous ready-queue bank; its configured node
+	// count is the group's node count. Exactly one of Queues and Bank
+	// must be set.
+	Bank *sched.Bank
 	// Policy is the tardy-task policy; zero value defaults to NoAbort.
 	Policy TardyPolicy
 	// Preemptive enables deadline-based preemption at every node.
@@ -44,9 +103,13 @@ type GroupConfig struct {
 	OnAbort func(*task.Task)
 	// Observer optionally receives every lifecycle event (for tracing).
 	Observer Observer
+	// IDBase offsets the node ids: node i reports (and stamps tasks
+	// with) id IDBase+i. Zero for whole-system groups; the single-node
+	// New constructor uses it to preserve its configured ID.
+	IDBase int
 }
 
-// NewGroup returns a configured group of len(cfg.Queues) nodes.
+// NewGroup returns a configured group.
 func NewGroup(cfg GroupConfig) (*Group, error) {
 	g := &Group{}
 	if err := g.Configure(cfg); err != nil {
@@ -55,15 +118,18 @@ func NewGroup(cfg GroupConfig) (*Group, error) {
 	return g, nil
 }
 
-// Configure (re)initializes the group for a new run, reusing the node
-// backing array when the node count is unchanged. It must be called
-// after the engine is reset, because it registers the group's completion
-// callback on it.
+// Configure (re)initializes the group for a new run, reusing the
+// backing arrays when the node count is unchanged. It must be called
+// after the engine is reset, because it registers the group's
+// completion callback on it.
 func (g *Group) Configure(cfg GroupConfig) error {
 	if cfg.Engine == nil {
 		return fmt.Errorf("node group: nil engine")
 	}
-	if len(cfg.Queues) == 0 {
+	if (len(cfg.Queues) == 0) == (cfg.Bank == nil) {
+		if cfg.Bank != nil {
+			return fmt.Errorf("node group: both Queues and Bank set")
+		}
 		return fmt.Errorf("node group: no queues")
 	}
 	if cfg.OnDone == nil {
@@ -76,50 +142,217 @@ func (g *Group) Configure(cfg GroupConfig) error {
 		return fmt.Errorf("node group: abort policy requires OnAbort")
 	}
 	k := len(cfg.Queues)
+	if cfg.Bank != nil {
+		k = cfg.Bank.Nodes()
+		if k == 0 {
+			return fmt.Errorf("node group: unconfigured bank")
+		}
+	}
 	for i, q := range cfg.Queues {
 		if q == nil {
 			return fmt.Errorf("node %d: nil queue", i)
 		}
 	}
-	if cap(g.nodes) >= k {
-		g.nodes = g.nodes[:k]
+	g.eng = cfg.Engine
+	g.bank, g.queues = cfg.Bank, cfg.Queues
+	g.policy, g.preemptive = cfg.Policy, cfg.Preemptive
+	g.observer = cfg.Observer
+	g.onDone, g.onAbort = cfg.OnDone, cfg.OnAbort
+	g.idBase = cfg.IDBase
+	if cap(g.hot) >= k {
+		g.hot = g.hot[:k]
+		g.handles = g.handles[:k]
+		g.ptrs = g.ptrs[:k]
 	} else {
-		g.nodes = make([]Node, k)
+		g.hot = make([]nodeHot, k)
+		g.handles = make([]Node, k)
 		g.ptrs = make([]*Node, k)
 	}
-	g.ptrs = g.ptrs[:k]
 	// One registration serves every node: the payload task's NodeID
 	// (set at Submit) routes the completion.
-	completeCB := cfg.Engine.Register(func(p any) {
+	g.completeCB = cfg.Engine.Register(func(p any) {
 		t := p.(*task.Task)
-		g.nodes[t.NodeID].complete(t)
+		g.complete(t.NodeID-g.idBase, t)
 	})
-	for i := range g.nodes {
-		g.nodes[i] = Node{
-			id:         i,
-			eng:        cfg.Engine,
-			queue:      cfg.Queues[i],
-			policy:     cfg.Policy,
-			preemptive: cfg.Preemptive,
-			observer:   cfg.Observer,
-			onDone:     cfg.OnDone,
-			onAbort:    cfg.OnAbort,
-			completeCB: completeCB,
-			speed:      1,
-		}
-		g.ptrs[i] = &g.nodes[i]
+	for i := range g.hot {
+		g.hot[i] = nodeHot{speed: 1}
+		g.handles[i] = Node{g: g, idx: int32(i)}
+		g.ptrs[i] = &g.handles[i]
 	}
 	return nil
 }
 
 // Len returns the node count.
-func (g *Group) Len() int { return len(g.nodes) }
+func (g *Group) Len() int { return len(g.hot) }
 
 // Node returns the i'th node. The pointer stays valid until the next
 // Configure.
-func (g *Group) Node(i int) *Node { return &g.nodes[i] }
+func (g *Group) Node(i int) *Node { return &g.handles[i] }
 
 // Nodes returns the group as a []*Node view for consumers that walk or
 // index nodes by id (the process manager, scenario fault scheduling).
 // The slice and its pointers stay valid until the next Configure.
 func (g *Group) Nodes() []*Node { return g.ptrs }
+
+// qPush, qPop and qLen dispatch between the bank and the legacy queue
+// slice with one predictable branch.
+
+func (g *Group) qPush(i int, t *task.Task) {
+	if g.bank != nil {
+		g.bank.Push(i, t)
+		return
+	}
+	g.queues[i].Push(t)
+}
+
+func (g *Group) qPop(i int, now float64) *task.Task {
+	if g.bank != nil {
+		return g.bank.Pop(i, now)
+	}
+	return g.queues[i].Pop(now)
+}
+
+func (g *Group) qLen(i int) int {
+	if g.bank != nil {
+		return g.bank.Len(i)
+	}
+	return g.queues[i].Len()
+}
+
+// observe reports a lifecycle event if an observer is attached.
+func (g *Group) observe(ev ObserverEvent, t *task.Task) {
+	if g.observer != nil {
+		g.observer(ev, g.eng.Now(), t)
+	}
+}
+
+// Submit enqueues a task at node i at the current simulation time and
+// starts the server if it is idle. The task's Arrival must already be
+// set by the caller (generator or process manager). On a preemptive
+// node a newcomer with an earlier deadline suspends the task in
+// service.
+func (g *Group) Submit(i int, t *task.Task) {
+	t.NodeID = g.idBase + i
+	h := &g.hot[i]
+	h.submitted++
+	g.observe(ObserveSubmit, t)
+	g.qPush(i, t)
+	if g.preemptive {
+		if running := h.running; running != nil && t.Deadline < running.Deadline {
+			g.preempt(i) // pushes the suspended task back, deepening the queue
+		}
+	}
+	if l := int32(g.qLen(i)); l > h.readyHWM {
+		h.readyHWM = l
+	}
+	g.dispatch(i)
+}
+
+// preempt suspends node i's running task and re-queues it with its
+// remaining demand.
+func (g *Group) preempt(i int) {
+	h := &g.hot[i]
+	now := g.eng.Now()
+	g.eng.Cancel(h.completion)
+	cur := h.running
+	cur.Remaining -= (now - h.segmentStart) * h.speed
+	if h.speed > 0 {
+		h.busyTime += now - h.segmentStart
+	}
+	h.preemptions++
+	h.running = nil
+	g.observe(ObservePreempt, cur)
+	g.qPush(i, cur)
+}
+
+// dispatch starts node i's next task if the server is idle. The paper's
+// model is non-preemptive ("no preemption", section 4.1): once started,
+// a task runs to completion unless the node is explicitly preemptive.
+func (g *Group) dispatch(i int) {
+	h := &g.hot[i]
+	if h.running != nil || h.speed == 0 {
+		return
+	}
+	for {
+		now := g.eng.Now()
+		t := g.qPop(i, now)
+		if t == nil {
+			return
+		}
+		if g.shouldAbort(t, now) {
+			h.aborted++
+			t.Finish = now
+			g.observe(ObserveAbort, t)
+			g.onAbort(t)
+			continue
+		}
+		if t.Remaining == 0 {
+			// First dispatch.
+			t.Remaining = t.Exec
+			t.Start = now
+		}
+		h.running = t
+		h.segmentStart = now
+		g.observe(ObserveDispatch, t)
+		h.completion = g.eng.MustScheduleCall(t.Remaining/h.speed, g.completeCB, t)
+		return
+	}
+}
+
+// shouldAbort applies the tardy policy at dispatch time.
+func (g *Group) shouldAbort(t *task.Task, now float64) bool {
+	switch g.policy {
+	case AbortAtDispatch:
+		return now > t.Deadline
+	case AbortFirm:
+		return now > t.FirmDeadline
+	default:
+		return false
+	}
+}
+
+// complete finishes node i's task in service and redispatches.
+func (g *Group) complete(i int, t *task.Task) {
+	h := &g.hot[i]
+	now := g.eng.Now()
+	t.Finish = now
+	t.Remaining = 0
+	h.running = nil
+	h.busyTime += now - h.segmentStart
+	h.served++
+	g.observe(ObserveComplete, t)
+	g.onDone(t)
+	g.dispatch(i)
+}
+
+// SetSpeed changes node i's service speed factor; see Node.SetSpeed.
+func (g *Group) SetSpeed(i int, speed float64) {
+	if speed < 0 || math.IsNaN(speed) {
+		panic(fmt.Sprintf("node %d: SetSpeed(%v)", g.idBase+i, speed))
+	}
+	h := &g.hot[i]
+	if speed == h.speed {
+		return
+	}
+	now := g.eng.Now()
+	if h.running != nil {
+		if h.speed > 0 {
+			// Settle the progress of the current service segment.
+			elapsed := now - h.segmentStart
+			h.busyTime += elapsed
+			h.running.Remaining -= elapsed * h.speed
+			if h.running.Remaining < 0 {
+				h.running.Remaining = 0
+			}
+			g.eng.Cancel(h.completion)
+			h.completion = sim.Event{}
+		}
+		h.segmentStart = now
+		if speed > 0 {
+			h.completion = g.eng.MustScheduleCall(h.running.Remaining/speed, g.completeCB, h.running)
+		}
+	}
+	h.speed = speed
+	// A thawed idle server picks up whatever queued during the freeze.
+	g.dispatch(i)
+}

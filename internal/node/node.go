@@ -4,11 +4,15 @@
 // tardy-task policy. Nodes know nothing about global tasks — they see
 // only the real-time attributes attached to each submitted task, which is
 // precisely the premise of the SDA problem.
+//
+// All per-node state lives in a Group in structure-of-arrays layout
+// (see group.go); Node is a 16-byte handle that delegates to its group,
+// so holding []*Node views or passing nodes around costs nothing at
+// large topologies.
 package node
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -72,33 +76,14 @@ const (
 // simulation time. Observers must not mutate the task.
 type Observer func(ev ObserverEvent, now float64, t *task.Task)
 
-// Node is one simulated processing component.
+// Node is a handle to one simulated processing component inside its
+// Group.
 type Node struct {
-	id         int
-	eng        *sim.Engine
-	queue      sched.Queue
-	policy     TardyPolicy
-	preemptive bool
-	observer   Observer
-
-	onDone  func(*task.Task)
-	onAbort func(*task.Task)
-
-	busy         bool
-	running      *task.Task
-	completion   sim.Event
-	completeCB   sim.Callback
-	speed        float64 // service speed factor: 1 nominal, 0 frozen
-	segmentStart float64
-	busyTime     float64 // accumulated service time, for utilization
-	served       int64
-	aborted      int64
-	preemptions  int64
-	submitted    int64
-	readyHWM     int // deepest the ready queue got (waiting tasks)
+	g   *Group
+	idx int32
 }
 
-// Config carries the node's construction parameters.
+// Config carries a standalone node's construction parameters.
 type Config struct {
 	// ID is the node's index in the system.
 	ID int
@@ -123,7 +108,8 @@ type Config struct {
 	Observer Observer
 }
 
-// New returns a node ready to accept submissions.
+// New returns a node ready to accept submissions: a one-node group
+// whose IDBase preserves the configured ID.
 func New(cfg Config) (*Node, error) {
 	if cfg.Engine == nil {
 		return nil, fmt.Errorf("node %d: nil engine", cfg.ID)
@@ -131,69 +117,59 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Queue == nil {
 		return nil, fmt.Errorf("node %d: nil queue", cfg.ID)
 	}
-	if cfg.OnDone == nil {
-		return nil, fmt.Errorf("node %d: nil OnDone", cfg.ID)
+	g, err := NewGroup(GroupConfig{
+		Engine:     cfg.Engine,
+		Queues:     []sched.Queue{cfg.Queue},
+		Policy:     cfg.Policy,
+		Preemptive: cfg.Preemptive,
+		OnDone:     cfg.OnDone,
+		OnAbort:    cfg.OnAbort,
+		Observer:   cfg.Observer,
+		IDBase:     cfg.ID,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("node %d: %w", cfg.ID, err)
 	}
-	if cfg.Policy == 0 {
-		cfg.Policy = NoAbort
-	}
-	if (cfg.Policy == AbortAtDispatch || cfg.Policy == AbortFirm) && cfg.OnAbort == nil {
-		return nil, fmt.Errorf("node %d: abort policy requires OnAbort", cfg.ID)
-	}
-	n := &Node{
-		id:         cfg.ID,
-		eng:        cfg.Engine,
-		queue:      cfg.Queue,
-		policy:     cfg.Policy,
-		preemptive: cfg.Preemptive,
-		observer:   cfg.Observer,
-		onDone:     cfg.OnDone,
-		onAbort:    cfg.OnAbort,
-		speed:      1,
-	}
-	// One registration per node replaces a closure allocation per
-	// completion event: the task rides along as the payload word.
-	n.completeCB = cfg.Engine.Register(func(p any) { n.complete(p.(*task.Task)) })
-	return n, nil
+	return g.Node(0), nil
 }
 
 // ID returns the node's index.
-func (n *Node) ID() int { return n.id }
+func (n *Node) ID() int { return n.g.idBase + int(n.idx) }
 
 // QueueLen returns the number of tasks waiting (not in service).
-func (n *Node) QueueLen() int { return n.queue.Len() }
+func (n *Node) QueueLen() int { return n.g.qLen(int(n.idx)) }
 
 // Busy reports whether the server is occupied.
-func (n *Node) Busy() bool { return n.busy }
+func (n *Node) Busy() bool { return n.g.hot[n.idx].running != nil }
 
 // Served returns the number of tasks that completed service.
-func (n *Node) Served() int64 { return n.served }
+func (n *Node) Served() int64 { return int64(n.g.hot[n.idx].served) }
 
 // Aborted returns the number of tasks discarded by the tardy policy.
-func (n *Node) Aborted() int64 { return n.aborted }
+func (n *Node) Aborted() int64 { return int64(n.g.hot[n.idx].aborted) }
 
 // BusyTime returns accumulated service time (for utilization =
 // BusyTime/horizon). Time of a task currently in service counts only
 // once it finishes.
-func (n *Node) BusyTime() float64 { return n.busyTime }
+func (n *Node) BusyTime() float64 { return n.g.hot[n.idx].busyTime }
 
 // Preemptions returns the number of times a running task was suspended
 // (always zero for non-preemptive nodes).
-func (n *Node) Preemptions() int64 { return n.preemptions }
+func (n *Node) Preemptions() int64 { return int64(n.g.hot[n.idx].preemptions) }
 
 // Submitted returns the number of tasks submitted to the node. A
 // preempted task re-queues without resubmitting, so
 // Submitted >= Served + Aborted, with equality for runs that drain.
-func (n *Node) Submitted() int64 { return n.submitted }
+func (n *Node) Submitted() int64 { return int64(n.g.hot[n.idx].submitted) }
 
 // ReadyQueueHWM returns the deepest the ready queue got (tasks waiting,
 // excluding the one in service) — a pure function of the replication's
 // event sequence, unlike the instantaneous QueueLen.
-func (n *Node) ReadyQueueHWM() int { return n.readyHWM }
+func (n *Node) ReadyQueueHWM() int { return int(n.g.hot[n.idx].readyHWM) }
 
 // Speed returns the current service speed factor (1 = nominal, 0 =
 // frozen).
-func (n *Node) Speed() float64 { return n.speed }
+func (n *Node) Speed() float64 { return n.g.hot[n.idx].speed }
 
 // SetSpeed changes the node's service speed factor: demand is consumed at
 // `speed` work units per time unit, so a task with remaining demand w
@@ -203,134 +179,10 @@ func (n *Node) Speed() float64 { return n.speed }
 // intact. Fractional speeds model degraded nodes (scenario fault
 // injection); BusyTime accrues only while the server actually serves.
 // It panics on a negative or NaN speed.
-func (n *Node) SetSpeed(speed float64) {
-	if speed < 0 || math.IsNaN(speed) {
-		panic(fmt.Sprintf("node %d: SetSpeed(%v)", n.id, speed))
-	}
-	if speed == n.speed {
-		return
-	}
-	now := n.eng.Now()
-	if n.busy {
-		if n.speed > 0 {
-			// Settle the progress of the current service segment.
-			elapsed := now - n.segmentStart
-			n.busyTime += elapsed
-			n.running.Remaining -= elapsed * n.speed
-			if n.running.Remaining < 0 {
-				n.running.Remaining = 0
-			}
-			n.eng.Cancel(n.completion)
-			n.completion = sim.Event{}
-		}
-		n.segmentStart = now
-		if speed > 0 {
-			n.completion = n.eng.MustScheduleCall(n.running.Remaining/speed, n.completeCB, n.running)
-		}
-	}
-	n.speed = speed
-	// A thawed idle server picks up whatever queued during the freeze.
-	n.dispatch()
-}
+func (n *Node) SetSpeed(speed float64) { n.g.SetSpeed(int(n.idx), speed) }
 
 // Submit enqueues a task at the current simulation time and starts the
 // server if it is idle. The task's Arrival must already be set by the
 // caller (generator or process manager). On a preemptive node a
 // newcomer with an earlier deadline suspends the task in service.
-func (n *Node) Submit(t *task.Task) {
-	t.NodeID = n.id
-	n.submitted++
-	n.observe(ObserveSubmit, t)
-	n.queue.Push(t)
-	if n.preemptive && n.busy && t.Deadline < n.running.Deadline {
-		n.preempt() // pushes the suspended task back, deepening the queue
-	}
-	if l := n.queue.Len(); l > n.readyHWM {
-		n.readyHWM = l
-	}
-	n.dispatch()
-}
-
-// observe reports a lifecycle event if an observer is attached.
-func (n *Node) observe(ev ObserverEvent, t *task.Task) {
-	if n.observer != nil {
-		n.observer(ev, n.eng.Now(), t)
-	}
-}
-
-// preempt suspends the running task and re-queues it with its remaining
-// demand.
-func (n *Node) preempt() {
-	now := n.eng.Now()
-	n.eng.Cancel(n.completion)
-	cur := n.running
-	cur.Remaining -= (now - n.segmentStart) * n.speed
-	if n.speed > 0 {
-		n.busyTime += now - n.segmentStart
-	}
-	n.preemptions++
-	n.busy = false
-	n.running = nil
-	n.observe(ObservePreempt, cur)
-	n.queue.Push(cur)
-}
-
-// dispatch starts the next task if the server is idle. The paper's model
-// is non-preemptive ("no preemption", section 4.1): once started, a
-// task runs to completion unless the node is explicitly preemptive.
-func (n *Node) dispatch() {
-	if n.busy || n.speed == 0 {
-		return
-	}
-	for {
-		now := n.eng.Now()
-		t := n.queue.Pop(now)
-		if t == nil {
-			return
-		}
-		if n.shouldAbort(t, now) {
-			n.aborted++
-			t.Finish = now
-			n.observe(ObserveAbort, t)
-			n.onAbort(t)
-			continue
-		}
-		if t.Remaining == 0 {
-			// First dispatch.
-			t.Remaining = t.Exec
-			t.Start = now
-		}
-		n.busy = true
-		n.running = t
-		n.segmentStart = now
-		n.observe(ObserveDispatch, t)
-		n.completion = n.eng.MustScheduleCall(t.Remaining/n.speed, n.completeCB, t)
-		return
-	}
-}
-
-// shouldAbort applies the tardy policy at dispatch time.
-func (n *Node) shouldAbort(t *task.Task, now float64) bool {
-	switch n.policy {
-	case AbortAtDispatch:
-		return now > t.Deadline
-	case AbortFirm:
-		return now > t.FirmDeadline
-	default:
-		return false
-	}
-}
-
-// complete finishes the task in service and redispatches.
-func (n *Node) complete(t *task.Task) {
-	now := n.eng.Now()
-	t.Finish = now
-	t.Remaining = 0
-	n.busy = false
-	n.running = nil
-	n.busyTime += now - n.segmentStart
-	n.served++
-	n.observe(ObserveComplete, t)
-	n.onDone(t)
-	n.dispatch()
-}
+func (n *Node) Submit(t *task.Task) { n.g.Submit(int(n.idx), t) }

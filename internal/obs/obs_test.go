@@ -120,6 +120,30 @@ func TestWritePrometheusOmitsDistribWhenNil(t *testing.T) {
 	}
 }
 
+func TestReadRuntimeGauges(t *testing.T) {
+	r := ReadRuntime()
+	if r.HeapInuseBytes == 0 || r.HeapAllocBytes == 0 || r.HeapSysBytes == 0 {
+		t.Fatalf("runtime heap gauges zero: %+v", r)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, series := range []string{
+		"repro_runtime_heap_inuse_bytes",
+		"repro_runtime_heap_alloc_bytes",
+		"repro_runtime_heap_sys_bytes",
+		"repro_runtime_gc_cycles_total",
+		"repro_runtime_gc_pause_seconds_total",
+		"repro_runtime_gc_next_bytes",
+	} {
+		if !strings.Contains(out, "# TYPE "+series+" ") || !strings.Contains(out, "\n"+series+" ") {
+			t.Errorf("rendered runtime metrics missing %s:\n%s", series, out)
+		}
+	}
+}
+
 func TestServerEndpoints(t *testing.T) {
 	srv, err := NewServer("127.0.0.1:0", sampleSnapshot)
 	if err != nil {
@@ -146,6 +170,17 @@ func TestServerEndpoints(t *testing.T) {
 
 	if body := get("/metrics"); !strings.Contains(body, "repro_engine_events_fired_total 990") {
 		t.Errorf("/metrics missing engine series:\n%s", body)
+	} else {
+		for _, series := range []string{
+			"repro_runtime_heap_inuse_bytes",
+			"repro_runtime_heap_alloc_bytes",
+			"repro_runtime_gc_cycles_total",
+			"repro_runtime_gc_pause_seconds_total",
+		} {
+			if !strings.Contains(body, series+" ") {
+				t.Errorf("/metrics missing runtime series %s", series)
+			}
+		}
 	}
 	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
 		t.Errorf("/debug/pprof/ index looks wrong:\n%.200s", body)

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"io"
+	"runtime"
+)
+
+// RuntimeStats is the process-level memory view served alongside the
+// simulation counters: how big the live working set actually is and what
+// the garbage collector has been doing. Unlike Snapshot it is not a pure
+// function of (configuration, seed) — it describes the process, not the
+// simulation — so it is read fresh at scrape time and never stored in a
+// Snapshot, keeping the deterministic and the environmental strictly
+// separated.
+//
+// At extreme topologies (64k+ nodes) these gauges are the live form of
+// the working-set question the memory-layout work answers: a scrape
+// during a run shows whether the arena-and-SoA state actually stays
+// cache-sized or is quietly growing per replication.
+type RuntimeStats struct {
+	// HeapInuseBytes is spans with at least one live object — the
+	// resident working set the simulation touches.
+	HeapInuseBytes uint64
+	// HeapAllocBytes is live heap bytes (allocated and not yet freed).
+	HeapAllocBytes uint64
+	// HeapSysBytes is heap memory obtained from the OS.
+	HeapSysBytes uint64
+	// GCCycles is the number of completed GC cycles.
+	GCCycles uint64
+	// GCPauseTotalSeconds is the cumulative stop-the-world pause time.
+	GCPauseTotalSeconds float64
+	// NextGCBytes is the heap size that triggers the next cycle — with
+	// HeapAllocBytes it bounds the steady-state allocation rate.
+	NextGCBytes uint64
+}
+
+// ReadRuntime samples runtime.MemStats. It stops the world briefly, so
+// it belongs in scrape handlers and run summaries, never on a hot path.
+func ReadRuntime() RuntimeStats {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return RuntimeStats{
+		HeapInuseBytes:      m.HeapInuse,
+		HeapAllocBytes:      m.HeapAlloc,
+		HeapSysBytes:        m.HeapSys,
+		GCCycles:            uint64(m.NumGC),
+		GCPauseTotalSeconds: float64(m.PauseTotalNs) / 1e9,
+		NextGCBytes:         m.NextGC,
+	}
+}
+
+// WritePrometheus renders the runtime gauges in Prometheus text format,
+// matching Snapshot.WritePrometheus's conventions.
+func (r RuntimeStats) WritePrometheus(w io.Writer) error {
+	pw := promWriter{w: w}
+	pw.gauge("repro_runtime_heap_inuse_bytes", "Heap spans with live objects (resident working set).", float64(r.HeapInuseBytes))
+	pw.gauge("repro_runtime_heap_alloc_bytes", "Live heap bytes (allocated, not yet freed).", float64(r.HeapAllocBytes))
+	pw.gauge("repro_runtime_heap_sys_bytes", "Heap memory obtained from the OS.", float64(r.HeapSysBytes))
+	pw.counter("repro_runtime_gc_cycles_total", "Completed garbage-collection cycles.", r.GCCycles)
+	pw.counterf("repro_runtime_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", r.GCPauseTotalSeconds)
+	pw.gauge("repro_runtime_gc_next_bytes", "Heap size that triggers the next GC cycle.", float64(r.NextGCBytes))
+	return pw.err
+}

@@ -38,7 +38,14 @@ func NewServer(addr string, snapshot func() Snapshot) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = snapshot().WritePrometheus(w)
+		if err := snapshot().WritePrometheus(w); err != nil {
+			return
+		}
+		// Process-level heap/GC gauges ride every scrape: they are
+		// environmental (not part of the deterministic Snapshot), and at
+		// 64k+ nodes they show live whether the working set holds steady
+		// across replications.
+		_ = ReadRuntime().WritePrometheus(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -69,6 +69,7 @@ func (in *Instance) Missed() bool {
 type Manager struct {
 	eng      *sim.Engine
 	nodes    []*node.Node
+	group    *node.Group
 	assigner core.Assigner
 
 	// onDone is called exactly once per instance, when it completes or
@@ -80,9 +81,18 @@ type Manager struct {
 	// nextTaskID allocates task ids.
 	nextTaskID func() uint64
 
-	// waiting maps an in-flight subtask id to the activation frame its
-	// completion resumes.
-	waiting map[uint64]pending
+	// The pending tables map an in-flight subtask to the activation
+	// frame its completion resumes. They are dense parallel slices
+	// indexed by the subtask's Ref — a freelist-recycled handle stamped
+	// on the task at submission — replacing the map the manager used to
+	// key by task ID: lookup is two loads instead of a hash probe, and
+	// the tables stop allocating once they reach the run's in-flight
+	// high-water mark. pendID guards against stale or foreign tasks
+	// (the entry is only valid while it carries the task's own ID).
+	pendInst  []*Instance
+	pendFrame []*frame
+	pendID    []uint64
+	pendFree  []int32
 
 	// pool optionally recycles retired subtasks; nil allocates fresh
 	// ones (the reference path pooling must reproduce bit-for-bit).
@@ -93,6 +103,11 @@ type Manager struct {
 	instFree []*Instance
 	// frameFree recycles activation frames, same gating as instFree.
 	frameFree []*frame
+	// instSlab and frameSlab are bump-allocation chunks fresh shells are
+	// carved from when the free lists run dry (pooled runs only):
+	// O(peak/mgrSlab) allocations instead of one per shell.
+	instSlab  []Instance
+	frameSlab []frame
 	// graphPool receives retired instance graphs; nil drops them to the
 	// garbage collector.
 	graphPool *task.GraphPool
@@ -101,11 +116,6 @@ type Manager struct {
 	pexBuf []float64
 
 	inflight int
-}
-
-type pending struct {
-	inst  *Instance
-	frame *frame // enclosing group; nil when the leaf is the whole graph
 }
 
 // frame is one live activation record: a serial group waiting to release
@@ -124,8 +134,13 @@ type frame struct {
 
 // Config carries the manager's construction parameters.
 type Config struct {
-	Engine   *sim.Engine
-	Nodes    []*node.Node
+	Engine *sim.Engine
+	// Nodes is the system's node view. Optional when Group is set.
+	Nodes []*node.Node
+	// Group optionally routes submissions through the node group
+	// directly (index-addressed, skipping the per-node handle view).
+	// When set, Nodes may be nil.
+	Group    *node.Group
 	Assigner core.Assigner
 	// OnDone receives every instance exactly once, after completion or
 	// abort. Required.
@@ -142,31 +157,57 @@ type Config struct {
 	GraphPool *task.GraphPool
 }
 
-// New returns a manager.
-func New(cfg Config) (*Manager, error) {
+func (cfg *Config) validate() error {
 	if cfg.Engine == nil {
-		return nil, fmt.Errorf("procmgr: nil engine")
+		return fmt.Errorf("procmgr: nil engine")
 	}
-	if len(cfg.Nodes) == 0 {
-		return nil, fmt.Errorf("procmgr: no nodes")
+	if len(cfg.Nodes) == 0 && (cfg.Group == nil || cfg.Group.Len() == 0) {
+		return fmt.Errorf("procmgr: no nodes")
 	}
 	if cfg.OnDone == nil {
-		return nil, fmt.Errorf("procmgr: nil OnDone")
+		return fmt.Errorf("procmgr: nil OnDone")
 	}
 	if cfg.NextSeq == nil || cfg.NextTaskID == nil {
-		return nil, fmt.Errorf("procmgr: nil allocators")
+		return fmt.Errorf("procmgr: nil allocators")
 	}
-	return &Manager{
-		eng:        cfg.Engine,
-		nodes:      cfg.Nodes,
-		assigner:   cfg.Assigner,
-		onDone:     cfg.OnDone,
-		nextSeq:    cfg.NextSeq,
-		nextTaskID: cfg.NextTaskID,
-		waiting:    make(map[uint64]pending),
-		pool:       cfg.Pool,
-		graphPool:  cfg.GraphPool,
-	}, nil
+	return nil
+}
+
+// New returns a manager.
+func New(cfg Config) (*Manager, error) {
+	m := &Manager{}
+	if err := m.Reconfigure(cfg); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Reconfigure rebinds the manager for a fresh replication in place,
+// keeping the pending tables, free lists and scratch buffers at their
+// working capacity. Any in-flight state of a previous run (instances
+// cut off by the horizon) is dropped. A reconfigured manager behaves
+// exactly like a freshly constructed one.
+func (m *Manager) Reconfigure(cfg Config) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	m.eng, m.nodes, m.group = cfg.Engine, cfg.Nodes, cfg.Group
+	m.assigner = cfg.Assigner
+	m.onDone, m.nextSeq, m.nextTaskID = cfg.OnDone, cfg.NextSeq, cfg.NextTaskID
+	m.pool, m.graphPool = cfg.Pool, cfg.GraphPool
+	m.inflight = 0
+	// Drop leftover pending entries (and their references) so the
+	// tables restart empty at retained capacity.
+	for i := range m.pendInst {
+		m.pendInst[i] = nil
+		m.pendFrame[i] = nil
+		m.pendID[i] = 0
+	}
+	m.pendInst = m.pendInst[:0]
+	m.pendFrame = m.pendFrame[:0]
+	m.pendID = m.pendID[:0]
+	m.pendFree = m.pendFree[:0]
+	return nil
 }
 
 // NewInstance returns a zeroed Instance, recycled from the manager's free
@@ -181,15 +222,27 @@ func (m *Manager) NewInstance() *Instance {
 		m.instFree = m.instFree[:n-1]
 		return inst
 	}
+	if m.pool != nil {
+		if len(m.instSlab) == 0 {
+			m.instSlab = make([]Instance, mgrSlab)
+		}
+		inst := &m.instSlab[0]
+		m.instSlab = m.instSlab[1:]
+		return inst
+	}
 	return &Instance{}
 }
+
+// mgrSlab is the number of Instance or frame shells carved per slab
+// allocation on pooled runs.
+const mgrSlab = 256
 
 // maybeRecycle parks a fully drained, finished instance on the free list.
 func (m *Manager) maybeRecycle(inst *Instance) {
 	if m.pool == nil || !inst.finished || inst.leafRefs != 0 {
 		return
 	}
-	// The instance is fully drained: no node, frame, or waiting entry
+	// The instance is fully drained: no node, frame, or pending entry
 	// references its graph, so its nodes can go back to the generator.
 	m.graphPool.Release(inst.Graph)
 	*inst = Instance{} // drop the graph reference and reset counters
@@ -204,6 +257,12 @@ func (m *Manager) newFrame(inst *Instance, g *task.Graph, parent *frame, dl floa
 		f = m.frameFree[n-1]
 		m.frameFree[n-1] = nil
 		m.frameFree = m.frameFree[:n-1]
+	} else if m.pool != nil {
+		if len(m.frameSlab) == 0 {
+			m.frameSlab = make([]frame, mgrSlab)
+		}
+		f = &m.frameSlab[0]
+		m.frameSlab = m.frameSlab[1:]
 	} else {
 		f = &frame{}
 	}
@@ -306,6 +365,38 @@ func (m *Manager) childDone(inst *Instance, f *frame) {
 	}
 }
 
+// takeRef pops a free pending slot or grows the tables by one.
+func (m *Manager) takeRef() int32 {
+	if n := len(m.pendFree); n > 0 {
+		ref := m.pendFree[n-1]
+		m.pendFree = m.pendFree[:n-1]
+		return ref
+	}
+	m.pendInst = append(m.pendInst, nil)
+	m.pendFrame = append(m.pendFrame, nil)
+	m.pendID = append(m.pendID, 0)
+	return int32(len(m.pendID) - 1)
+}
+
+// lookupRef resolves a subtask's pending slot, verifying the slot still
+// belongs to this task.
+func (m *Manager) lookupRef(t *task.Task) (int32, bool) {
+	ref := t.Ref
+	if ref < 0 || int(ref) >= len(m.pendID) || m.pendID[ref] != t.ID || m.pendInst[ref] == nil {
+		return 0, false
+	}
+	return ref, true
+}
+
+// releaseRef clears a resolved pending slot and returns it to the free
+// list.
+func (m *Manager) releaseRef(ref int32) {
+	m.pendInst[ref] = nil
+	m.pendFrame[ref] = nil
+	m.pendID[ref] = 0
+	m.pendFree = append(m.pendFree, ref)
+}
+
 // submitLeaf creates the schedulable subtask for a leaf and sends it to
 // its node.
 func (m *Manager) submitLeaf(inst *Instance, leaf *task.Graph, dl float64, parent *frame) {
@@ -321,7 +412,15 @@ func (m *Manager) submitLeaf(inst *Instance, leaf *task.Graph, dl float64, paren
 	t.Pex = leaf.Pex
 	t.Seq = m.nextSeq()
 	inst.leafRefs++
-	m.waiting[t.ID] = pending{inst: inst, frame: parent}
+	ref := m.takeRef()
+	m.pendInst[ref] = inst
+	m.pendFrame[ref] = parent
+	m.pendID[ref] = t.ID
+	t.Ref = ref
+	if m.group != nil {
+		m.group.Submit(leaf.NodeID, t)
+		return
+	}
 	m.nodes[leaf.NodeID].Submit(t)
 }
 
@@ -331,12 +430,12 @@ func (m *Manager) submitLeaf(inst *Instance, leaf *task.Graph, dl float64, paren
 // manager cannot retract work from an independent component). The subtask
 // is recycled after its continuation runs; callers must not hold on to it.
 func (m *Manager) Complete(t *task.Task) error {
-	p, ok := m.waiting[t.ID]
+	ref, ok := m.lookupRef(t)
 	if !ok {
 		return fmt.Errorf("procmgr: completion for unknown subtask %d", t.ID)
 	}
-	delete(m.waiting, t.ID)
-	inst := p.inst
+	inst, f := m.pendInst[ref], m.pendFrame[ref]
+	m.releaseRef(ref)
 	inst.leafRefs--
 	if !inst.Aborted {
 		inst.StageCount++
@@ -345,7 +444,7 @@ func (m *Manager) Complete(t *task.Task) error {
 		} else {
 			inst.InheritedSlack += t.Deadline - t.Finish
 		}
-		m.childDone(inst, p.frame)
+		m.childDone(inst, f)
 	}
 	m.pool.Put(t)
 	m.maybeRecycle(inst)
@@ -357,12 +456,12 @@ func (m *Manager) Complete(t *task.Task) error {
 // task whose subtask was dropped can never meet its end-to-end deadline.
 // The subtask is recycled on return; callers must not hold on to it.
 func (m *Manager) Abort(t *task.Task) error {
-	p, ok := m.waiting[t.ID]
+	ref, ok := m.lookupRef(t)
 	if !ok {
 		return fmt.Errorf("procmgr: abort for unknown subtask %d", t.ID)
 	}
-	delete(m.waiting, t.ID)
-	inst := p.inst
+	inst := m.pendInst[ref]
+	m.releaseRef(ref)
 	inst.leafRefs--
 	if !inst.Aborted {
 		inst.Aborted = true

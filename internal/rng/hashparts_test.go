@@ -1,0 +1,56 @@
+package rng
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestStreamHashParts pins the allocation-free label hash to the
+// formatted StreamHash it replaces.
+func TestStreamHashParts(t *testing.T) {
+	for _, i := range []uint64{0, 1, 9, 10, 12345, 65535, 18446744073709551615} {
+		if got, want := StreamHashParts("local-", i, ""), StreamHash(fmt.Sprintf("local-%d", i)); got != want {
+			t.Errorf("StreamHashParts(local-, %d) = %#x, want %#x", i, got, want)
+		}
+		if got, want := StreamHashParts("local-", i, "-gap"), StreamHash(fmt.Sprintf("local-%d-gap", i)); got != want {
+			t.Errorf("StreamHashParts(local-, %d, -gap) = %#x, want %#x", i, got, want)
+		}
+	}
+	if n := testing.AllocsPerRun(100, func() { StreamHashParts("local-", 54321, "-gap") }); n != 0 {
+		t.Errorf("StreamHashParts allocates %.1f times per call, want 0", n)
+	}
+}
+
+// TestSampleDistinctRewind checks the scratch permutation is restored
+// between calls, including across different n, and that steady-state
+// calls allocate nothing.
+func TestSampleDistinctRewind(t *testing.T) {
+	a, b := New(99), New(99)
+	for i := 0; i < 200; i++ {
+		n := 3 + a.IntN(40)
+		b.IntN(40)
+		count := 1 + a.IntN(n)
+		b.IntN(n)
+		got := append([]int(nil), a.SampleDistinct(count, n)...)
+		// The reference: a fresh partial Fisher-Yates on an identical
+		// stream state.
+		idx := make([]int, n)
+		for j := range idx {
+			idx[j] = j
+		}
+		for j := 0; j < count; j++ {
+			k := j + b.IntN(n-j)
+			idx[j], idx[k] = idx[k], idx[j]
+		}
+		for j, v := range idx[:count] {
+			if got[j] != v {
+				t.Fatalf("iteration %d: SampleDistinct(%d,%d) = %v, reference %v", i, count, n, got, idx[:count])
+			}
+		}
+	}
+	r := New(7)
+	r.SampleDistinct(4, 16) // warm scratch
+	if n := testing.AllocsPerRun(100, func() { r.SampleDistinct(4, 16) }); n != 0 {
+		t.Errorf("warm SampleDistinct allocates %.1f times per call, want 0", n)
+	}
+}

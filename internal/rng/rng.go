@@ -16,6 +16,20 @@ import "math/bits"
 // with NewStream.
 type Source struct {
 	s [4]uint64
+
+	// ds holds the SampleDistinct scratch, behind one pointer so a
+	// Source stays 40 bytes — large topologies keep one Source per node
+	// in a contiguous slice, and only placement streams ever sample.
+	// Nil until the first SampleDistinct call.
+	ds *distinctScratch
+}
+
+// distinctScratch is SampleDistinct's persistent state: perm is an
+// identity permutation the partial Fisher-Yates runs over (restored
+// after every call), jbuf records the swap partners so the restore can
+// rewind, and res carries the returned sample.
+type distinctScratch struct {
+	perm, jbuf, res []int
 }
 
 // New returns a Source seeded from seed via SplitMix64. Any seed value,
@@ -44,6 +58,38 @@ func NewStream(seed uint64, label string) *Source {
 // every run (a warm simulation workspace) can compute it once and avoid
 // re-formatting and re-hashing the label per run.
 func StreamHash(label string) uint64 { return fnv64a(label) }
+
+// StreamHashParts returns StreamHash(prefix + decimal(n) + suffix)
+// without formatting the label: large topologies derive one stream per
+// node ("local-0", "local-1", ...), and hashing the parts directly
+// avoids a per-node string allocation during setup.
+func StreamHashParts(prefix string, n uint64, suffix string) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(prefix); i++ {
+		h ^= uint64(prefix[i])
+		h *= prime
+	}
+	var digits [20]byte
+	d := len(digits)
+	for {
+		d--
+		digits[d] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	for ; d < len(digits); d++ {
+		h ^= uint64(digits[d])
+		h *= prime
+	}
+	for i := 0; i < len(suffix); i++ {
+		h ^= uint64(suffix[i])
+		h *= prime
+	}
+	return h
+}
 
 // Reseed re-derives the source's state from seed in place, exactly as
 // New(seed) would, without allocating. The source must not be shared with
@@ -108,6 +154,14 @@ func (r *Source) IntN(n int) int {
 // SampleDistinct returns count distinct integers drawn uniformly from
 // [0, n), in random order. It panics if count > n or n <= 0. It is used to
 // place parallel subtasks at distinct nodes (paper section 5.2).
+//
+// The returned slice is owned by the source and overwritten by the next
+// SampleDistinct call; callers consume it before drawing again. The
+// implementation is a partial Fisher-Yates over a persistent identity
+// permutation that is rewound after the draw, so the cost is O(count)
+// per call — not O(n) — and zero allocations at steady state. The draw
+// sequence and returned values are identical to the original
+// fresh-slice implementation.
 func (r *Source) SampleDistinct(count, n int) []int {
 	if count > n {
 		panic("rng: SampleDistinct called with count > n")
@@ -115,18 +169,38 @@ func (r *Source) SampleDistinct(count, n int) []int {
 	if count <= 0 {
 		return nil
 	}
-	// Partial Fisher-Yates over a fresh index slice. n is the node count
-	// of the simulated system (single digits in the paper), so the O(n)
-	// allocation is negligible.
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	if r.ds == nil {
+		r.ds = &distinctScratch{}
 	}
+	ds := r.ds
+	if len(ds.perm) < n {
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		// Entries below the previous length are identity by the rewind
+		// invariant, so a plain rebuild is correct either way.
+		ds.perm = perm
+	}
+	if cap(ds.jbuf) < count {
+		ds.jbuf = make([]int, count)
+		ds.res = make([]int, count)
+	}
+	idx, js := ds.perm, ds.jbuf[:count]
 	for i := 0; i < count; i++ {
 		j := i + r.IntN(n-i)
+		js[i] = j
 		idx[i], idx[j] = idx[j], idx[i]
 	}
-	return idx[:count]
+	res := ds.res[:count]
+	copy(res, idx[:count])
+	// Rewind the swaps in reverse order, restoring the identity
+	// permutation for the next call (possibly with a different n).
+	for i := count - 1; i >= 0; i-- {
+		j := js[i]
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return res
 }
 
 // splitMix64 advances a SplitMix64 state and returns (nextState, output).

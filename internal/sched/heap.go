@@ -49,7 +49,12 @@ func (h *entryHeap) less(i, j int) bool {
 }
 
 func (h *entryHeap) push(key float64, t *task.Task) {
-	h.items = append(h.items, entry{key: key, seq: t.Seq, t: t})
+	h.pushEntry(entry{key: key, seq: t.Seq, t: t})
+}
+
+// pushEntry inserts a pre-built entry (the bank lane's staging path).
+func (h *entryHeap) pushEntry(e entry) {
+	h.items = append(h.items, e)
 	i := len(h.items) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -62,11 +67,17 @@ func (h *entryHeap) push(key float64, t *task.Task) {
 }
 
 func (h *entryHeap) pop() *task.Task {
-	n := len(h.items)
-	if n == 0 {
+	if len(h.items) == 0 {
 		return nil
 	}
-	top := h.items[0].t
+	return h.popEntry().t
+}
+
+// popEntry removes and returns the minimum entry; the heap must be
+// non-empty.
+func (h *entryHeap) popEntry() entry {
+	n := len(h.items)
+	top := h.items[0]
 	h.items[0] = h.items[n-1]
 	h.items[n-1] = entry{}
 	h.items = h.items[:n-1]

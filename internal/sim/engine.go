@@ -51,26 +51,63 @@ type Event struct {
 	gen  uint32
 }
 
+// Event-record packing: the in-queue representation is 16 bytes — the
+// fire time plus one word carrying the FIFO sequence number in the high
+// bits and the slot index in the low bits. Sequence numbers are unique,
+// so comparing packed words orders events exactly like comparing
+// sequence numbers; the slot bits never influence the outcome. The
+// payload and callback live in the slot table instead of the event, so
+// the structures that move events around (heap sifts, ladder rung
+// spreads) copy pointer-free 16-byte records and the pending set stays
+// cache-resident at large topologies.
+const (
+	// eventSlotBits is the width of the slot field: up to ~4.2M
+	// simultaneously pending events.
+	eventSlotBits = 22
+	eventSlotMask = 1<<eventSlotBits - 1
+	// eventMaxSeq bounds the total events of one run (~4.4e12 — two
+	// orders of magnitude beyond a 1M-horizon 65536-node run).
+	eventMaxSeq = 1<<(64-eventSlotBits) - 1
+)
+
 // event is the in-queue representation, stored by value.
 type event struct {
-	time    float64
-	seq     uint64 // tie-break: FIFO among equal times
-	payload any
-	cb      Callback
-	slot    int32
+	time   float64
+	packed uint64 // seq<<eventSlotBits | slot
 }
 
+// slotIdx extracts the event's slot index.
+func (ev event) slotIdx() int32 { return int32(ev.packed & eventSlotMask) }
+
 // slotRec tracks one recyclable event slot: the generation its current
-// handle must match, and the active queue's position bookkeeping — pos
-// is the event's index within its queue tier (-1 while the slot is
-// idle), aux is the ladder queue's packed (tier, rung, bucket) location.
-// Keeping all three in one record means every queue operation touches a
-// single cache line per slot.
+// handle must match, the bound callback to fire, and the payload it
+// fires with. The payload lives in the record rather than a parallel
+// slice on purpose: by fire time the slot's line has long left the
+// cache (the slot was written when the event was scheduled, tens of
+// thousands of events earlier), so Step pays one cold line for the
+// whole record instead of two for slot-plus-payload.
+//
+// The record deliberately carries no queue-position bookkeeping.
+// Cancellation is by tombstone (see Cancel): the cancelled event stays
+// in the queue under a dead marker and is discarded when it surfaces,
+// so the queues never need to locate an arbitrary slot — and therefore
+// never write position updates back to the slot table as events move
+// between tiers or sift within a heap. Those writes were one cold
+// cache line per event movement at large topologies; removing them is
+// worth far more than the tombstones' transient queue residency costs.
 type slotRec struct {
-	gen uint32
-	aux int32
-	pos int32
+	gen     uint32
+	cb      Callback
+	payload any
+	// Pad to 32 bytes so records never straddle cache lines: the fire-
+	// time slot read is cold, and an even divisor of the line keeps it
+	// to exactly one line per event.
+	_ [8]byte
 }
+
+// deadCallback marks a tombstoned (cancelled) slot; the queues discard
+// its event instead of firing it.
+const deadCallback Callback = -1
 
 // Engine is a discrete-event simulator. The zero value is not usable;
 // create one with New.
@@ -165,7 +202,6 @@ func (e *Engine) promote() {
 	e.ladCache = nil
 	for i := range e.heap {
 		lad.push(e.heap[i])
-		e.heap[i] = event{}
 	}
 	e.heap = e.heap[:0]
 	e.lad = lad
@@ -174,13 +210,6 @@ func (e *Engine) promote() {
 
 // Queue dispatch helpers for the cold paths; the hot paths (CallAt,
 // Step, Run) branch on e.lad inline.
-
-func (e *Engine) qRemoveSlot(slot int32) bool {
-	if e.lad != nil {
-		return e.lad.removeSlot(slot)
-	}
-	return e.heapRemoveSlot(slot)
-}
 
 func (e *Engine) qTimeOf(slot int32) (float64, bool) {
 	if e.lad != nil {
@@ -223,7 +252,8 @@ func (e *Engine) Reset() {
 	e.freeSlots = e.freeSlots[:0]
 	for i := range e.slots {
 		e.slots[i].gen++ // stale handles from the previous run go dead
-		e.slots[i].pos = -1
+		e.slots[i].cb = 0
+		e.slots[i].payload = nil // release payload references
 		e.freeSlots = append(e.freeSlots, int32(i))
 	}
 	for i := range e.callbacks {
@@ -250,8 +280,10 @@ func (e *Engine) Now() float64 { return e.now }
 // instrumentation and tests.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events currently scheduled.
-func (e *Engine) Pending() int { return e.qSize() }
+// Pending returns the number of events currently scheduled. Cancelled
+// events are not pending, even while their tombstones await discard
+// inside the queue structures.
+func (e *Engine) Pending() int { return int(e.seq - e.fired - e.cancelled) }
 
 // Stats is a snapshot of the engine's event counters since the last
 // Reset. Scheduled−Fired−Cancelled is the pending count; PendingHWM is
@@ -327,8 +359,16 @@ func (e *Engine) CallAt(t float64, cb Callback, payload any) (Event, error) {
 	if math.IsNaN(t) || t < e.now {
 		return Event{}, fmt.Errorf("%w: at %v, now %v", ErrEventInPast, t, e.now)
 	}
+	if e.seq >= eventMaxSeq {
+		// ~4.4e12 events: unreachable in practice, but the packed order
+		// would silently wrap, so fail loudly instead.
+		panic("sim: event sequence space exhausted")
+	}
 	slot := e.takeSlot()
-	ev := event{time: t, seq: e.seq, payload: payload, cb: cb, slot: slot}
+	s := &e.slots[slot]
+	s.cb = cb
+	s.payload = payload
+	ev := event{time: t, packed: e.seq<<eventSlotBits | uint64(slot)}
 	e.seq++
 	// seq−fired−cancelled is the pending count after this push; tracking
 	// the high-water mark this way costs two ALU ops and a predictable
@@ -352,21 +392,30 @@ func (e *Engine) CallAt(t float64, cb Callback, payload any) (Event, error) {
 
 // Cancel removes a pending event. Cancelling an already-fired,
 // already-cancelled, or zero handle is a no-op and reports false.
+//
+// The removal is lazy: the slot is tombstoned in place and the queued
+// event is discarded when it reaches the head of the queue, never
+// fired. Cancel is therefore O(1) regardless of where the event sits,
+// and the queues carry no per-event position index. The slot itself is
+// recycled when the tombstone surfaces (or at Reset).
 func (e *Engine) Cancel(ev Event) bool {
 	i := int(ev.slot) - 1
 	if i < 0 || i >= len(e.slots) || e.slots[i].gen != ev.gen {
 		return false
 	}
-	if !e.qRemoveSlot(int32(i)) {
-		return false
-	}
-	e.releaseSlot(int32(i))
+	s := &e.slots[i]
+	s.gen++ // the handle (and any copy of it) is dead from here on
+	s.cb = deadCallback
+	s.payload = nil
 	e.cancelled++
 	return true
 }
 
 // EventTime returns the simulation time a pending event will fire at, and
-// whether the handle still refers to a pending event.
+// whether the handle still refers to a pending event. It is a
+// diagnostic: the queues keep no per-slot position index, so the lookup
+// scans the pending set — O(pending), fine for tests and debugging,
+// not for hot paths.
 func (e *Engine) EventTime(ev Event) (float64, bool) {
 	i := int(ev.slot) - 1
 	if i < 0 || i >= len(e.slots) || e.slots[i].gen != ev.gen {
@@ -376,36 +425,82 @@ func (e *Engine) EventTime(ev Event) (float64, bool) {
 }
 
 // Step executes the next pending event, advancing the clock to its time.
-// It reports whether an event was executed.
+// It reports whether an event was executed. Tombstones of cancelled
+// events are discarded silently on the way — they advance neither the
+// clock nor the fired counter.
 func (e *Engine) Step() bool {
 	if e.lad != nil {
 		return e.stepLadder()
 	}
-	if len(e.heap) == 0 {
-		return false
+	for len(e.heap) > 0 {
+		ev := e.heap[0]
+		slot := ev.slotIdx()
+		cb := e.slots[slot].cb
+		payload := e.slots[slot].payload
+		// Release the slot before invoking so the callback can schedule
+		// into it; the generation bump makes the fired event's handle
+		// stale.
+		e.releaseSlot(slot)
+		e.heapRemoveAt(0)
+		if cb == deadCallback {
+			continue
+		}
+		e.now = ev.time
+		e.fired++
+		e.callbacks[cb](payload)
+		return true
 	}
-	ev := e.heap[0]
-	// Release the slot before invoking so the callback can schedule into
-	// it; the generation bump makes the fired event's handle stale.
-	e.releaseSlot(ev.slot)
-	e.heapRemoveAt(0)
-	e.now = ev.time
-	e.fired++
-	e.callbacks[ev.cb](ev.payload)
-	return true
+	return false
 }
 
 // stepLadder is Step's ladder-queue path.
 func (e *Engine) stepLadder() bool {
-	ev, ok := e.lad.pop()
-	if !ok {
-		return false
+	for {
+		ev, ok := e.lad.pop()
+		if !ok {
+			return false
+		}
+		slot := ev.slotIdx()
+		cb := e.slots[slot].cb
+		payload := e.slots[slot].payload
+		e.releaseSlot(slot)
+		if cb == deadCallback {
+			continue
+		}
+		e.now = ev.time
+		e.fired++
+		e.callbacks[cb](payload)
+		return true
 	}
-	e.releaseSlot(ev.slot)
-	e.now = ev.time
-	e.fired++
-	e.callbacks[ev.cb](ev.payload)
-	return true
+}
+
+// peekLive returns the next live event's fire time, discarding any
+// tombstones of cancelled events that have reached the queue's head.
+func (e *Engine) peekLive() (float64, bool) {
+	for {
+		var (
+			ev event
+			ok bool
+		)
+		if e.lad != nil {
+			ev, ok = e.lad.peekEvent()
+		} else if len(e.heap) > 0 {
+			ev, ok = e.heap[0], true
+		}
+		if !ok {
+			return 0, false
+		}
+		slot := ev.slotIdx()
+		if e.slots[slot].cb != deadCallback {
+			return ev.time, true
+		}
+		e.releaseSlot(slot)
+		if e.lad != nil {
+			e.lad.pop()
+		} else {
+			e.heapRemoveAt(0)
+		}
+	}
 }
 
 // Run executes events in time order until the event list is empty, Stop is
@@ -416,15 +511,7 @@ func (e *Engine) stepLadder() bool {
 func (e *Engine) Run(horizon float64) {
 	e.stopped = false
 	for !e.stopped {
-		var (
-			next float64
-			ok   bool
-		)
-		if e.lad != nil {
-			next, ok = e.lad.peek()
-		} else {
-			next, ok = e.heapPeek()
-		}
+		next, ok := e.peekLive()
 		if !ok || next > horizon {
 			break
 		}
@@ -453,15 +540,19 @@ func (e *Engine) takeSlot() int32 {
 		e.freeSlots = e.freeSlots[:n-1]
 		return slot
 	}
-	e.slots = append(e.slots, slotRec{pos: -1})
+	if len(e.slots) > eventSlotMask {
+		panic("sim: pending-event slot space exhausted (>4M simultaneously pending)")
+	}
+	e.slots = append(e.slots, slotRec{})
 	return int32(len(e.slots) - 1)
 }
 
-// releaseSlot retires a slot's current generation, marks it idle, and
-// returns it to the free list.
+// releaseSlot retires a slot's current generation, drops its payload
+// reference, and returns it to the free list.
 func (e *Engine) releaseSlot(slot int32) {
 	s := &e.slots[slot]
 	s.gen++
-	s.pos = -1
+	s.cb = 0
+	s.payload = nil
 	e.freeSlots = append(e.freeSlots, slot)
 }

@@ -54,9 +54,10 @@ import "math"
 // monotone array, so the invariants hold exactly, not just up to
 // rounding, no matter how the reciprocal-multiply index estimate rounds.
 //
-// Each event's location is recorded in the engine's slot table: pos is
-// the index within its tier's slice (-1 when absent) and aux packs
-// (tier, rung, bucket).
+// The queue keeps no per-event location index: cancellation is by
+// tombstone at the engine layer, so events only ever leave a tier from
+// its consumption point. Moving an event between tiers touches nothing
+// but the 16-byte records themselves — no slot-table write-backs.
 type ladderQueue struct {
 	e       *Engine
 	near    []event // indexed min-heap by (time, seq)
@@ -90,19 +91,6 @@ const (
 	// bottom is pushed to the near heap regardless of size.
 	ladderMaxRungs = 8
 )
-
-// aux encoding: tier in bits 0-1, rung in bits 2-5, bucket from bit 6.
-const (
-	tierNear int32 = iota + 1
-	tierRung
-	tierOver
-)
-
-func packLoc(tier, rung, bucket int32) int32 { return tier | rung<<2 | bucket<<6 }
-
-func locTier(aux int32) int32   { return aux & 3 }
-func locRung(aux int32) int32   { return (aux >> 2) & 15 }
-func locBucket(aux int32) int32 { return aux >> 6 }
 
 // ladderRung is one bucketed band of the far future. Bucket b holds
 // events with bounds[b] <= time < bounds[b+1] (monotone by
@@ -163,9 +151,6 @@ func (q *ladderQueue) pushRung(j int32, ev event) {
 	for b < nb-1 && ev.time >= r.bounds[b+1] {
 		b++
 	}
-	s := &q.e.slots[ev.slot]
-	s.aux = packLoc(tierRung, j, b)
-	s.pos = int32(len(r.bkts[b]))
 	r.bkts[b] = append(r.bkts[b], ev)
 	r.count++
 }
@@ -182,9 +167,6 @@ func (q *ladderQueue) pushOver(ev event) {
 			q.overMax = ev.time
 		}
 	}
-	s := &q.e.slots[ev.slot]
-	s.aux = tierOver
-	s.pos = int32(len(q.over))
 	q.over = append(q.over, ev)
 }
 
@@ -192,7 +174,6 @@ func (q *ladderQueue) pop() (event, bool) {
 	for {
 		if len(q.near) > 0 {
 			ev := q.near[0]
-			q.e.slots[ev.slot].pos = -1
 			q.nearRemoveAt(0)
 			return ev, true
 		}
@@ -202,13 +183,15 @@ func (q *ladderQueue) pop() (event, bool) {
 	}
 }
 
-func (q *ladderQueue) peek() (float64, bool) {
+// peekEvent returns the next event without removing it, refilling the
+// near tier as needed.
+func (q *ladderQueue) peekEvent() (event, bool) {
 	for len(q.near) == 0 {
 		if !q.advance() {
-			return 0, false
+			return event{}, false
 		}
 	}
-	return q.near[0].time, true
+	return q.near[0], true
 }
 
 // advance refills the near tier from the rungs (or rebuilds the rungs
@@ -249,7 +232,6 @@ func (q *ladderQueue) advance() bool {
 			// heap handles an occasional oversized batch just fine.
 			for i := range b {
 				q.nearPush(b[i])
-				b[i] = event{} // release the payload reference
 			}
 			r.count -= len(b)
 			r.bkts[r.cur] = b[:0]
@@ -264,7 +246,6 @@ func (q *ladderQueue) advance() bool {
 		nr.init(ns, nw, ne)
 		for i := range b {
 			q.pushRung(int32(len(q.rungs)-1), b[i])
-			b[i] = event{}
 		}
 		r = &q.rungs[j] // growRung may have reallocated q.rungs
 		r.count -= len(b)
@@ -339,7 +320,6 @@ func (q *ladderQueue) rebuild() bool {
 	if len(q.over) <= ladderSpreadMax || !(width > 0) || q.overMin+width == q.overMin {
 		for i := range q.over {
 			q.nearPush(q.over[i])
-			q.over[i] = event{}
 		}
 		q.over = q.over[:0]
 		// Later same-time pushes route to over (time >= nearEnd) with
@@ -358,64 +338,34 @@ func (q *ladderQueue) rebuild() bool {
 	j := int32(len(q.rungs) - 1)
 	for i := range q.over {
 		q.pushRung(j, q.over[i])
-		q.over[i] = event{}
 	}
 	q.over = q.over[:0]
 	return true
 }
 
-func (q *ladderQueue) removeSlot(slot int32) bool {
-	s := &q.e.slots[slot]
-	if s.pos < 0 {
-		return false
-	}
-	idx := s.pos
-	switch locTier(s.aux) {
-	case tierNear:
-		s.pos = -1
-		q.nearRemoveAt(idx)
-	case tierRung:
-		r := &q.rungs[locRung(s.aux)]
-		bi := locBucket(s.aux)
-		b := r.bkts[bi]
-		last := int32(len(b)) - 1
-		if idx != last {
-			b[idx] = b[last]
-			q.e.slots[b[idx].slot].pos = idx
-		}
-		b[last] = event{}
-		r.bkts[bi] = b[:last]
-		r.count--
-		s.pos = -1
-	case tierOver:
-		last := int32(len(q.over)) - 1
-		if idx != last {
-			q.over[idx] = q.over[last]
-			q.e.slots[q.over[idx].slot].pos = idx
-		}
-		q.over[last] = event{}
-		q.over = q.over[:last]
-		// overMin/overMax may now be conservative; that only widens the
-		// next rebuild's span, it never breaks ordering.
-		s.pos = -1
-	default:
-		return false
-	}
-	return true
-}
-
+// timeOf scans the tiers for the pending event occupying slot — a
+// diagnostic for EventTime, not a hot path (the queue keeps no
+// per-event location index).
 func (q *ladderQueue) timeOf(slot int32) (float64, bool) {
-	s := q.e.slots[slot]
-	if s.pos < 0 {
-		return 0, false
+	for i := range q.near {
+		if q.near[i].slotIdx() == slot {
+			return q.near[i].time, true
+		}
 	}
-	switch locTier(s.aux) {
-	case tierNear:
-		return q.near[s.pos].time, true
-	case tierRung:
-		return q.rungs[locRung(s.aux)].bkts[locBucket(s.aux)][s.pos].time, true
-	case tierOver:
-		return q.over[s.pos].time, true
+	for ri := range q.rungs {
+		r := &q.rungs[ri]
+		for bi := range r.bkts {
+			for i := range r.bkts[bi] {
+				if r.bkts[bi][i].slotIdx() == slot {
+					return r.bkts[bi][i].time, true
+				}
+			}
+		}
+	}
+	for i := range q.over {
+		if q.over[i].slotIdx() == slot {
+			return q.over[i].time, true
+		}
 	}
 	return 0, false
 }
@@ -428,50 +378,37 @@ func (q *ladderQueue) size() int {
 	return n
 }
 
+// reset drops all events, keeping every tier's capacity. Events hold no
+// pointers, so truncation is enough — payload references are released by
+// the engine's slot-table reset.
 func (q *ladderQueue) reset() {
-	for i := range q.near {
-		q.near[i] = event{}
-	}
 	q.near = q.near[:0]
 	q.nearEnd = 0
 	for i := range q.rungs {
 		r := &q.rungs[i]
 		for bi := range r.bkts {
-			b := r.bkts[bi]
-			for k := range b {
-				b[k] = event{}
-			}
-			r.bkts[bi] = b[:0]
+			r.bkts[bi] = r.bkts[bi][:0]
 		}
 		r.cur, r.count = 0, 0
 	}
 	q.rungs = q.rungs[:0]
-	for i := range q.over {
-		q.over[i] = event{}
-	}
 	q.over = q.over[:0]
 }
 
-// The near tier: a plain indexed binary heap over (time, seq), kept
-// small by the rung transfers, with positions recorded in the engine's
-// slot table.
+// The near tier: a plain binary heap over (time, seq), kept small by
+// the rung transfers. Sifts swap 16-byte records and touch nothing
+// else.
 
 func (q *ladderQueue) nearPush(ev event) {
-	i := int32(len(q.near))
 	q.near = append(q.near, ev)
-	s := &q.e.slots[ev.slot]
-	s.aux = tierNear
-	s.pos = i
-	q.nearUp(int(i))
+	q.nearUp(len(q.near) - 1)
 }
 
 func (q *ladderQueue) nearRemoveAt(i int32) {
 	last := int32(len(q.near)) - 1
 	if i != last {
 		q.near[i] = q.near[last]
-		q.e.slots[q.near[i].slot].pos = i
 	}
-	q.near[last] = event{}
 	q.near = q.near[:last]
 	if i < last {
 		if !q.nearUp(int(i)) {
@@ -515,6 +452,4 @@ func (q *ladderQueue) nearDown(i int) {
 
 func (q *ladderQueue) nearSwap(i, j int) {
 	q.near[i], q.near[j] = q.near[j], q.near[i]
-	q.e.slots[q.near[i].slot].pos = int32(i)
-	q.e.slots[q.near[j].slot].pos = int32(j)
 }

@@ -43,77 +43,58 @@ func ParseQueueKind(s string) (QueueKind, error) {
 	}
 }
 
-// This file is the reference implementation of the event-queue seam: an
-// indexed binary min-heap ordered by (time, seq), implemented directly
+// This file is the reference implementation of the event-queue seam: a
+// binary min-heap ordered by (time, seq), implemented directly
 // on the engine's fields so the paper-scale hot path compiles to the
-// same tight code it had before the seam existed. ladder.go holds the
+// same tight code it had before the seam existed. Cancellation is by
+// tombstone at the engine layer, so the heap keeps no per-event
+// position index and its sifts swap bare 16-byte records. ladder.go holds the
 // large-topology implementation; the engine dispatches between the two
 // with a single branch (qPush and friends in engine.go), and the
 // cross-check fuzz tests require identical observable behaviour from
 // both.
 
 // before reports whether event a fires before event b: earlier time, or
-// FIFO order at equal times.
+// FIFO order at equal times. Comparing the packed words at equal times
+// is exactly the seq comparison: seqs are unique, so the high seq bits
+// always decide before the slot bits could matter.
 func before(a, b *event) bool {
 	if a.time != b.time {
 		return a.time < b.time
 	}
-	return a.seq < b.seq
+	return a.packed < b.packed
 }
 
 // heapPush inserts an event into the binary heap.
 func (e *Engine) heapPush(ev event) {
-	i := int32(len(e.heap))
 	e.heap = append(e.heap, ev)
-	e.slots[ev.slot].pos = i
-	e.heapUp(int(i))
+	e.heapUp(len(e.heap) - 1)
 }
 
-// heapPeek returns the minimum pending time.
-func (e *Engine) heapPeek() (float64, bool) {
-	if len(e.heap) == 0 {
-		return 0, false
-	}
-	return e.heap[0].time, true
-}
-
-// heapRemoveSlot cancels the pending event occupying slot.
-func (e *Engine) heapRemoveSlot(slot int32) bool {
-	i := e.slots[slot].pos
-	if i < 0 {
-		return false
-	}
-	e.slots[slot].pos = -1
-	e.heapRemoveAt(i)
-	return true
-}
-
-// heapTimeOf returns the fire time of the pending event in slot.
+// heapTimeOf scans for the fire time of the pending event in slot — a
+// diagnostic for EventTime, not a hot path.
 func (e *Engine) heapTimeOf(slot int32) (float64, bool) {
-	i := e.slots[slot].pos
-	if i < 0 {
-		return 0, false
+	for i := range e.heap {
+		if e.heap[i].slotIdx() == slot {
+			return e.heap[i].time, true
+		}
 	}
-	return e.heap[i].time, true
+	return 0, false
 }
 
-// heapReset drops all events, keeping capacity.
+// heapReset drops all events, keeping capacity. Events are pointer-free
+// values, so truncation alone releases nothing the GC cares about —
+// payload references live in the engine's slot table.
 func (e *Engine) heapReset() {
-	for i := range e.heap {
-		e.heap[i] = event{} // release payload references
-	}
 	e.heap = e.heap[:0]
 }
 
-// heapRemoveAt deletes the heap element at index i. The caller has
-// already cleared the element's slot position.
+// heapRemoveAt deletes the heap element at index i.
 func (e *Engine) heapRemoveAt(i int32) {
 	last := int32(len(e.heap)) - 1
 	if i != last {
 		e.heap[i] = e.heap[last]
-		e.slots[e.heap[i].slot].pos = i
 	}
-	e.heap[last] = event{} // release the payload reference
 	e.heap = e.heap[:last]
 	if i < last {
 		if !e.heapUp(int(i)) {
@@ -160,6 +141,4 @@ func (e *Engine) heapDown(i int) {
 
 func (e *Engine) heapSwap(i, j int) {
 	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
-	e.slots[e.heap[i].slot].pos = int32(i)
-	e.slots[e.heap[j].slot].pos = int32(j)
 }

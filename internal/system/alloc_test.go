@@ -34,6 +34,38 @@ func TestWorkspaceWarmReplicationAllocs64(t *testing.T) {
 	}
 }
 
+// TestWorkspaceWarmReplicationAllocs65536 pins the extreme-scale
+// memory-layout contract: at 65536 nodes a warm workspace re-runs a
+// replication without recreating any per-node object — the fleet's
+// stream table, the ready-queue bank arena, the node group's hot array,
+// and the engine's slot table are all reused in place. Measured warm
+// cost is ~380 allocations (run-constant setup: manager, metrics,
+// per-run bookkeeping), independent of the node count. The budget is
+// deliberately far below one allocation per node, so any change that
+// reintroduces a per-node-per-run object (65536+ allocations) fails by
+// 30x, while run-constant drift has ~5x headroom.
+func TestWorkspaceWarmReplicationAllocs65536(t *testing.T) {
+	if testing.Short() {
+		t.Skip("65536-node replication in -short mode")
+	}
+	cfg := Baseline()
+	cfg.Nodes = 65536
+	cfg.Horizon = 5
+	ws := NewWorkspace()
+	if _, err := RunWith(cfg, ws); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(2, func() {
+		if _, err := RunWith(cfg, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	budget := float64(cfg.Nodes/32 + 512)
+	if allocs > budget {
+		t.Fatalf("warm 65536-node replication allocated %v times, budget %v (per-node reuse lost?)", allocs, budget)
+	}
+}
+
 // TestWorkspaceWarmReplicationScalesWithNodes pins the per-node setup
 // coefficient: doubling the node count must not much more than double a
 // warm replication's allocations (anything superlinear means a buffer

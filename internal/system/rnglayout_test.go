@@ -1,0 +1,120 @@
+package system
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// layoutSig fingerprints one run for exact comparison: counts, miss
+// ratios, and the accumulated response/tardiness moments.
+func layoutSig(m *Metrics) string {
+	return fmt.Sprintf("%d %d %d %d %d %d %v %v %v %v %v",
+		m.LocalGenerated, m.GlobalGenerated, m.LocalDone, m.GlobalDone,
+		m.LocalMiss.Hits(), m.GlobalMiss.Hits(),
+		m.LocalResponse.Mean(), m.GlobalResponse.Mean(),
+		m.GlobalTardiness.Mean(), m.MeanUtilization(), m.MDGlobal())
+}
+
+// TestSplitLayoutDeterministicAndDistinct is the split layout's golden
+// anchor: RNGLayout=split is a deterministic sample path of its own —
+// identical run to run, reproducible on a warm workspace, and genuinely
+// different from the default interleaved layout (the knob must not be a
+// no-op).
+func TestSplitLayoutDeterministicAndDistinct(t *testing.T) {
+	cfg := Baseline()
+	cfg.Horizon = 8000
+	def, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.RNGLayout = RNGSplit
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layoutSig(a) != layoutSig(b) {
+		t.Fatalf("split layout not deterministic:\n%s\n%s", layoutSig(a), layoutSig(b))
+	}
+
+	// Warm-workspace rerun must land on the same path.
+	ws := NewWorkspace()
+	for i := 0; i < 2; i++ {
+		c, err := RunWith(cfg, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if layoutSig(c) != layoutSig(a) {
+			t.Fatalf("warm split run %d diverged:\n%s\n%s", i, layoutSig(c), layoutSig(a))
+		}
+	}
+
+	if layoutSig(a) == layoutSig(def) {
+		t.Fatal("split layout produced the default layout's exact sample path (knob is a no-op)")
+	}
+	// Same model, different draws: aggregate statistics stay in the same
+	// regime even though the path differs.
+	if a.LocalGenerated < def.LocalGenerated/2 || a.LocalGenerated > def.LocalGenerated*2 {
+		t.Fatalf("split layout arrival count %d wildly off default %d", a.LocalGenerated, def.LocalGenerated)
+	}
+}
+
+// TestSplitLayoutInvariantAcrossQueuesAndPooling extends the
+// byte-identity contract to the split layout: the event-queue kind and
+// object pooling are pure mechanics, so the split sample path must be
+// identical under heap, ladder, and auto, with pooling on and off.
+func TestSplitLayoutInvariantAcrossQueuesAndPooling(t *testing.T) {
+	cfg := Baseline()
+	cfg.Horizon = 8000
+	cfg.RNGLayout = RNGSplit
+
+	var want string
+	for _, q := range []sim.QueueKind{sim.QueueAuto, sim.QueueHeap, sim.QueueLadder} {
+		for _, nopool := range []bool{false, true} {
+			c := cfg
+			c.EventQueue = q
+			c.DisablePooling = nopool
+			m, err := Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == "" {
+				want = layoutSig(m)
+				continue
+			}
+			if got := layoutSig(m); got != want {
+				t.Fatalf("queue=%v nopool=%t diverged:\n%s\n%s", q, nopool, got, want)
+			}
+		}
+	}
+}
+
+// TestSplitLayoutReplicationsAcrossParallelism: split-layout replication
+// sets merge identically whatever the worker count, like the default
+// layout's parallel_test.go contract.
+func TestSplitLayoutReplicationsAcrossParallelism(t *testing.T) {
+	cfg := Baseline()
+	cfg.Horizon = 3000
+	cfg.RNGLayout = RNGSplit
+	const reps = 4
+	seq, err := RunReplicationsParallel(cfg, reps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunReplicationsParallel(cfg, reps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Runs {
+		if layoutSig(seq.Runs[i]) != layoutSig(par.Runs[i]) {
+			t.Fatalf("rep %d diverged across parallelism:\n%s\n%s",
+				i, layoutSig(seq.Runs[i]), layoutSig(par.Runs[i]))
+		}
+	}
+}

@@ -19,59 +19,70 @@ import (
 
 // Workspace carries the reusable state of a simulation replication: the
 // engine (event queue and slot arrays), the task free list, the node
-// group (one contiguous array of per-node server state), the per-node
-// ready queues, and — since the warm-setup work of PR 5 — the workload
-// sources themselves (one local source per node plus the global source,
+// group (one contiguous array of per-node server state), the ready-queue
+// bank (one arena for every node's queue), the process manager's pending
+// tables, and the workload sources themselves — held as contiguous
+// slices of values, one local source per node plus the global source,
 // with their RNG streams reseeded and the sources reconfigured in place
-// each run). Reusing one workspace across the sequential replications of
+// each run. Reusing one workspace across the sequential replications of
 // a runner worker lets every run after the first start at its working
 // capacity instead of re-growing from zero, and pays no per-node setup
 // allocations. A Workspace is single-threaded — one per worker — and
 // results are bit-identical with or without one.
+//
+// Every run goes through a workspace: Run and DisablePooling simply use
+// a fresh one (with the task/graph pools disabled for DisablePooling),
+// so there is exactly one code path to keep deterministic.
 type Workspace struct {
 	eng      *sim.Engine
 	engKind  sim.QueueKind // kind eng was created with
 	pool     *task.Pool
 	graphs   *task.GraphPool
 	group    *node.Group
-	queues   []sched.Queue
-	queueKey string
+	bank     *sched.Bank
+	mgr      *procmgr.Manager
 	stageCap int // observed stage-index breadth, to pre-size Metrics
 
 	// Warm per-run setup. The stable callbacks below never capture
 	// run-local variables: they indirect through env, which RunWith
-	// repoints at the current run's state, so one set of closures (and
-	// one source object per node) serves every replication.
-	env       runEnv
-	nextID    func() uint64
-	nextSeq   func() uint64
-	onDone    func(*task.Task)
-	onAbort   func(*task.Task)
-	onGlobal  func(workload.Spec)
-	submits   []func(*task.Task)
-	locals    []*workload.LocalSource
-	localRng  []*rng.Source
+	// repoints at the current run's state, so one set of closures serves
+	// every replication — including the single submit callback shared by
+	// all local sources, which routes on the task's own NodeID.
+	env        runEnv
+	nextID     func() uint64
+	nextSeq    func() uint64
+	onDone     func(*task.Task)
+	onAbort    func(*task.Task)
+	onGlobal   func(workload.Spec)
+	onInstDone func(*procmgr.Instance)
+	submit     func(*task.Task)
+
+	fleet     *workload.LocalFleet
 	localHash []uint64 // cached rng.StreamHash("local-<i>")
-	global    *workload.GlobalSource
-	globalRng *rng.Source
+	gapHash   []uint64 // cached rng.StreamHash("local-<i>-gap")
+	global    workload.GlobalSource
+	globalRng rng.Source
+	globalGap rng.Source  // split-layout gap substream for the global source
 	srcEng    *sim.Engine // engine the warm sources are registered on
 }
 
 // NewWorkspace returns an empty workspace; the first run populates it.
 func NewWorkspace() *Workspace { return &Workspace{} }
 
-// globalStreamHash is rng.StreamHash("global"), hoisted so warm runs
-// reseed the global stream without re-hashing the label.
-var globalStreamHash = rng.StreamHash("global")
+// globalStreamHash and globalGapHash are the global source's stream
+// hashes, hoisted so warm runs reseed without re-hashing the labels.
+var (
+	globalStreamHash = rng.StreamHash("global")
+	globalGapHash    = rng.StreamHash("global-gap")
+)
 
 // runEnv is the per-run mutable state behind a workspace's stable
-// callbacks: the metrics and manager of the current replication, the
-// node view, and the run-scoped counters. For unpooled runs a fresh
-// runEnv serves the same role with per-run method values.
+// callbacks: the metrics, manager, and node group of the current
+// replication, plus the run-scoped counters.
 type runEnv struct {
 	metrics *Metrics
 	mgr     *procmgr.Manager
-	nodes   []*node.Node
+	group   *node.Group
 	pool    *task.Pool
 	warmup  float64
 	seq     uint64
@@ -171,11 +182,11 @@ func (env *runEnv) instanceDone(inst *procmgr.Instance) {
 	}
 }
 
-// initialQueueDepth is the per-node ready-queue capacity pre-allocated
-// for fresh queues. Typical occupancy at the paper's loads is a handful
-// of tasks; pre-sizing turns the append-growth ladder into one
-// allocation per queue.
-const initialQueueDepth = 16
+// bankQueueDepth is the per-node ready-queue capacity the bank's arena
+// pre-allocates. Typical occupancy at the paper's loads is a handful of
+// tasks; nodes that burst past it grow their own lane without touching
+// the arena.
+const bankQueueDepth = 8
 
 // Run executes one simulation replication and returns its metrics. It is
 // deterministic: equal configs (including Seed) produce identical
@@ -185,8 +196,9 @@ func Run(cfg Config) (*Metrics, error) {
 }
 
 // RunWith is Run reusing the given workspace's buffers and pools (nil
-// behaves like Run). cfg.DisablePooling ignores the workspace entirely
-// and takes the pure allocation path.
+// runs on a fresh single-use workspace). cfg.DisablePooling ignores the
+// caller's workspace and disables task/graph recycling, which is the
+// reference allocation path the pooled one is tested against.
 func RunWith(cfg Config, ws *Workspace) (*Metrics, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -203,46 +215,34 @@ func RunWith(cfg Config, ws *Workspace) (*Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	if cfg.DisablePooling {
-		ws = nil
-	}
 	queueKind, err := sim.ParseQueueKind(string(cfg.EventQueue))
 	if err != nil {
 		return nil, err
 	}
-	var (
-		eng    *sim.Engine
-		pool   *task.Pool
-		graphs *task.GraphPool
-	)
-	if ws != nil {
-		if ws.eng == nil || ws.engKind != queueKind {
-			ws.eng = sim.NewWithQueue(queueKind)
-			ws.engKind = queueKind
-		} else {
-			ws.eng.Reset()
-		}
-		if ws.pool == nil {
-			ws.pool = &task.Pool{}
-			ws.graphs = &task.GraphPool{}
-		}
-		eng, pool, graphs = ws.eng, ws.pool, ws.graphs
-	} else {
-		eng = sim.NewWithQueue(queueKind)
-		if !cfg.DisablePooling {
-			pool = &task.Pool{}
-			graphs = &task.GraphPool{}
-		}
+
+	if ws == nil || cfg.DisablePooling {
+		ws = NewWorkspace()
 	}
+	if ws.eng == nil || ws.engKind != queueKind {
+		ws.eng = sim.NewWithQueue(queueKind)
+		ws.engKind = queueKind
+	} else {
+		ws.eng.Reset()
+	}
+	eng := ws.eng
+	if ws.pool == nil && !cfg.DisablePooling {
+		ws.pool = &task.Pool{}
+		ws.graphs = &task.GraphPool{}
+	}
+	pool, graphs := ws.pool, ws.graphs
 
 	metrics := &Metrics{}
-	if ws != nil && ws.stageCap == 0 && cfg.M > 0 {
+	if ws.stageCap == 0 && cfg.M > 0 {
 		// Seed the stage-accumulator breadth from the configured subtask
 		// count so even the first replication pre-sizes its metrics.
 		ws.stageCap = cfg.M
 	}
-	if ws != nil && ws.stageCap > 0 {
+	if ws.stageCap > 0 {
 		metrics.StageMissByIndex = make([]stats.Ratio, 0, ws.stageCap)
 		metrics.StageSlackByIndex = make([]stats.Welford, 0, ws.stageCap)
 	}
@@ -250,37 +250,25 @@ func RunWith(cfg Config, ws *Workspace) (*Metrics, error) {
 		metrics.Series = scenario.NewSeries(cfg.Scenario.Interval(cfg.Horizon), cfg.Horizon)
 	}
 
-	// env carries the run's mutable state; the callbacks routed through
-	// it are either the workspace's stable set (warm path — created once,
-	// reused every run) or per-run method values (cold path). env.mgr is
-	// filled in after the manager exists but before any event fires.
-	var env *runEnv
-	if ws != nil {
-		env = &ws.env
-		*env = runEnv{}
-	} else {
-		env = &runEnv{}
-	}
+	// env carries the run's mutable state; the stable callbacks routed
+	// through it are created once per workspace and reused every run.
+	env := &ws.env
+	*env = runEnv{}
 	env.metrics, env.pool, env.warmup = metrics, pool, cfg.warmup()
 
-	var (
-		nextSeq, nextID func() uint64
-		onTaskDone      func(*task.Task)
-		onTaskAbort     func(*task.Task)
-		onGlobal        func(workload.Spec)
-	)
-	if ws != nil {
-		if ws.nextSeq == nil {
-			ws.nextSeq, ws.nextID = env.nextSeqFn, env.nextIDFn
-			ws.onDone, ws.onAbort = env.taskDone, env.taskAbort
-			ws.onGlobal = env.globalSpec
+	if ws.nextSeq == nil {
+		ws.nextSeq, ws.nextID = env.nextSeqFn, env.nextIDFn
+		ws.onDone, ws.onAbort = env.taskDone, env.taskAbort
+		ws.onGlobal = env.globalSpec
+		ws.onInstDone = env.instanceDone
+		// One submit callback serves every local source: the task's own
+		// NodeID routes it, so setup allocates no per-node closures.
+		ws.submit = func(t *task.Task) {
+			env.metrics.LocalGenerated++
+			env.group.Submit(t.NodeID, t)
 		}
-		nextSeq, nextID = ws.nextSeq, ws.nextID
-		onTaskDone, onTaskAbort, onGlobal = ws.onDone, ws.onAbort, ws.onGlobal
-	} else {
-		nextSeq, nextID = env.nextSeqFn, env.nextIDFn
-		onTaskDone, onTaskAbort, onGlobal = env.taskDone, env.taskAbort, env.globalSpec
 	}
+	nextSeq, nextID := ws.nextSeq, ws.nextID
 
 	var observer node.Observer
 	if cfg.Trace != nil {
@@ -298,93 +286,98 @@ func RunWith(cfg Config, ws *Workspace) (*Metrics, error) {
 	}
 
 	globalsFirst := core.NeedsClassPriority(parallel)
-	queueKey := fmt.Sprintf("%s|%t", cfg.Scheduler, globalsFirst)
-	reuseQueues := ws != nil && ws.queueKey == queueKey && len(ws.queues) == cfg.Nodes
-	var queues []sched.Queue
-	if reuseQueues {
-		queues = ws.queues
-		for _, q := range queues {
-			q.(sched.Resetter).Reset()
-		}
-	} else {
-		queues = make([]sched.Queue, 0, cfg.Nodes)
-		for i := 0; i < cfg.Nodes; i++ {
-			q, err := sched.New(cfg.Scheduler, globalsFirst)
-			if err != nil {
-				return nil, err
-			}
-			// Pre-size each ready queue to its expected working depth,
-			// so first-replication warm-up growth does not scale with
-			// the node count.
-			q.(sched.Grower).Grow(initialQueueDepth)
-			queues = append(queues, q)
-		}
-		if ws != nil {
-			ws.queues, ws.queueKey = queues, queueKey
-		}
+	// Ready queues live in one bank-wide arena; Configure resets it in
+	// place when the shape matches the previous run.
+	if ws.bank == nil {
+		ws.bank = sched.NewBank()
+	}
+	if err := ws.bank.Configure(cfg.Nodes, cfg.Scheduler, globalsFirst, bankQueueDepth); err != nil {
+		return nil, err
 	}
 	// All per-node server state lives in one contiguous group, reused
 	// across a workspace's replications.
-	group := &node.Group{}
-	if ws != nil {
-		if ws.group == nil {
-			ws.group = group
-		}
-		group = ws.group
+	if ws.group == nil {
+		ws.group = &node.Group{}
 	}
+	group := ws.group
 	if err := group.Configure(node.GroupConfig{
 		Engine:     eng,
-		Queues:     queues,
+		Bank:       ws.bank,
 		Policy:     cfg.tardyPolicy(),
 		Preemptive: cfg.Preemptive,
-		OnDone:     onTaskDone,
-		OnAbort:    onTaskAbort,
+		OnDone:     ws.onDone,
+		OnAbort:    ws.onAbort,
 		Observer:   observer,
 	}); err != nil {
 		return nil, err
 	}
 	nodes := group.Nodes()
-	env.nodes = nodes
+	env.group = group
 
-	mgr, err := procmgr.New(procmgr.Config{
+	mcfg := procmgr.Config{
 		Engine:     eng,
-		Nodes:      nodes,
+		Group:      group,
 		Assigner:   core.NewAssigner(serial, parallel),
-		OnDone:     env.instanceDone,
+		OnDone:     ws.onInstDone,
 		NextSeq:    nextSeq,
 		NextTaskID: nextID,
 		Pool:       pool,
 		GraphPool:  graphs,
-	})
+	}
+	if ws.mgr == nil {
+		ws.mgr, err = procmgr.New(mcfg)
+	} else {
+		err = ws.mgr.Reconfigure(mcfg)
+	}
 	if err != nil {
 		return nil, err
 	}
+	mgr := ws.mgr
 	env.mgr = mgr
 
-	// The warm path reuses the workspace's per-node sources, RNG streams
-	// and submit closures; (re)build them when the node count or the
-	// engine changed (a fresh engine invalidates the sources' callback
-	// bindings for good — re-registration per run is handled inside
-	// Reconfigure, which must see the same engine object).
-	if ws != nil && (ws.srcEng != eng || len(ws.locals) != cfg.Nodes) {
+	// The warm path reuses the workspace's local-stream fleet and RNG
+	// streams; (re)bind them when the node count or the engine changed
+	// (a fresh engine invalidates the sources' callback bindings for
+	// good — re-registration per run is handled inside Configure and
+	// Reconfigure, which must see the same engine object). All per-node
+	// stream state lives in the fleet's contiguous tables: setup touches
+	// one allocation per table, not one per node.
+	if ws.fleet == nil {
+		ws.fleet = workload.NewLocalFleet(eng)
+	}
+	if ws.srcEng != eng {
 		ws.srcEng = eng
-		ws.locals = make([]*workload.LocalSource, cfg.Nodes)
-		ws.localRng = make([]*rng.Source, cfg.Nodes)
+		ws.fleet.Init(eng)
+		ws.global.Init(eng)
+	}
+	if len(ws.localHash) != cfg.Nodes {
 		ws.localHash = make([]uint64, cfg.Nodes)
-		ws.submits = make([]func(*task.Task), cfg.Nodes)
-		for i := range ws.submits {
-			i := i
-			ws.localHash[i] = rng.StreamHash(fmt.Sprintf("local-%d", i))
-			ws.submits[i] = func(t *task.Task) {
-				env.metrics.LocalGenerated++
-				env.nodes[i].Submit(t)
-			}
+		for i := range ws.localHash {
+			ws.localHash[i] = rng.StreamHashParts("local-", uint64(i), "")
 		}
-		ws.global, ws.globalRng = nil, nil
+	}
+	split := cfg.RNGLayout == RNGSplit
+	if split && len(ws.gapHash) != cfg.Nodes {
+		ws.gapHash = make([]uint64, cfg.Nodes)
+		for i := range ws.gapHash {
+			ws.gapHash[i] = rng.StreamHashParts("local-", uint64(i), "-gap")
+		}
 	}
 
-	// Local streams: one per node, each with its own substream. Rate
-	// multipliers skew per-node load while preserving the total.
+	// Local streams: one fleet, one substream per node. Rate multipliers
+	// skew per-node load while preserving the total.
+	if err := ws.fleet.Configure(cfg.Nodes, workload.FleetParams{
+		MeanExec:  1 / cfg.MuLocal,
+		SlackMin:  cfg.SlackMin,
+		SlackMax:  cfg.SlackMax,
+		Pex:       workload.PexModel{RelErr: cfg.PexRelErr},
+		Demand:    cfg.scenarioDemand(),
+		Mod:       cfg.scenarioMod(),
+		SplitGaps: split,
+		Pool:      pool,
+	}, nextID, nextSeq, ws.submit); err != nil {
+		return nil, err
+	}
 	multipliers := cfg.LocalRateMultipliers
 	var multSum float64
 	if multipliers != nil {
@@ -392,55 +385,19 @@ func RunWith(cfg Config, ws *Workspace) (*Metrics, error) {
 			multSum += m
 		}
 	}
-	for i, n := range nodes {
+	for i := 0; i < cfg.Nodes; i++ {
 		rate := rates.LocalPerNode
 		if multipliers != nil {
 			rate = rates.LocalPerNode * multipliers[i] * float64(cfg.Nodes) / multSum
 		}
-		params := workload.LocalParams{
-			Rate:     rate,
-			MeanExec: 1 / cfg.MuLocal,
-			SlackMin: cfg.SlackMin,
-			SlackMax: cfg.SlackMax,
-			Pex:      workload.PexModel{RelErr: cfg.PexRelErr},
-			Demand:   cfg.scenarioDemand(),
-			Mod:      cfg.scenarioMod(),
-			Pool:     pool,
-		}
-		if ws != nil {
-			if ws.localRng[i] == nil {
-				ws.localRng[i] = rng.New(0)
-			}
-			ws.localRng[i].ReseedStream(cfg.Seed, ws.localHash[i])
-			if ws.locals[i] == nil {
-				ws.locals[i], err = workload.NewLocalSource(eng, ws.localRng[i], params,
-					nextID, nextSeq, ws.submits[i])
-			} else {
-				err = ws.locals[i].Reconfigure(ws.localRng[i], params,
-					nextID, nextSeq, ws.submits[i])
-			}
-			if err != nil {
-				return nil, err
-			}
-			ws.locals[i].Start()
-			continue
-		}
-		nodeRef := n
-		src, err := workload.NewLocalSource(
-			eng,
-			rng.NewStream(cfg.Seed, fmt.Sprintf("local-%d", i)),
-			params,
-			nextID, nextSeq,
-			func(t *task.Task) {
-				metrics.LocalGenerated++
-				nodeRef.Submit(t)
-			},
-		)
-		if err != nil {
+		if err := ws.fleet.SeedNode(i, rate, cfg.Seed, ws.localHash[i]); err != nil {
 			return nil, err
 		}
-		src.Start()
+		if split {
+			ws.fleet.SeedNodeGap(i, cfg.Seed, ws.gapHash[i])
+		}
 	}
+	ws.fleet.Start()
 
 	// Global stream.
 	if rates.Global > 0 {
@@ -454,28 +411,15 @@ func RunWith(cfg Config, ws *Workspace) (*Metrics, error) {
 			Mod:           cfg.scenarioMod(),
 			GraphPool:     graphs,
 		}
-		if ws != nil {
-			if ws.globalRng == nil {
-				ws.globalRng = rng.New(0)
-			}
-			ws.globalRng.ReseedStream(cfg.Seed, globalStreamHash)
-			if ws.global == nil {
-				ws.global, err = workload.NewGlobalSource(eng, ws.globalRng, cfg.Nodes, params, ws.onGlobal)
-			} else {
-				err = ws.global.Reconfigure(ws.globalRng, cfg.Nodes, params, ws.onGlobal)
-			}
-			if err != nil {
-				return nil, err
-			}
-			ws.global.Start()
-		} else {
-			src, err := workload.NewGlobalSource(eng, rng.NewStream(cfg.Seed, "global"),
-				cfg.Nodes, params, onGlobal)
-			if err != nil {
-				return nil, err
-			}
-			src.Start()
+		ws.globalRng.ReseedStream(cfg.Seed, globalStreamHash)
+		if split {
+			ws.globalGap.ReseedStream(cfg.Seed, globalGapHash)
+			params.Gap = &ws.globalGap
 		}
+		if err := ws.global.Reconfigure(&ws.globalRng, cfg.Nodes, params, ws.onGlobal); err != nil {
+			return nil, err
+		}
+		ws.global.Start()
 	}
 
 	if cfg.Scenario != nil {
@@ -507,7 +451,7 @@ func RunWith(cfg Config, ws *Workspace) (*Metrics, error) {
 	}
 	metrics.LocalInFlight = metrics.LocalGenerated - metrics.LocalDone
 	metrics.GlobalInFlight = int64(mgr.InFlight())
-	if ws != nil && len(metrics.StageMissByIndex) > ws.stageCap {
+	if len(metrics.StageMissByIndex) > ws.stageCap {
 		ws.stageCap = len(metrics.StageMissByIndex)
 	}
 	return metrics, nil

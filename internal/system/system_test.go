@@ -39,6 +39,7 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 		{name: "bad SSP", mut: func(c *Config) { c.SSP = "nope" }},
 		{name: "bad PSP", mut: func(c *Config) { c.PSP = "nope" }},
 		{name: "bad scheduler", mut: func(c *Config) { c.Scheduler = sched.Policy("??") }},
+		{name: "bad rng layout", mut: func(c *Config) { c.RNGLayout = "scrambled" }},
 		{name: "multiplier count", mut: func(c *Config) { c.LocalRateMultipliers = []float64{1, 2} }},
 		{name: "negative multiplier", mut: func(c *Config) {
 			c.LocalRateMultipliers = []float64{1, 1, 1, 1, 1, -1}

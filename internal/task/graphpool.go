@@ -14,17 +14,37 @@ package task
 // bit-for-bit.
 type GraphPool struct {
 	free []*Graph
+	slab []Graph  // bump-allocation chunk take carves fresh nodes from
+	kids []*Graph // bump-allocation chunk EnsureKids carves child arrays from
 }
 
-// take pops a reset node or allocates a fresh one.
+// graphSlab is the number of nodes a pool allocates per slab when its
+// free list runs dry; see poolSlab for the rationale. kidSlab sizes the
+// children-array arena in pointers.
+const (
+	graphSlab = 256
+	kidSlab   = 1024
+)
+
+// take pops a reset node or carves a fresh one from the current slab.
 func (p *GraphPool) take() *Graph {
-	if p == nil || len(p.free) == 0 {
+	if p == nil {
 		return &Graph{LeafIndex: -1}
 	}
-	n := len(p.free) - 1
-	g := p.free[n]
-	p.free[n] = nil
-	p.free = p.free[:n]
+	if n := len(p.free) - 1; n >= 0 {
+		g := p.free[n]
+		p.free[n] = nil
+		p.free = p.free[:n]
+		return g
+	}
+	if len(p.slab) == 0 {
+		p.slab = make([]Graph, graphSlab)
+		for i := range p.slab {
+			p.slab[i].LeafIndex = -1
+		}
+	}
+	g := &p.slab[0]
+	p.slab = p.slab[1:]
 	return g
 }
 
@@ -42,6 +62,29 @@ func (p *GraphPool) Group(kind Kind) *Graph {
 	g := p.take()
 	g.Kind = kind
 	return g
+}
+
+// EnsureKids guarantees g.Children can hold n children without growing,
+// carving the backing array from the pool's pointer arena when the
+// node's retained array is too small. Builders call it before their
+// append loop so a fresh group node costs at most one arena carve
+// instead of an append-doubling ladder per node. A nil pool is a no-op:
+// the unpooled path keeps its plain append behaviour.
+func (p *GraphPool) EnsureKids(g *Graph, n int) {
+	if p == nil || cap(g.Children) >= n {
+		return
+	}
+	if n > kidSlab {
+		g.Children = make([]*Graph, 0, n)
+		return
+	}
+	if len(p.kids) < n {
+		p.kids = make([]*Graph, kidSlab)
+	}
+	// The three-index slice caps the array at n so a later append past n
+	// reallocates instead of overwriting the arena's next carve.
+	g.Children = p.kids[0:0:n]
+	p.kids = p.kids[n:]
 }
 
 // Release returns g and every descendant to the pool. The caller owns

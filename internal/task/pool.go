@@ -15,18 +15,33 @@ package task
 // the pool-safety determinism tests).
 type Pool struct {
 	free []*Task
+	slab []Task // bump-allocation chunk Get carves fresh tasks from
 }
 
-// Get returns a zeroed Task, recycled if one is available. Callers must
-// set every field they rely on; Put has already cleared the rest.
+// poolSlab is the number of tasks a pool allocates per slab when its
+// free list runs dry. Slab carving keeps a run's live tasks contiguous
+// (better cache locality than one heap object per task) and makes the
+// pool's own allocation count O(peak/poolSlab) instead of O(peak).
+const poolSlab = 512
+
+// Get returns a zeroed Task, recycled if one is available and otherwise
+// carved from the pool's current slab. Callers must set every field they
+// rely on; Put has already cleared the rest.
 func (p *Pool) Get() *Task {
-	if p == nil || len(p.free) == 0 {
+	if p == nil {
 		return &Task{}
 	}
-	n := len(p.free) - 1
-	t := p.free[n]
-	p.free[n] = nil
-	p.free = p.free[:n]
+	if n := len(p.free) - 1; n >= 0 {
+		t := p.free[n]
+		p.free[n] = nil
+		p.free = p.free[:n]
+		return t
+	}
+	if len(p.slab) == 0 {
+		p.slab = make([]Task, poolSlab)
+	}
+	t := &p.slab[0]
+	p.slab = p.slab[1:]
 	return t
 }
 

@@ -87,6 +87,12 @@ type Task struct {
 	// Seq is a monotonically increasing submission sequence number used
 	// by schedulers for deterministic FIFO tie-breaking.
 	Seq uint64
+
+	// Ref is the process manager's dense index for the in-flight
+	// continuation of a Global subtask: the manager's pending tables
+	// are slices indexed by Ref instead of a map keyed by ID. Owned by
+	// the manager; meaningless (zero) for local tasks.
+	Ref int32
 }
 
 // Slack returns sl(X) = dl(X) − ar(X) − ex(X), the paper's slack relation

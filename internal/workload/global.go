@@ -26,6 +26,10 @@ type GlobalParams struct {
 	// Mod optionally modulates the arrival rate over time (scenario
 	// bursts and ramps); nil keeps the stream stationary.
 	Mod RateModulator
+	// Gap optionally moves the inter-arrival gap draws to their own
+	// dedicated substream (the split RNG layout); nil interleaves gaps
+	// with the body draws on the main stream, the historical layout.
+	Gap *rng.Source
 	// GraphPool optionally recycles instance-graph nodes across
 	// arrivals. Nil allocates; sampled graphs are identical either way.
 	GraphPool *task.GraphPool
@@ -41,12 +45,13 @@ type Spec struct {
 	Slack    float64
 }
 
-// GlobalSource generates the global-task stream.
+// GlobalSource generates the global-task stream. The zero value is
+// usable after Init + Reconfigure.
 type GlobalSource struct {
 	eng    *sim.Engine
 	r      *rng.Source
 	params GlobalParams
-	arr    *arrivals
+	arr    arrivals
 	k      int
 	start  func(Spec)
 	pooled PooledBuilder // non-nil when the shape supports graph reuse
@@ -59,17 +64,20 @@ func NewGlobalSource(eng *sim.Engine, r *rng.Source, k int, params GlobalParams,
 	if eng == nil {
 		return nil, fmt.Errorf("workload: global source: nil engine")
 	}
-	if err := validateGlobal(r, k, params, start); err != nil {
+	s := &GlobalSource{}
+	s.Init(eng)
+	if err := s.Reconfigure(r, k, params, start); err != nil {
 		return nil, err
 	}
-	s := &GlobalSource{eng: eng, r: r, params: params, k: k, start: start}
-	s.pooled, _ = params.Shape.(PooledBuilder)
-	arr, err := newArrivals(eng, r, params.Rate, params.Mod, s.arrive)
-	if err != nil {
-		return nil, err
-	}
-	s.arr = arr
 	return s, nil
+}
+
+// Init binds the source to its engine, once per source lifetime. It must
+// be followed by Reconfigure before Start, and re-issued if the source
+// value is moved.
+func (s *GlobalSource) Init(eng *sim.Engine) {
+	s.eng = eng
+	s.arr.init(eng, s)
 }
 
 // validateGlobal checks the per-run inputs shared by construction and
@@ -102,7 +110,7 @@ func (s *GlobalSource) Reconfigure(r *rng.Source, k int, params GlobalParams, st
 	}
 	s.r, s.params, s.k, s.start = r, params, k, start
 	s.pooled, _ = params.Shape.(PooledBuilder)
-	return s.arr.reconfigure(r, params.Rate, params.Mod)
+	return s.arr.reconfigure(r, params.Gap, params.Rate, params.Mod)
 }
 
 // Start schedules the first arrival. A zero rate generates nothing.

@@ -21,6 +21,18 @@ type RateModulator interface {
 	MaxFactor() float64
 }
 
+// arrivalOwner is the source behind an arrivals loop; accepted
+// candidates call back into it. An interface instead of a captured
+// func() lets the loop live by value inside its owner with no per-source
+// closure allocations.
+type arrivalOwner interface{ arrive() }
+
+// gapBatch is the number of inter-candidate gaps pre-drawn per refill
+// under the split RNG layout. Small on purpose: the buffer lives by
+// value in every source, and a 64k-node topology carries one buffer per
+// node.
+const gapBatch = 8
+
 // arrivals drives one source's arrival process. With a nil modulator it
 // draws plain exponential gaps — byte-identical to the pre-scenario
 // generator. With a modulator it generates a non-homogeneous Poisson
@@ -32,45 +44,52 @@ type RateModulator interface {
 // The candidate loop is the single hottest call site of a run, so it is
 // kept allocation-free and branch-lean: the peak-rate mean gap and the
 // modulator's bound are hoisted to fields at construction (MaxFactor is
-// constant by contract), and self-scheduling goes through one Callback
-// registered up front instead of a per-event closure. Gap draws are NOT
-// batched ahead of time: the body draws of each arrival (demand, slack,
-// pex, shape) interleave with the gap draws on the same RNG stream, so
-// pre-drawing gaps would reorder the stream's consumption and change
-// every downstream result — the per-draw overhead is instead cut by
-// removing the interface calls and divisions this loop used to perform
-// per candidate.
+// constant by contract), the loop lives by value inside its owning
+// source, and self-scheduling goes through one package-level handler
+// (the loop itself rides along as the payload word) instead of a
+// per-source closure.
+//
+// RNG layout: by default (gap == nil) every draw of the source — gap,
+// thinning accept, and the arrival's body draws — interleaves on the one
+// stream r, in exact arrival order; this is the historical layout and
+// its results are frozen by the golden files. With a dedicated gap
+// stream (the split layout), gap draws move to their own substream and
+// are pre-drawn gapBatch at a time, which batches the per-candidate
+// draw overhead without perturbing the body draws' stream. The two
+// layouts produce different (equally valid) sample paths, which is why
+// the split layout sits behind an explicit configuration knob with its
+// own golden files.
 type arrivals struct {
 	eng       *sim.Engine
 	r         *rng.Source
+	gap       *rng.Source // non-nil selects the split gap substream
 	rate      float64
 	peakMean  float64 // mean inter-candidate gap at the peak rate
 	maxFactor float64 // cached mod.MaxFactor(); 1 with no modulator
 	mod       RateModulator
-	fire      func()
+	owner     arrivalOwner
 	cb        sim.Callback
-	handler   func(any) // the one closure behind cb, allocated once
+	gapBuf    [gapBatch]float64
+	gapN      int // valid entries in gapBuf
+	gapI      int // next entry to consume
 }
 
-// newArrivals validates the modulator's bound once at construction and
-// registers the self-scheduling callback.
-func newArrivals(eng *sim.Engine, r *rng.Source, rate float64, mod RateModulator, fire func()) (*arrivals, error) {
-	a := &arrivals{eng: eng, fire: fire}
-	a.handler = func(any) { a.candidate() }
-	if err := a.reconfigure(r, rate, mod); err != nil {
-		return nil, err
-	}
-	return a, nil
+// candidateHandler is the engine callback behind every arrivals loop;
+// the loop rides along as the payload.
+func candidateHandler(p any) { p.(*arrivals).candidate() }
+
+// init binds the loop to its engine and owner, once per source
+// lifetime.
+func (a *arrivals) init(eng *sim.Engine, owner arrivalOwner) {
+	a.eng, a.owner = eng, owner
 }
 
 // reconfigure rebinds the arrivals loop for a fresh run in place: a new
-// (typically reseeded) RNG stream, rate and modulator, re-registering the
-// pre-allocated handler on the engine (an engine Reset clears
-// registrations). The fire callback is fixed at construction — it closes
-// over the owning source, which is exactly what reuse preserves. It
-// performs the same validation as construction and allocates nothing
-// after the first run.
-func (a *arrivals) reconfigure(r *rng.Source, rate float64, mod RateModulator) error {
+// (typically reseeded) RNG stream, rate, modulator and optional gap
+// substream, re-registering the shared handler on the engine (an engine
+// Reset clears registrations). It performs the same validation as
+// construction and allocates nothing after the first run.
+func (a *arrivals) reconfigure(r, gap *rng.Source, rate float64, mod RateModulator) error {
 	maxFactor := 1.0
 	if mod != nil {
 		maxFactor = mod.MaxFactor()
@@ -78,13 +97,29 @@ func (a *arrivals) reconfigure(r *rng.Source, rate float64, mod RateModulator) e
 			return fmt.Errorf("workload: rate modulator MaxFactor = %v, want > 0", maxFactor)
 		}
 	}
-	a.r, a.rate, a.maxFactor, a.mod = r, rate, maxFactor, mod
+	a.r, a.gap, a.rate, a.maxFactor, a.mod = r, gap, rate, maxFactor, mod
 	a.peakMean = 0
 	if rate > 0 {
 		a.peakMean = 1 / (rate * maxFactor)
 	}
-	a.cb = a.eng.Register(a.handler)
+	a.gapN, a.gapI = 0, 0
+	a.cb = a.eng.Register(candidateHandler)
 	return nil
+}
+
+// nextGap draws the next inter-candidate gap from whichever stream the
+// configured layout assigns it to.
+func (a *arrivals) nextGap() float64 {
+	if a.gap == nil {
+		return a.r.Exponential(a.peakMean)
+	}
+	if a.gapI == a.gapN {
+		a.gap.ExponentialFill(a.gapBuf[:], a.peakMean)
+		a.gapN, a.gapI = gapBatch, 0
+	}
+	g := a.gapBuf[a.gapI]
+	a.gapI++
+	return g
 }
 
 // start schedules the first candidate. A zero rate generates nothing.
@@ -92,15 +127,15 @@ func (a *arrivals) start() {
 	if a.rate == 0 {
 		return
 	}
-	a.eng.MustScheduleCall(a.r.Exponential(a.peakMean), a.cb, nil)
+	a.eng.MustScheduleCall(a.nextGap(), a.cb, a)
 }
 
 // candidate fires one candidate arrival, thins it, and self-schedules.
 func (a *arrivals) candidate() {
 	if a.accept() {
-		a.fire()
+		a.owner.arrive()
 	}
-	a.eng.MustScheduleCall(a.r.Exponential(a.peakMean), a.cb, nil)
+	a.eng.MustScheduleCall(a.nextGap(), a.cb, a)
 }
 
 // accept applies the thinning test at the current time.

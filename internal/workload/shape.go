@@ -65,6 +65,7 @@ func (s SerialShape) BuildPooled(r *rng.Source, k int, pool *task.GraphPool) (*t
 		return nil, fmt.Errorf("workload: serial shape: %w", err)
 	}
 	g := pool.Group(task.KindSerial)
+	pool.EnsureKids(g, s.M)
 	for i := 0; i < s.M; i++ {
 		g.Children = append(g.Children, sampleLeaf(pool, r, s.MeanExec, s.Pex, s.Demand, r.IntN(k)))
 	}
@@ -113,6 +114,7 @@ func (s ParallelShape) BuildPooled(r *rng.Source, k int, pool *task.GraphPool) (
 	}
 	nodes := r.SampleDistinct(s.M, k)
 	g := pool.Group(task.KindParallel)
+	pool.EnsureKids(g, s.M)
 	for i := 0; i < s.M; i++ {
 		g.Children = append(g.Children, sampleLeaf(pool, r, s.MeanExec, s.Pex, s.Demand, nodes[i]))
 	}
@@ -158,6 +160,7 @@ func (s MixedShape) BuildPooled(r *rng.Source, k int, pool *task.GraphPool) (*ta
 		return nil, fmt.Errorf("workload: mixed shape: %w", err)
 	}
 	g := pool.Group(task.KindSerial)
+	pool.EnsureKids(g, len(s.Stages))
 	for i, width := range s.Stages {
 		switch {
 		case width < 1:
@@ -170,6 +173,7 @@ func (s MixedShape) BuildPooled(r *rng.Source, k int, pool *task.GraphPool) (*ta
 			}
 			nodes := r.SampleDistinct(width, k)
 			group := pool.Group(task.KindParallel)
+			pool.EnsureKids(group, width)
 			for j := 0; j < width; j++ {
 				group.Children = append(group.Children, sampleLeaf(pool, r, s.MeanExec, s.Pex, s.Demand, nodes[j]))
 			}

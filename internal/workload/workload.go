@@ -40,6 +40,10 @@ func (m PexModel) Sample(r *rng.Source, ex float64) float64 {
 
 // LocalParams describes one node's local-task stream.
 type LocalParams struct {
+	// Node is the index the stream's tasks execute at; arrivals carry it
+	// in Task.NodeID so one shared submit callback can route every
+	// node's tasks instead of one closure per node.
+	Node int
 	// Rate is the Poisson arrival rate λ_local at this node.
 	Rate float64
 	// MeanExec is 1/µ_local.
@@ -54,6 +58,11 @@ type LocalParams struct {
 	// Mod optionally modulates the arrival rate over time (scenario
 	// bursts and ramps); nil keeps the stream stationary.
 	Mod RateModulator
+	// Gap optionally moves the inter-arrival gap draws to their own
+	// dedicated substream (the split RNG layout), enabling batched
+	// draws; nil interleaves gaps with the body draws on the source's
+	// main stream, the historical layout the golden files freeze.
+	Gap *rng.Source
 	// Pool optionally recycles retired tasks instead of allocating a
 	// fresh Task per arrival. Nil allocates; results are identical
 	// either way.
@@ -62,12 +71,13 @@ type LocalParams struct {
 
 // LocalSource generates local tasks at one node. Arrivals self-schedule
 // on the engine, so running the engine to a horizon bounds generation
-// naturally.
+// naturally. The zero value is usable after Init + Reconfigure; large
+// topologies hold their sources in one contiguous slice of values.
 type LocalSource struct {
 	eng    *sim.Engine
 	r      *rng.Source
 	params LocalParams
-	arr    *arrivals
+	arr    arrivals
 	submit func(*task.Task)
 	nextID func() uint64
 	nextSq func() uint64
@@ -80,19 +90,21 @@ func NewLocalSource(eng *sim.Engine, r *rng.Source, params LocalParams,
 	if eng == nil {
 		return nil, fmt.Errorf("workload: local source: nil engine")
 	}
-	if err := validateLocal(r, params, nextID, nextSeq, submit); err != nil {
+	s := &LocalSource{}
+	s.Init(eng)
+	if err := s.Reconfigure(r, params, nextID, nextSeq, submit); err != nil {
 		return nil, err
 	}
-	s := &LocalSource{
-		eng: eng, r: r, params: params,
-		submit: submit, nextID: nextID, nextSq: nextSeq,
-	}
-	arr, err := newArrivals(eng, r, params.Rate, params.Mod, s.arrive)
-	if err != nil {
-		return nil, err
-	}
-	s.arr = arr
 	return s, nil
+}
+
+// Init binds the source to its engine, once per source lifetime. It must
+// be followed by Reconfigure before Start. Init must be re-issued if the
+// source value is moved (it wires the internal arrivals loop back to the
+// source's address).
+func (s *LocalSource) Init(eng *sim.Engine) {
+	s.eng = eng
+	s.arr.init(eng, s)
 }
 
 // validateLocal checks the per-run inputs shared by construction and
@@ -102,7 +114,8 @@ func validateLocal(r *rng.Source, params LocalParams,
 	if r == nil || submit == nil || nextID == nil || nextSeq == nil {
 		return fmt.Errorf("workload: local source: nil dependency")
 	}
-	if params.Rate < 0 || params.MeanExec <= 0 || params.SlackMax < params.SlackMin {
+	if params.Node < 0 || params.Rate < 0 || params.MeanExec <= 0 ||
+		params.SlackMax < params.SlackMin {
 		return fmt.Errorf("workload: local source: bad params %+v", params)
 	}
 	return ValidateDemand(params.Demand)
@@ -122,7 +135,7 @@ func (s *LocalSource) Reconfigure(r *rng.Source, params LocalParams,
 	}
 	s.r, s.params = r, params
 	s.submit, s.nextID, s.nextSq = submit, nextID, nextSeq
-	return s.arr.reconfigure(r, params.Rate, params.Mod)
+	return s.arr.reconfigure(r, params.Gap, params.Rate, params.Mod)
 }
 
 // Start schedules the first arrival. A zero rate generates nothing.
@@ -138,6 +151,7 @@ func (s *LocalSource) arrive() {
 	t.ID = s.nextID()
 	t.Class = task.Local
 	t.Stage = -1
+	t.NodeID = s.params.Node
 	t.Arrival = now
 	t.Deadline = now + ex + sl // dl = ar + ex + sl
 	t.FirmDeadline = now + ex + sl
