@@ -8,13 +8,19 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/distrib"
 	"repro/internal/failpoint"
+	"repro/internal/netdist"
 	"repro/internal/obs"
 	"repro/internal/profiling"
+	"repro/internal/session"
 	"repro/internal/sim"
 )
 
@@ -60,6 +66,16 @@ type Common struct {
 	// Hedge scales the straggler threshold for speculative re-dispatch
 	// (0 = default 4, negative = off).
 	Hedge float64
+	// ServeWorkers puts the command in network-worker mode
+	// (-serve-workers addr): serve shard workers over TCP on this
+	// address until interrupted.
+	ServeWorkers string
+	// Connect runs shards on remote TCP workers (-connect
+	// host:port[,host:port...]) instead of local processes.
+	Connect string
+	// CacheMB bounds the deterministic shard-result cache (-cache-mb);
+	// 0 disables caching.
+	CacheMB int
 }
 
 // Register installs the shared flags on fs and returns the value
@@ -94,6 +110,12 @@ func Register(fs *flag.FlagSet) *Common {
 		"declare a -backend proc worker hung after this much silence and reassign its work (0 = default 10s)")
 	fs.Float64Var(&c.Hedge, "hedge", 0,
 		"straggler threshold multiplier for speculative re-dispatch under -backend proc (0 = default 4, negative = off; first result wins, results unchanged)")
+	fs.StringVar(&c.ServeWorkers, "serve-workers", "",
+		"serve shard workers over TCP on this address (e.g. :9400) until interrupted; coordinators attach with -connect (results stay byte-identical)")
+	fs.StringVar(&c.Connect, "connect", "",
+		"run shards on remote -serve-workers servers (comma-separated host:port list) instead of local processes; unreachable fleets degrade to the in-process pool")
+	fs.IntVar(&c.CacheMB, "cache-mb", 0,
+		"wrap the backend in a deterministic shard-result cache of this many MiB: repeated (config, seed) work is served from memory, byte-identical (0 = off)")
 	return c
 }
 
@@ -186,5 +208,84 @@ func (c *Common) ProcBackend() (*distrib.ProcBackend, error) {
 		}), nil
 	default:
 		return nil, fmt.Errorf("unknown -backend %q (want pool or proc)", c.Backend)
+	}
+}
+
+// ResolveBackend resolves the full execution-transport flag set —
+// -backend/-workers, -connect, -cache-mb — into a session backend plus
+// its cleanup. A nil backend means the session's default in-process
+// pool; whatever comes back, output is byte-identical.
+func (c *Common) ResolveBackend() (session.Backend, func(), error) {
+	var inner session.Backend
+	closers := []func(){}
+	if c.Connect != "" {
+		if c.Backend == "proc" {
+			return nil, nil, fmt.Errorf("-connect and -backend proc are mutually exclusive")
+		}
+		if c.Workers != 0 {
+			return nil, nil, fmt.Errorf("-workers %d requires -backend proc, not -connect", c.Workers)
+		}
+		nb, err := netdist.NewBackend(netdist.BackendOptions{
+			Addrs:         strings.Split(c.Connect, ","),
+			Heartbeat:     c.Heartbeat,
+			WorkerTimeout: c.WorkerTimeout,
+			HedgeFactor:   c.Hedge,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		inner = nb
+		closers = append(closers, func() { nb.Close() })
+	} else {
+		pb, err := c.ProcBackend()
+		if err != nil {
+			return nil, nil, err
+		}
+		if pb != nil {
+			inner = pb
+			closers = append(closers, func() { pb.Close() })
+		}
+	}
+	if c.CacheMB < 0 {
+		return nil, nil, fmt.Errorf("-cache-mb %d, want >= 0", c.CacheMB)
+	}
+	if c.CacheMB > 0 {
+		if inner == nil {
+			// The cache needs an explicit inner backend: give it its own
+			// pool (the session would otherwise bypass the cache).
+			pool := session.NewPool()
+			inner = pool
+			closers = append(closers, pool.Close)
+		}
+		inner = netdist.NewCache(inner, int64(c.CacheMB)<<20)
+	}
+	return inner, func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}, nil
+}
+
+// ServeTCPWorkers is the body of -serve-workers mode: serve shard
+// workers on addr, announce the bound address on errOut (addr may end
+// in :0), and run until SIGINT/SIGTERM.
+func ServeTCPWorkers(addr string, errOut io.Writer) error {
+	srv, err := netdist.Listen(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(errOut, "serving shard workers on %s\n", srv.Addr())
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	select {
+	case <-sigc:
+		_ = srv.Close()
+		return <-done
+	case err := <-done:
+		_ = srv.Close()
+		return err
 	}
 }

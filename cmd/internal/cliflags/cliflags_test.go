@@ -5,6 +5,7 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/netdist"
 	"repro/internal/obs"
 )
 
@@ -82,4 +83,53 @@ func TestStartMetrics(t *testing.T) {
 	if _, err := parse(t, "-metrics-addr", "256.0.0.1:bad").StartMetrics(snap); err == nil {
 		t.Error("bad -metrics-addr accepted")
 	}
+}
+
+// TestResolveBackend: the transport flag matrix — default pool,
+// -connect exclusivity, cache wrapping, and bad values.
+func TestResolveBackend(t *testing.T) {
+	b, stop, err := parse(t).ResolveBackend()
+	if err != nil || b != nil {
+		t.Errorf("default: backend = %v, err = %v, want nil/nil", b, err)
+	}
+	if stop != nil {
+		stop()
+	}
+
+	for _, tc := range [][]string{
+		{"-connect", "x:1", "-backend", "proc"},
+		{"-connect", "x:1", "-workers", "2"},
+		{"-connect", " , "},
+		{"-cache-mb", "-1"},
+		{"-backend", "quantum"},
+	} {
+		if _, _, err := parse(t, tc...).ResolveBackend(); err == nil {
+			t.Errorf("%v accepted", tc)
+		}
+	}
+
+	// -cache-mb alone wraps a private pool in a cache.
+	b, stop, err = parse(t, "-cache-mb", "64").ResolveBackend()
+	if err != nil || b == nil {
+		t.Fatalf("cache-only: backend = %v, err = %v", b, err)
+	}
+	if _, ok := b.(*netdist.Cache); !ok {
+		t.Errorf("cache-only backend is %T, want *netdist.Cache", b)
+	}
+	stop()
+
+	// -connect builds a network backend (dialing is lazy, so no server
+	// needs to exist here); -cache-mb stacks the cache on top of it.
+	b, stop, err = parse(t, "-connect", "127.0.0.1:1", "-cache-mb", "64").ResolveBackend()
+	if err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	c, ok := b.(*netdist.Cache)
+	if !ok {
+		t.Fatalf("connect+cache backend is %T, want *netdist.Cache", b)
+	}
+	if _, ok := c.Unwrap().(*netdist.NetBackend); !ok {
+		t.Errorf("cache wraps %T, want *netdist.NetBackend", c.Unwrap())
+	}
+	stop()
 }

@@ -107,6 +107,11 @@ func run(args []string, out, errOut io.Writer) (retErr error) {
 		// -backend proc coordinator, then exit.
 		return cliflags.ServeShardWorker()
 	}
+	if common.ServeWorkers != "" {
+		// Network-worker mode: serve shard workers over TCP for remote
+		// -connect coordinators until interrupted.
+		return cliflags.ServeTCPWorkers(common.ServeWorkers, errOut)
+	}
 	stopProf, err := common.StartProfiling()
 	if err != nil {
 		return err
@@ -176,18 +181,18 @@ func run(args []string, out, errOut io.Writer) (retErr error) {
 		return err
 	}
 
-	procBackend, err := common.ProcBackend()
+	backend, closeBackend, err := common.ResolveBackend()
 	if err != nil {
 		return err
 	}
+	defer closeBackend()
 	sessOpts := []repro.RunOption{repro.WithParallelism(common.Parallel), repro.WithEventQueue(queueKind)}
 	if *nopool {
 		sessOpts = append(sessOpts, repro.WithPoolingDisabled())
 	}
 	var sess *repro.Session
-	if procBackend != nil {
-		defer procBackend.Close()
-		sess = repro.NewSessionWithBackend(procBackend, sessOpts...)
+	if backend != nil {
+		sess = repro.NewSessionWithBackend(backend, sessOpts...)
 	} else {
 		sess = repro.NewSession(sessOpts...)
 	}

@@ -81,6 +81,11 @@ func run(args []string, out io.Writer) (retErr error) {
 		// -backend proc coordinator, then exit.
 		return cliflags.ServeShardWorker()
 	}
+	if common.ServeWorkers != "" {
+		// Network-worker mode: serve shard workers over TCP for remote
+		// -connect coordinators until interrupted.
+		return cliflags.ServeTCPWorkers(common.ServeWorkers, os.Stderr)
+	}
 	stopProf, err := common.StartProfiling()
 	if err != nil {
 		return err
@@ -138,16 +143,17 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 
 	// One session serves every experiment of the invocation: warm
-	// workspaces carry over between sweeps (for -backend proc, each
-	// worker process keeps its own warm pool the same way).
-	procBackend, err := common.ProcBackend()
+	// workspaces carry over between sweeps (for -backend proc or
+	// -connect, each worker keeps its own warm pool the same way, and
+	// -cache-mb serves repeated cells from memory).
+	backend, closeBackend, err := common.ResolveBackend()
 	if err != nil {
 		return err
 	}
+	defer closeBackend()
 	var sess *repro.Session
-	if procBackend != nil {
-		defer procBackend.Close()
-		sess = repro.NewSessionWithBackend(procBackend)
+	if backend != nil {
+		sess = repro.NewSessionWithBackend(backend)
 	} else {
 		sess = repro.NewSession()
 	}

@@ -276,9 +276,7 @@ func TestCloseAfterWorkerKill(t *testing.T) {
 	}
 	victim := b.workers[0]
 	b.mu.Unlock()
-	if err := victim.cmd.Process.Kill(); err != nil {
-		t.Fatal(err)
-	}
+	victim.conn.Kill()
 	if err := b.Close(); err != nil {
 		t.Fatalf("Close after external kill: %v", err)
 	}
@@ -326,6 +324,9 @@ func FuzzProtocolDecode(f *testing.F) {
 		capture(msgPong, pongMsg{Seq: 9}),
 		capture(msgResult, resultMsg{ID: 1, Index: 0, Metrics: &system.Metrics{}}),
 		capture(msgDone, doneMsg{ID: 1, Completed: 3, Code: CodeOK}),
+		capture(msgHello, helloMsg{Magic: ProtocolMagic, Version: ProtocolVersion}),
+		capture(msgHello, helloMsg{Magic: 0xDEADBEEF, Version: ProtocolVersion}),
+		capture(msgHello, helloMsg{Magic: ProtocolMagic, Version: ProtocolVersion + 7}),
 	}
 	var stream []byte
 	for _, fr := range frames {
@@ -373,6 +374,9 @@ func FuzzProtocolDecode(f *testing.F) {
 				derr = decodeMsg(kind, payload, &m)
 			case msgDone:
 				var m doneMsg
+				derr = decodeMsg(kind, payload, &m)
+			case msgHello:
+				var m helloMsg
 				derr = decodeMsg(kind, payload, &m)
 			default:
 				continue // callers reject unknown kinds; nothing to decode

@@ -37,6 +37,26 @@ var errWorkerHung = fmt.Errorf("worker hung (missed liveness deadline): %w", err
 // kill-and-reassign recovery.
 var errChunkDeadline = fmt.Errorf("sub-shard exceeded its execution deadline: %w", errWorkerDead)
 
+// WorkerConn is the transport seam between the coordinator and one
+// worker endpoint: a bidirectional byte stream carrying the frame
+// protocol, plus the lifecycle hooks the supervisor needs. The default
+// implementation wraps a spawned process's stdin/stdout pipes;
+// internal/netdist provides one over a TCP connection.
+type WorkerConn interface {
+	io.Reader
+	io.Writer
+	// Close initiates a graceful shutdown by closing the
+	// coordinator->worker direction (the worker sees EOF and exits after
+	// in-flight shards finish). Reads may keep draining afterwards.
+	Close() error
+	// Kill forcefully tears the endpoint down; it must unblock any
+	// in-flight Read. Safe after Close and safe to call more than once.
+	Kill()
+	// Wait blocks until the endpoint's resources are reclaimed (process
+	// reaped, connection closed). Called after Kill or Close.
+	Wait()
+}
+
 // ProcOptions configures a ProcBackend.
 type ProcOptions struct {
 	// Workers is the number of worker processes; 0 means 2.
@@ -46,6 +66,20 @@ type ProcOptions struct {
 	Command []string
 	// Env appends to the inherited environment of worker processes.
 	Env []string
+	// Dial, when set, replaces process spawning: every worker slot (and
+	// every respawn) is established by dialing a fresh WorkerConn
+	// instead of exec'ing Command. Command, Env, and Stderr are ignored.
+	// This is the seam internal/netdist uses to run the coordinator's
+	// full supervision machinery — heartbeats, retries, hedging,
+	// respawn budget — over TCP connections to remote workers.
+	Dial func() (WorkerConn, error)
+	// DegradeToLocal extends graceful degradation to the initial fleet:
+	// when not a single worker can be established at the start of a Run,
+	// the shard executes on the embedded in-process pool (recorded in
+	// DistribStats.Fallbacks) instead of failing the Run. Remote workers
+	// being unreachable is an expected operational state; an unspawnable
+	// local process is a misconfiguration, so the default stays strict.
+	DegradeToLocal bool
 	// ChunkSize caps seeds per dispatched sub-shard; 0 picks
 	// max(1, seeds/(4·workers)) so work-stealing has slack to balance.
 	ChunkSize int
@@ -151,12 +185,33 @@ type wireFrame struct {
 	err     error
 }
 
-// procWorker is one spawned worker process.
-type procWorker struct {
+// procConn adapts a spawned worker process to the WorkerConn seam:
+// writes go to its stdin, reads come from its stdout, Kill signals the
+// process, and Wait reaps it.
+type procConn struct {
 	cmd *exec.Cmd
-	in  io.Closer
-	fw  *frameWriter
-	br  *bufio.Reader
+	in  io.WriteCloser
+	out io.ReadCloser
+}
+
+func (c *procConn) Read(p []byte) (int, error)  { return c.out.Read(p) }
+func (c *procConn) Write(p []byte) (int, error) { return c.in.Write(p) }
+func (c *procConn) Close() error                { return c.in.Close() }
+
+func (c *procConn) Kill() {
+	if c.cmd.Process != nil {
+		_ = c.cmd.Process.Kill()
+	}
+}
+
+func (c *procConn) Wait() { _ = c.cmd.Wait() }
+
+// procWorker is one attached worker endpoint (a spawned process or a
+// dialed connection).
+type procWorker struct {
+	conn WorkerConn
+	fw   *frameWriter
+	br   *bufio.Reader
 
 	// frames delivers the worker's output, one frame per receive, read
 	// by a dedicated goroutine so the dispatcher can multiplex frames
@@ -280,15 +335,13 @@ func (b *ProcBackend) Close() error {
 	var firstErr error
 	for _, w := range workers {
 		w.stopReader()
-		if err := w.in.Close(); err != nil && !errors.Is(err, os.ErrClosed) && firstErr == nil {
-			firstErr = fmt.Errorf("distrib: close worker %d stdin: %w", w.id, err)
+		if err := w.conn.Close(); err != nil && !errors.Is(err, os.ErrClosed) && firstErr == nil {
+			firstErr = fmt.Errorf("distrib: close worker %d: %w", w.id, err)
 		}
 	}
 	for _, w := range workers {
-		if w.cmd.Process != nil {
-			_ = w.cmd.Process.Kill()
-		}
-		_ = w.cmd.Wait()
+		w.conn.Kill()
+		w.conn.Wait()
 	}
 	if fallback != nil {
 		fallback.Close()
@@ -296,12 +349,41 @@ func (b *ProcBackend) Close() error {
 	return firstErr
 }
 
-// spawn starts one worker process and its reader goroutine.
+// spawn establishes one worker endpoint — a process over pipes, or a
+// dialed connection when opts.Dial is set — and starts its reader
+// goroutine.
 func (b *ProcBackend) spawn() (*procWorker, error) {
 	if _, err := failpoint.Inject("distrib/spawn"); err != nil {
 		return nil, fmt.Errorf("distrib: start worker: %w", err)
 	}
-	argv := b.opts.Command
+	var conn WorkerConn
+	if b.opts.Dial != nil {
+		c, err := b.opts.Dial()
+		if err != nil {
+			return nil, fmt.Errorf("distrib: dial worker: %w", err)
+		}
+		conn = c
+	} else {
+		c, err := spawnProc(b.opts)
+		if err != nil {
+			return nil, err
+		}
+		conn = c
+	}
+	w := &procWorker{
+		conn:   conn,
+		fw:     newFrameWriter(conn),
+		br:     bufio.NewReaderSize(conn, 1<<16),
+		frames: make(chan wireFrame, 16),
+		stop:   make(chan struct{}),
+	}
+	go w.readLoop()
+	return w, nil
+}
+
+// spawnProc starts one worker process on stdin/stdout pipes.
+func spawnProc(opts ProcOptions) (*procConn, error) {
+	argv := opts.Command
 	if len(argv) == 0 {
 		exe, err := os.Executable()
 		if err != nil {
@@ -310,11 +392,11 @@ func (b *ProcBackend) spawn() (*procWorker, error) {
 		argv = []string{exe, "-shard-server"}
 	}
 	cmd := exec.Command(argv[0], argv[1:]...)
-	if len(b.opts.Env) > 0 {
-		cmd.Env = append(os.Environ(), b.opts.Env...)
+	if len(opts.Env) > 0 {
+		cmd.Env = append(os.Environ(), opts.Env...)
 	}
-	if b.opts.Stderr != nil {
-		cmd.Stderr = b.opts.Stderr
+	if opts.Stderr != nil {
+		cmd.Stderr = opts.Stderr
 	} else {
 		cmd.Stderr = os.Stderr
 	}
@@ -329,16 +411,7 @@ func (b *ProcBackend) spawn() (*procWorker, error) {
 	if err := cmd.Start(); err != nil {
 		return nil, fmt.Errorf("distrib: start worker %q: %w", argv[0], err)
 	}
-	w := &procWorker{
-		cmd:    cmd,
-		in:     stdin,
-		fw:     newFrameWriter(stdin),
-		br:     bufio.NewReaderSize(stdout, 1<<16),
-		frames: make(chan wireFrame, 16),
-		stop:   make(chan struct{}),
-	}
-	go w.readLoop()
-	return w, nil
+	return &procConn{cmd: cmd, in: stdin, out: stdout}, nil
 }
 
 // attach returns the live worker set, spawning replacements for dead
@@ -415,11 +488,9 @@ func (b *ProcBackend) reap(w *procWorker) {
 	}
 	b.mu.Unlock()
 	w.stopReader()
-	w.in.Close()
-	if w.cmd.Process != nil {
-		_ = w.cmd.Process.Kill()
-	}
-	go func() { _ = w.cmd.Wait() }()
+	_ = w.conn.Close()
+	w.conn.Kill()
+	go w.conn.Wait()
 }
 
 // localPool returns the embedded in-process fallback pool.
@@ -514,6 +585,14 @@ func (b *ProcBackend) Run(ctx context.Context, shard session.Shard) (session.Sha
 	defer b.runMu.Unlock()
 	workers, err := b.attach()
 	if err != nil {
+		b.mu.Lock()
+		closed := b.closed
+		if !closed && b.opts.DegradeToLocal {
+			b.fallbacks++
+			b.mu.Unlock()
+			return b.localPool().Run(ctx, shard)
+		}
+		b.mu.Unlock()
 		return session.ShardResult{}, err
 	}
 

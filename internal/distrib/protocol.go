@@ -72,6 +72,18 @@ const (
 	msgDone                      // worker -> coordinator: doneMsg
 	msgPing                      // coordinator -> worker: pingMsg (liveness probe)
 	msgPong                      // worker -> coordinator: pongMsg (liveness reply)
+	msgHello                     // either direction: helloMsg (transport handshake)
+)
+
+// Handshake identity. ProtocolMagic distinguishes this protocol from an
+// arbitrary byte stream that happened to connect to a worker port;
+// ProtocolVersion is bumped on any incompatible frame or payload change,
+// so a coordinator and worker built from different protocol revisions
+// fail the handshake with a structured *FrameError instead of a gob
+// decode error deep inside a shard.
+const (
+	ProtocolMagic   uint32 = 0x53444131 // "SDA1"
+	ProtocolVersion uint32 = 1
 )
 
 // maxFrame bounds a frame payload; anything larger is a protocol error,
@@ -151,6 +163,53 @@ type pingMsg struct{ Seq uint64 }
 
 // pongMsg answers a ping.
 type pongMsg struct{ Seq uint64 }
+
+// helloMsg opens a network transport: each side announces its magic and
+// protocol version before any shard traffic. The stdin/stdout transport
+// skips the handshake — the coordinator spawns its workers from its own
+// binary, so the versions match by construction.
+type helloMsg struct {
+	Magic   uint32
+	Version uint32
+}
+
+// SendHello writes one handshake frame announcing this binary's
+// protocol identity.
+func SendHello(w io.Writer) error {
+	return newFrameWriter(w).send(msgHello, helloMsg{Magic: ProtocolMagic, Version: ProtocolVersion})
+}
+
+// ReadHello reads the peer's handshake frame and verifies it. Every
+// failure — a short or non-frame stream, a non-hello first frame, a
+// foreign magic, a different protocol version — is a *FrameError with
+// Op "handshake", so transports reject mismatched binaries before any
+// shard state exists on either side.
+func ReadHello(r io.Reader) error {
+	kind, payload, err := readFrame(r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return &FrameError{Op: "handshake", Err: err}
+	}
+	if kind != msgHello {
+		return &FrameError{Op: "handshake", Kind: kind, Len: uint32(len(payload)),
+			Err: fmt.Errorf("expected hello, got frame kind %d", kind)}
+	}
+	var m helloMsg
+	if err := decodeMsg(kind, payload, &m); err != nil {
+		return &FrameError{Op: "handshake", Kind: kind, Len: uint32(len(payload)), Err: err}
+	}
+	if m.Magic != ProtocolMagic {
+		return &FrameError{Op: "handshake", Kind: kind, Len: uint32(len(payload)),
+			Err: fmt.Errorf("magic %#08x is not a distrib peer (want %#08x)", m.Magic, ProtocolMagic)}
+	}
+	if m.Version != ProtocolVersion {
+		return &FrameError{Op: "handshake", Kind: kind, Len: uint32(len(payload)),
+			Err: fmt.Errorf("protocol version %d, this binary speaks %d", m.Version, ProtocolVersion)}
+	}
+	return nil
+}
 
 // resultMsg streams one finished replication: Index is the position
 // within the sub-shard's Seeds.
@@ -239,7 +298,8 @@ type FrameError struct {
 	// Op is the stage that rejected the frame: "header" (short read in
 	// the 5-byte header), "length" (claimed length exceeds maxFrame),
 	// "payload" (stream ended inside the payload), "decode" (gob
-	// rejected the payload), or "kind" (no such frame kind).
+	// rejected the payload), "kind" (no such frame kind), or
+	// "handshake" (the peer is not a compatible distrib binary).
 	Op string
 	// Kind is the frame-kind byte as read (zero for header failures).
 	Kind msgKind
@@ -350,6 +410,7 @@ type WireConfig struct {
 	Scenario             *scenario.Spec
 	DisablePooling       bool
 	EventQueue           string
+	RNGLayout            string
 }
 
 // shapeDemand extracts the demand of a known shape.
@@ -417,6 +478,7 @@ func ToWire(cfg system.Config) (WireConfig, error) {
 		Warmup:               cfg.Warmup,
 		DisablePooling:       cfg.DisablePooling,
 		EventQueue:           string(cfg.EventQueue),
+		RNGLayout:            cfg.RNGLayout,
 	}
 	if cfg.Scenario != nil {
 		sp := cfg.Scenario.Spec()
@@ -451,6 +513,7 @@ func (wc WireConfig) Config() (system.Config, error) {
 		Warmup:               wc.Warmup,
 		DisablePooling:       wc.DisablePooling,
 		EventQueue:           sim.QueueKind(wc.EventQueue),
+		RNGLayout:            wc.RNGLayout,
 	}
 	if wc.Scenario != nil {
 		sc, err := scenario.New(*wc.Scenario)

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"sync"
 
@@ -94,6 +95,19 @@ func ServeWorker(r io.Reader, w io.Writer) error {
 			// Write errors mean the coordinator is gone; the main loop
 			// will see the broken pipe on its next read.
 			_ = fw.send(msgPong, pongMsg{Seq: m.Seq})
+		case msgHello:
+			// A coordinator may handshake over any transport (the TCP
+			// listener additionally requires it before shard traffic).
+			var m helloMsg
+			if err := decodeMsg(kind, payload, &m); err != nil {
+				return err
+			}
+			if m.Magic != ProtocolMagic || m.Version != ProtocolVersion {
+				return &FrameError{Op: "handshake", Kind: kind, Len: uint32(len(payload)),
+					Err: fmt.Errorf("peer magic %#08x version %d, this binary speaks %#08x version %d",
+						m.Magic, m.Version, ProtocolMagic, ProtocolVersion)}
+			}
+			_ = fw.send(msgHello, helloMsg{Magic: ProtocolMagic, Version: ProtocolVersion})
 		default:
 			return &FrameError{Op: "kind", Kind: kind, Len: uint32(len(payload))}
 		}

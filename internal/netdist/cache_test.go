@@ -1,0 +1,272 @@
+package netdist
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/session"
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+// countingBackend wraps the in-process pool and records every seed it
+// is actually asked to simulate.
+type countingBackend struct {
+	inner session.Backend
+
+	mu    sync.Mutex
+	calls int
+	seeds []uint64
+}
+
+func newCountingBackend(t *testing.T) *countingBackend {
+	t.Helper()
+	pool := session.NewPool()
+	t.Cleanup(pool.Close)
+	return &countingBackend{inner: pool}
+}
+
+func (b *countingBackend) Run(ctx context.Context, shard session.Shard) (session.ShardResult, error) {
+	b.mu.Lock()
+	b.calls++
+	b.seeds = append(b.seeds, shard.Seeds...)
+	b.mu.Unlock()
+	return b.inner.Run(ctx, shard)
+}
+
+func (b *countingBackend) simulated() []uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]uint64(nil), b.seeds...)
+}
+
+// runShard pushes one shard through a backend and returns the gob
+// encoding of each replication's metrics — the byte-identity currency.
+func runShard(t *testing.T, b session.Backend, cfg system.Config, seeds []uint64) [][]byte {
+	t.Helper()
+	res, err := b.Run(context.Background(), session.Shard{Config: cfg, Seeds: seeds, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(seeds) {
+		t.Fatalf("Completed = %d, want %d", res.Completed, len(seeds))
+	}
+	out := make([][]byte, len(res.Metrics))
+	for i, m := range res.Metrics {
+		if m == nil {
+			t.Fatalf("metrics[%d] = nil", i)
+		}
+		data, err := encodeRuns([]*system.Metrics{m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = data
+	}
+	return out
+}
+
+func seedRange(lo, hi uint64) []uint64 {
+	var out []uint64
+	for s := lo; s <= hi; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestCacheHitByteIdentical: a repeated shard is served entirely from
+// the cache, byte-for-byte equal to the fresh computation, without
+// touching the simulator again.
+func TestCacheHitByteIdentical(t *testing.T) {
+	inner := newCountingBackend(t)
+	c := NewCache(inner, 0)
+	cfg := shortCfg(300)
+	seeds := seedRange(1, 8)
+
+	first := runShard(t, c, cfg, seeds)
+	before := len(inner.simulated())
+	second := runShard(t, c, cfg, seeds)
+
+	for i := range first {
+		if !bytes.Equal(first[i], second[i]) {
+			t.Errorf("seed %d: cached result differs from fresh result", seeds[i])
+		}
+	}
+	if after := len(inner.simulated()); after != before {
+		t.Errorf("second run simulated %d seeds, want 0", after-before)
+	}
+	st := c.CacheStats()
+	if st.Hits != uint64(len(seeds)) || st.Misses != uint64(len(seeds)) {
+		t.Errorf("hits/misses = %d/%d, want %d/%d", st.Hits, st.Misses, len(seeds), len(seeds))
+	}
+	if st.Entries == 0 || st.Bytes == 0 || st.Inserts == 0 {
+		t.Errorf("cache looks empty after inserts: %+v", st)
+	}
+}
+
+// TestCacheOverlappingSweep: an overlapping seed range simulates only
+// the uncovered suffix; the overlap is served from the store and stays
+// byte-identical.
+func TestCacheOverlappingSweep(t *testing.T) {
+	inner := newCountingBackend(t)
+	c := NewCache(inner, 0)
+	cfg := shortCfg(300)
+
+	first := runShard(t, c, cfg, seedRange(1, 8))
+	second := runShard(t, c, cfg, seedRange(5, 12))
+
+	for i, s := range seedRange(5, 8) {
+		if !bytes.Equal(first[int(s-1)], second[i]) {
+			t.Errorf("seed %d: overlap served different bytes", s)
+		}
+	}
+	fresh := inner.simulated()[8:]
+	if len(fresh) != 4 {
+		t.Fatalf("second run simulated %d seeds (%v), want 4", len(fresh), fresh)
+	}
+	for i, s := range fresh {
+		if want := uint64(9 + i); s != want {
+			t.Errorf("simulated seed %d, want %d", s, want)
+		}
+	}
+	st := c.CacheStats()
+	if st.Hits != 4 || st.Misses != 12 {
+		t.Errorf("hits/misses = %d/%d, want 4/12", st.Hits, st.Misses)
+	}
+}
+
+// TestCacheEviction: a cache bounded well below the working set evicts
+// least-recently-used runs; evicted seeds miss again and recompute to
+// the same bytes.
+func TestCacheEviction(t *testing.T) {
+	inner := newCountingBackend(t)
+	cfg := shortCfg(300)
+
+	// Size the budget from a real entry so exactly ~2 runs fit.
+	probe := NewCache(newCountingBackend(t), 0)
+	runShard(t, probe, cfg, seedRange(1, 4))
+	probeBytes := int64(probe.CacheStats().Bytes)
+	budget := probeBytes*2 + probeBytes/2 // ~2.5 entries, tolerant of size jitter
+
+	c := NewCache(inner, budget)
+	first := runShard(t, c, cfg, seedRange(1, 4))
+	runShard(t, c, cfg, seedRange(11, 14))
+	runShard(t, c, cfg, seedRange(21, 24)) // evicts seeds 1..4
+
+	st := c.CacheStats()
+	if st.Evictions == 0 {
+		t.Fatalf("Evictions = 0, want > 0 (%+v)", st)
+	}
+	if int64(st.Bytes) > budget {
+		t.Errorf("Bytes = %d over budget %d", st.Bytes, budget)
+	}
+
+	before := st.Misses
+	again := runShard(t, c, cfg, seedRange(1, 4))
+	if got := c.CacheStats().Misses - before; got != 4 {
+		t.Errorf("re-run of evicted seeds missed %d times, want 4", got)
+	}
+	for i := range first {
+		if !bytes.Equal(first[i], again[i]) {
+			t.Errorf("seed %d: recomputed result differs after eviction", i+1)
+		}
+	}
+}
+
+// TestCacheConcurrentReaders: many goroutines sweep overlapping ranges
+// through one cache; every result must be byte-identical to the
+// single-threaded answer. Run under -race this also exercises the
+// locking.
+func TestCacheConcurrentReaders(t *testing.T) {
+	cfg := shortCfg(200)
+	want := runShard(t, NewCache(newCountingBackend(t), 0), cfg, seedRange(1, 10))
+
+	c := NewCache(newCountingBackend(t), 0)
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		lo := uint64(1 + g%3) // overlapping windows: [1..8], [2..9], [3..10]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			seeds := seedRange(lo, lo+7)
+			res, err := c.Run(context.Background(), session.Shard{Config: cfg, Seeds: seeds, Parallelism: 2})
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			for i, m := range res.Metrics {
+				data, err := encodeRuns([]*system.Metrics{m})
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if !bytes.Equal(data, want[seeds[i]-1]) {
+					errs <- "concurrent result differs from single-threaded bytes"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestCacheBypassesUnwirable: a configuration that cannot be
+// fingerprinted (attached trace recorder) goes straight to the inner
+// backend and is counted as a bypass, never stored.
+func TestCacheBypassesUnwirable(t *testing.T) {
+	inner := newCountingBackend(t)
+	c := NewCache(inner, 0)
+	cfg := shortCfg(200)
+	cfg.Trace = trace.NewRecorder(0)
+
+	runShard(t, c, cfg, seedRange(1, 2))
+	runShard(t, c, cfg, seedRange(1, 2))
+
+	st := c.CacheStats()
+	if st.Bypasses != 2 {
+		t.Errorf("Bypasses = %d, want 2", st.Bypasses)
+	}
+	if st.Hits != 0 || st.Entries != 0 {
+		t.Errorf("unwirable config reached the store: %+v", st)
+	}
+	if got := len(inner.simulated()); got != 4 {
+		t.Errorf("inner simulated %d seeds, want 4 (no caching)", got)
+	}
+}
+
+// TestCacheCancellationContract: a cancelled sub-shard still yields an
+// exact contiguous prefix, with nothing reported past it even when
+// later seeds sit in the cache.
+func TestCacheCancellationContract(t *testing.T) {
+	inner := newCountingBackend(t)
+	c := NewCache(inner, 0)
+	cfg := shortCfg(200)
+
+	// Warm seeds 3..4 so a later run of 1..4 has cached results beyond
+	// the cancelled prefix.
+	runShard(t, c, cfg, seedRange(3, 4))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := c.Run(ctx, session.Shard{Config: cfg, Seeds: seedRange(1, 4)})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if res.Completed > len(res.Metrics) {
+		t.Fatalf("Completed = %d beyond metrics", res.Completed)
+	}
+	for i, m := range res.Metrics {
+		if i < res.Completed && m == nil {
+			t.Errorf("metrics[%d] = nil inside completed prefix %d", i, res.Completed)
+		}
+		if i >= res.Completed && m != nil {
+			t.Errorf("metrics[%d] != nil beyond completed prefix %d", i, res.Completed)
+		}
+	}
+}

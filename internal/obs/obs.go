@@ -154,6 +154,43 @@ type DistribStats struct {
 	Workers            []WorkerStats
 }
 
+// NetStats is the network shard backend's transport view: connection
+// lifecycle at the dialing coordinator plus frame/byte totals summed
+// across the connections' coordinator-side wire stats.
+type NetStats struct {
+	// Connections counts worker connections successfully dialed and
+	// handshaken; Reconnects is the subset that re-established an
+	// address that had already connected before (a worker came back).
+	Connections uint64
+	Reconnects  uint64
+	// DialErrors counts dial or handshake failures.
+	DialErrors uint64
+	// Frame/byte totals per direction across all connections, including
+	// closed ones (sent = coordinator→worker).
+	FramesSent uint64
+	FramesRecv uint64
+	BytesSent  uint64
+	BytesRecv  uint64
+}
+
+// CacheStats describes the deterministic shard-result cache: per-seed
+// hit/miss traffic, entry lifecycle, and the current footprint.
+type CacheStats struct {
+	// Hits and Misses count seed lookups (a shard of 20 seeds with 8
+	// cached counts 8 hits and 12 misses).
+	Hits   uint64
+	Misses uint64
+	// Inserts counts seed-run entries stored; Evictions counts entries
+	// dropped under byte pressure; Bypasses counts shards that skipped
+	// the cache because their configuration has no fingerprint.
+	Inserts   uint64
+	Evictions uint64
+	Bypasses  uint64
+	// Entries and Bytes gauge the cache's current contents.
+	Entries uint64
+	Bytes   uint64
+}
+
 // Snapshot is a point-in-time view of a session's runtime metrics:
 // engine counters accumulated across every finished replication, the
 // run-layer gauges, and — when the session runs on the multi-process
@@ -164,4 +201,8 @@ type Snapshot struct {
 	Session SessionStats
 	// Distrib is nil unless the backend exposes coordinator stats.
 	Distrib *DistribStats
+	// Net is nil unless the backend dials remote workers.
+	Net *NetStats
+	// Cache is nil unless a shard-result cache fronts the backend.
+	Cache *CacheStats
 }

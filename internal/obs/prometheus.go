@@ -76,6 +76,26 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		workerCounter("repro_distrib_worker_pool_busy_seconds_total", "Wall-clock seconds the worker's workspaces spent running replications.",
 			func(ws WorkerStats) float64 { return ws.Pool.BusySeconds })
 	}
+
+	if n := s.Net; n != nil {
+		pw.counter("repro_net_connections_total", "Worker connections dialed and handshaken.", n.Connections)
+		pw.counter("repro_net_reconnects_total", "Connections that re-established a previously connected worker address.", n.Reconnects)
+		pw.counter("repro_net_dial_errors_total", "Worker dial or handshake failures.", n.DialErrors)
+		pw.counter("repro_net_frames_sent_total", "Protocol frames sent coordinator-to-worker over the network.", n.FramesSent)
+		pw.counter("repro_net_frames_recv_total", "Protocol frames received worker-to-coordinator over the network.", n.FramesRecv)
+		pw.counter("repro_net_bytes_sent_total", "Protocol bytes sent coordinator-to-worker over the network.", n.BytesSent)
+		pw.counter("repro_net_bytes_recv_total", "Protocol bytes received worker-to-coordinator over the network.", n.BytesRecv)
+	}
+
+	if c := s.Cache; c != nil {
+		pw.counter("repro_cache_hits_total", "Seed lookups served from the shard-result cache.", c.Hits)
+		pw.counter("repro_cache_misses_total", "Seed lookups that required fresh simulation.", c.Misses)
+		pw.counter("repro_cache_inserts_total", "Seed-run entries stored in the cache.", c.Inserts)
+		pw.counter("repro_cache_evictions_total", "Cache entries dropped under byte pressure.", c.Evictions)
+		pw.counter("repro_cache_bypass_total", "Shards that skipped the cache (unfingerprintable configuration).", c.Bypasses)
+		pw.gauge("repro_cache_entries", "Seed-run entries currently cached.", float64(c.Entries))
+		pw.gauge("repro_cache_bytes", "Encoded bytes currently cached.", float64(c.Bytes))
+	}
 	return pw.err
 }
 

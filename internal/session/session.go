@@ -497,6 +497,25 @@ type DistribStatser interface {
 	DistribStats() *obs.DistribStats
 }
 
+// NetStatser is the optional Backend facet for network-transport
+// statistics (connections, reconnects, wire traffic).
+type NetStatser interface {
+	NetStats() obs.NetStats
+}
+
+// CacheStatser is the optional Backend facet for shard-result-cache
+// statistics (hits, misses, evictions, footprint).
+type CacheStatser interface {
+	CacheStats() obs.CacheStats
+}
+
+// Unwrapper is implemented by middleware backends (the shard-result
+// cache) that delegate execution to an inner Backend; Snapshot follows
+// the chain so inner facets stay visible through the wrapper.
+type Unwrapper interface {
+	Unwrap() Backend
+}
+
 // Snapshot returns a point-in-time view of the session's runtime
 // metrics: engine counters accumulated over every finished replication,
 // job and in-flight gauges, the backend's pool stats, and — on the
@@ -514,13 +533,40 @@ func (s *Session) Snapshot() obs.Snapshot {
 	}
 	s.obsMu.Unlock()
 	snap.Session.ReplicationsInFlight = s.inFlight.Load()
-	if ps, ok := s.backend.(PoolStatser); ok {
-		snap.Session.Pool = ps.PoolStats()
-	}
-	if ds, ok := s.backend.(DistribStatser); ok {
-		snap.Distrib = ds.DistribStats()
-	}
+	CollectBackendStats(s.backend, &snap)
 	return snap
+}
+
+// CollectBackendStats fills snap's backend-derived fields (pool,
+// distrib, net, cache) from b, following Unwrap chains so a middleware
+// backend (the shard-result cache) does not hide the facets of the
+// transport it wraps. The outermost implementation of each facet wins.
+func CollectBackendStats(b Backend, snap *obs.Snapshot) {
+	var (
+		poolSet bool
+	)
+	for b != nil {
+		if ps, ok := b.(PoolStatser); ok && !poolSet {
+			snap.Session.Pool = ps.PoolStats()
+			poolSet = true
+		}
+		if ds, ok := b.(DistribStatser); ok && snap.Distrib == nil {
+			snap.Distrib = ds.DistribStats()
+		}
+		if ns, ok := b.(NetStatser); ok && snap.Net == nil {
+			v := ns.NetStats()
+			snap.Net = &v
+		}
+		if cs, ok := b.(CacheStatser); ok && snap.Cache == nil {
+			v := cs.CacheStats()
+			snap.Cache = &v
+		}
+		u, ok := b.(Unwrapper)
+		if !ok {
+			break
+		}
+		b = u.Unwrap()
+	}
 }
 
 // isCancellation reports whether err is a context cancellation or

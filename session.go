@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/distrib"
 	"repro/internal/experiment"
+	"repro/internal/netdist"
 	"repro/internal/obs"
 	"repro/internal/session"
 )
@@ -153,6 +154,79 @@ func NewProcBackend(opts ProcBackendOptions) *ProcBackend {
 // ProcBackend.
 func ServeShardWorker(r io.Reader, w io.Writer) error {
 	return distrib.ServeWorker(r, w)
+}
+
+// Remote execution & service mode ----------------------------------------
+
+// WorkerServer serves shard workers over TCP: every accepted connection
+// must open with the protocol handshake (magic + version, so mismatched
+// binaries fail with a structured error instead of a gob panic) and
+// then speaks the same frame protocol a -shard-server process does,
+// with its own warm worker pool per connection. The CLIs expose it as
+// -serve-workers.
+type WorkerServer = netdist.Server
+
+// ListenWorkers binds a WorkerServer (":0" picks a free port); call
+// Serve to accept coordinators and Close to shut down.
+func ListenWorkers(addr string) (*WorkerServer, error) {
+	return netdist.Listen(addr)
+}
+
+// NetBackend is the remote Backend: the ProcBackend coordinator —
+// heartbeats, retry, hedging, respawn budget and all — running over TCP
+// connections to a static list of WorkerServer addresses. A lost
+// connection is re-dialed like a dead process; with every address
+// unreachable, shards degrade to the embedded in-process pool. Output
+// is byte-identical to every other backend. The CLIs expose it as
+// -connect.
+type NetBackend = netdist.NetBackend
+
+// NetBackendOptions configures NewNetBackend: the worker address list,
+// the dial timeout, and the ProcBackend supervision knobs.
+type NetBackendOptions = netdist.BackendOptions
+
+// NewNetBackend returns a Backend over remote TCP workers; connections
+// are dialed lazily on the first run.
+func NewNetBackend(opts NetBackendOptions) (*NetBackend, error) {
+	return netdist.NewBackend(opts)
+}
+
+// ResultCache is the deterministic shard-result cache: a Backend
+// middleware keyed by (configuration fingerprint, seed) whose hits are
+// byte-identical to fresh simulation — caching can never change
+// results, only skip work. The CLIs expose it as -cache-mb.
+type ResultCache = netdist.Cache
+
+// NewResultCache wraps inner with a result cache bounded at maxBytes of
+// encoded results (<= 0 picks 256 MiB).
+func NewResultCache(inner Backend, maxBytes int64) *ResultCache {
+	return netdist.NewCache(inner, maxBytes)
+}
+
+// QueryService is the long-running simulation service behind the
+// sdaserve CLI: JSON job specs over HTTP, warm sessions keyed by
+// configuration fingerprint, a shared ResultCache, and seed-ordered
+// NDJSON streaming to many concurrent clients.
+type QueryService = netdist.Service
+
+// QueryServiceOptions configures NewQueryService.
+type QueryServiceOptions = netdist.ServiceOptions
+
+// NewQueryService builds a service over the given transport; serve its
+// Handler with net/http and Close it on shutdown.
+func NewQueryService(opts QueryServiceOptions) *QueryService {
+	return netdist.NewService(opts)
+}
+
+// ConfigFingerprint is the cache and session key: a stable content hash
+// of every behavior-determining configuration knob except the seed.
+// Identical configurations collide across processes and recompilations;
+// any knob change — even to a setting with provably identical results,
+// like the event queue — produces a different fingerprint. It fails
+// with an error for configurations that cannot cross a process boundary
+// (an attached trace recorder).
+func ConfigFingerprint(cfg SimConfig) (string, error) {
+	return distrib.ConfigFingerprint(cfg)
 }
 
 // Experiment runs a registered paper artifact ("fig2b", "combined", ...)
